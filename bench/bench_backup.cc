@@ -1,0 +1,108 @@
+// E7 (§9.2.3): incremental backup cost and size. With 512-byte chunks the
+// paper fits
+//   latency = 675 us + 9 us/chunk-in-partition + 278 us/updated-chunk
+//   size    = 456 B + 528 B/updated-chunk
+// The per-partition-chunk term is the snapshot diff; the per-updated-chunk
+// term is chunk copying. We sweep partition size x update count and fit the
+// same models.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/backup/backup_store.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/store/archival_store.h"
+
+namespace tdb::bench {
+namespace {
+
+int Run() {
+  PrintHeader(
+      "E7: incremental backup (paper: 675 us + 9 us/chunk + 278 us/updated; "
+      "size 456 B + 528 B/updated)");
+  std::printf("%12s %10s %12s %14s\n", "part_chunks", "updated", "create_us",
+              "backup_bytes");
+
+  LinearRegression time_fit(2);
+  LinearRegression size_fit(1);
+  Rng rng(13);
+  const int kPartitionSizes[] = {256, 1024, 4096};
+  const int kUpdateCounts[] = {16, 64, 256};
+
+  for (int partition_chunks : kPartitionSizes) {
+    for (int updated : kUpdateCounts) {
+      Rig rig = MakeRig(/*segment_size=*/512 * 1024, /*num_segments=*/4096);
+      BackupStore backup(rig.chunks.get());
+      PartitionId partition = MakePartition(*rig.chunks);
+      std::vector<ChunkId> ids;
+      for (int base = 0; base < partition_chunks; base += 256) {
+        ChunkStore::Batch batch;
+        for (int i = base; i < base + 256 && i < partition_chunks; ++i) {
+          ChunkId id = *rig.chunks->AllocateChunk(partition);
+          ids.push_back(id);
+          batch.WriteChunk(id, rng.NextBytes(512));
+        }
+        (void)rig.chunks->Commit(std::move(batch));
+      }
+      (void)rig.chunks->Checkpoint();
+      MemArchive archive;
+      // Base (full) backup establishes the snapshot to diff against.
+      auto base_sink = archive.OpenSink("base");
+      auto base = backup.CreateBackupSet({{partition, 0}}, 1, 0,
+                                         base_sink.get());
+      if (!base.ok()) {
+        std::abort();
+      }
+      (void)base_sink->Close();
+      // Update a subset.
+      {
+        ChunkStore::Batch batch;
+        for (int i = 0; i < updated; ++i) {
+          batch.WriteChunk(ids[rng.NextBelow(ids.size())], rng.NextBytes(512));
+        }
+        (void)rig.chunks->Commit(std::move(batch));
+      }
+      // Time the incremental backup.
+      auto inc_sink = archive.OpenSink("inc");
+      double us = TimeUs([&] {
+        auto inc = backup.CreateBackupSet({{partition, base->snapshots[0]}}, 2,
+                                          1, inc_sink.get());
+        if (!inc.ok()) {
+          std::abort();
+        }
+      });
+      (void)inc_sink->Close();
+      size_t backup_bytes = archive.StreamSize("inc");
+      std::printf("%12d %10d %12.0f %14zu\n", partition_chunks, updated, us,
+                  backup_bytes);
+      time_fit.Add({static_cast<double>(partition_chunks),
+                    static_cast<double>(updated)},
+                   us);
+      size_fit.Add({static_cast<double>(updated)},
+                   static_cast<double>(backup_bytes));
+    }
+  }
+
+  std::vector<double> tb = time_fit.Solve();
+  if (tb.size() == 3) {
+    std::printf(
+        "\nfitted latency: %.0f us + %.2f us/partition-chunk + %.1f "
+        "us/updated-chunk (r^2 = %.4f)\n",
+        tb[0], tb[1], tb[2], time_fit.RSquared(tb));
+  }
+  std::vector<double> sb = size_fit.Solve();
+  if (sb.size() == 2) {
+    std::printf("fitted size: %.0f B + %.1f B/updated-chunk (r^2 = %.4f)\n",
+                sb[0], sb[1], size_fit.RSquared(sb));
+  }
+  std::printf(
+      "note: updates may hit the same chunk twice, so the diff can be "
+      "slightly smaller than the update count\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tdb::bench
+
+int main() { return tdb::bench::Run(); }

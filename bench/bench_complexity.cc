@@ -1,0 +1,140 @@
+// E9 (Figure 9): code complexity in semicolons per module, the paper's own
+// metric. The paper reports: collection store 1,388; object store 512;
+// backup store 516; chunk store 2,570; common utilities 1,070; total 6,056.
+// This binary counts semicolons in this repository's sources (string and
+// comment semicolons excluded with a small lexer) and prints the same table.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef TDB_SOURCE_DIR
+#define TDB_SOURCE_DIR "."
+#endif
+
+namespace {
+
+// Counts semicolons outside of comments, string, and char literals.
+size_t CountSemicolons(const std::string& source) {
+  size_t count = 0;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < source.size(); ++i) {
+    char c = source[i];
+    char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        } else if (c == ';') {
+          ++count;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return count;
+}
+
+size_t CountDirectory(const std::filesystem::path& dir) {
+  size_t total = 0;
+  if (!std::filesystem::exists(dir)) {
+    return 0;
+  }
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::string ext = entry.path().extension().string();
+    if (ext != ".cc" && ext != ".h") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    total += CountSemicolons(buffer.str());
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::filesystem::path root(TDB_SOURCE_DIR);
+  struct Row {
+    const char* label;
+    const char* subdir;
+    int paper;
+  };
+  // Paper modules mapped onto this repository's layout.
+  const Row rows[] = {
+      {"Collection store", "src/collect", 1388},
+      {"Object store", "src/object", 512},
+      {"Backup store", "src/backup", 516},
+      {"Chunk store", "src/chunk", 2570},
+      {"Common utilities (common+crypto+platform+store)", "", 1070},
+  };
+  std::printf("=== E9 / Figure 9: code complexity (semicolons) ===\n");
+  std::printf("%-50s %10s %10s\n", "module", "this repo", "paper");
+  size_t total = 0;
+  for (const Row& row : rows) {
+    size_t count;
+    if (row.subdir[0] != '\0') {
+      count = CountDirectory(root / row.subdir);
+    } else {
+      count = CountDirectory(root / "src/common") +
+              CountDirectory(root / "src/crypto") +
+              CountDirectory(root / "src/platform") +
+              CountDirectory(root / "src/store");
+    }
+    total += count;
+    std::printf("%-50s %10zu %10d\n", row.label, count, row.paper);
+  }
+  std::printf("%-50s %10zu %10d\n", "TOTAL (paper-scope modules)", total, 6056);
+  std::printf("%-50s %10zu %10s\n", "XDB baseline (not in paper's table)",
+              CountDirectory(root / "src/xdb"), "-");
+  std::printf("%-50s %10zu %10s\n", "Workload", CountDirectory(root / "src/workload"),
+              "-");
+  std::printf("%-50s %10zu %10s\n", "Trusted paging (paper 10 extension)",
+              CountDirectory(root / "src/paging"), "-");
+  std::printf(
+      "\n(the paper's crypto and platform code were external libraries; here "
+      "they are built from scratch,\nwhich inflates 'common utilities')\n");
+  return 0;
+}

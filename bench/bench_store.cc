@@ -1,0 +1,112 @@
+// E2 (§9.2.1): raw store operations. The paper measures l_u (untrusted
+// store flush latency, 10-40 ms on its NTFS disks), l_t (tamper-resistant
+// store write, ~5 ms EEPROM), and b_u (store bandwidth, 3.5-4.7 MB/s). We
+// benchmark the in-memory store (computational floor), the file-backed
+// store with fdatasync (a real l_u on this machine), and trusted-store
+// writes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/rng.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+namespace {
+
+void BM_MemStoreWrite(benchmark::State& state) {
+  MemUntrustedStore store({.segment_size = 256 * 1024, .num_segments = 64});
+  Rng rng(1);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  uint32_t offset = 0;
+  for (auto _ : state) {
+    if (offset + data.size() > store.segment_size()) {
+      offset = 0;
+    }
+    benchmark::DoNotOptimize(store.Write(0, offset, data));
+    offset += static_cast<uint32_t>(data.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MemStoreWrite)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_MemStoreRead(benchmark::State& state) {
+  MemUntrustedStore store({.segment_size = 256 * 1024, .num_segments = 64});
+  size_t size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Read(0, 0, size));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MemStoreRead)->Arg(512)->Arg(65536);
+
+void BM_FileStoreWriteAndFlush(benchmark::State& state) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "tdb_bench_store.bin").string();
+  auto store = FileUntrustedStore::Open(
+      path, {.segment_size = 256 * 1024, .num_segments = 16});
+  if (!store.ok()) {
+    state.SkipWithError("cannot open file store");
+    return;
+  }
+  Rng rng(1);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  uint32_t offset = 0;
+  for (auto _ : state) {
+    if (offset + data.size() > (*store)->segment_size()) {
+      offset = 0;
+    }
+    (void)(*store)->Write(0, offset, data);
+    (void)(*store)->Flush();  // this is l_u on this machine
+    offset += static_cast<uint32_t>(data.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_FileStoreWriteAndFlush)->Arg(512)->Arg(65536);
+
+void BM_MemRegisterWrite(benchmark::State& state) {
+  MemTamperResistantRegister reg;
+  Bytes value(40, 0x7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.Write(value));
+  }
+}
+BENCHMARK(BM_MemRegisterWrite);
+
+void BM_FileRegisterWrite(benchmark::State& state) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "tdb_bench_reg").string();
+  auto reg = FileTamperResistantRegister::Open(path);
+  if (!reg.ok()) {
+    state.SkipWithError("cannot open file register");
+    return;
+  }
+  Bytes value(40, 0x7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*reg)->Write(value));  // this is l_t
+  }
+  std::remove((path + ".slot0").c_str());
+  std::remove((path + ".slot1").c_str());
+}
+BENCHMARK(BM_FileRegisterWrite);
+
+void BM_MemCounterAdvance(benchmark::State& state) {
+  MemMonotonicCounter counter;
+  uint64_t next = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.AdvanceTo(next++));
+  }
+}
+BENCHMARK(BM_MemCounterAdvance);
+
+}  // namespace
+}  // namespace tdb
+
+BENCHMARK_MAIN();

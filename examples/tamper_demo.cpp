@@ -1,0 +1,184 @@
+// Attack gallery: every storage-level attack from the paper's threat model,
+// run against a live store, with the expected detection result:
+//
+//   1. bit flip in a data chunk                -> tamper detected on read
+//   2. bit flip in a *map* chunk (metadata!)   -> tamper detected on read
+//   3. swapping two stored chunk versions      -> tamper detected on read
+//   4. replaying an old copy of the database   -> tamper detected at open
+//   5. truncating committed data off the log   -> tamper detected at open
+//   6. the same attacks against the layered XDB design, showing the
+//      metadata gap TDB closes (§1.2).
+
+#include <cstdio>
+
+#include "src/chunk/chunk_store.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/untrusted_store.h"
+#include "src/xdb/crypto_layer.h"
+
+using namespace tdb;
+
+namespace {
+
+int g_failures = 0;
+
+void Expect(const char* attack, const Status& status, StatusCode expected) {
+  bool ok = status.code() == expected;
+  std::printf("%-52s %s (%s)\n", attack, ok ? "DETECTED" : "** MISSED **",
+              status.ToString().c_str());
+  if (!ok) {
+    ++g_failures;
+  }
+}
+
+struct Rig {
+  Rig() : disk({.segment_size = 32 * 1024, .num_segments = 256}),
+          secret(Bytes(32, 0xA5)) {
+    options.validation.mode = ValidationMode::kCounter;
+    auto cs = ChunkStore::Create(&disk,
+                                 TrustedServices{&secret, nullptr, &counter},
+                                 options);
+    chunks = std::move(*cs);
+    auto pid = chunks->AllocatePartition();
+    ChunkStore::Batch batch;
+    batch.WritePartition(*pid, CryptoParams{CipherAlg::kAes128,
+                                            HashAlg::kSha256, Bytes(16, 2)});
+    (void)chunks->Commit(std::move(batch));
+    partition = *pid;
+  }
+  Result<std::unique_ptr<ChunkStore>> Reopen() {
+    chunks.reset();
+    return ChunkStore::Open(&disk,
+                            TrustedServices{&secret, nullptr, &counter},
+                            options);
+  }
+  MemUntrustedStore disk;
+  MemSecretStore secret;
+  MemMonotonicCounter counter;
+  ChunkStoreOptions options;
+  std::unique_ptr<ChunkStore> chunks;
+  PartitionId partition;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== TDB tamper-detection gallery ==\n\n");
+
+  {  // 1. data chunk bit flip
+    Rig rig;
+    ChunkId id = *rig.chunks->AllocateChunk(rig.partition);
+    (void)rig.chunks->WriteChunk(id, Bytes(400, 'd'));
+    auto loc = *rig.chunks->DebugChunkLocation(id);
+    rig.disk.CorruptByte(loc.first.segment, loc.first.offset + loc.second / 2,
+                         0x40);
+    Expect("1. bit flip in a data chunk", rig.chunks->Read(id).status(),
+           StatusCode::kTamperDetected);
+  }
+
+  {  // 2. map chunk (metadata) bit flip
+    Rig rig;
+    ChunkId id = *rig.chunks->AllocateChunk(rig.partition);
+    (void)rig.chunks->WriteChunk(id, Bytes(100, 'm'));
+    (void)rig.chunks->Checkpoint();
+    auto map_loc = *rig.chunks->DebugChunkLocation(ChunkId(rig.partition, 1, 0));
+    rig.disk.CorruptByte(map_loc.first.segment,
+                         map_loc.first.offset + map_loc.second - 1, 0x01);
+    auto reopened = rig.Reopen();
+    Status result = reopened.ok() ? (*reopened)->Read(id).status()
+                                  : reopened.status();
+    Expect("2. bit flip in a map chunk (metadata attack)", result,
+           StatusCode::kTamperDetected);
+  }
+
+  {  // 3. swapping two chunks' stored bytes
+    Rig rig;
+    ChunkId a = *rig.chunks->AllocateChunk(rig.partition);
+    ChunkId b = *rig.chunks->AllocateChunk(rig.partition);
+    ChunkStore::Batch batch;
+    batch.WriteChunk(a, Bytes(256, 'a'));
+    batch.WriteChunk(b, Bytes(256, 'b'));
+    (void)rig.chunks->Commit(std::move(batch));
+    auto la = *rig.chunks->DebugChunkLocation(a);
+    auto lb = *rig.chunks->DebugChunkLocation(b);
+    Bytes va = *rig.disk.Read(la.first.segment, la.first.offset, la.second);
+    Bytes vb = *rig.disk.Read(lb.first.segment, lb.first.offset, lb.second);
+    rig.disk.CorruptRange(la.first.segment, la.first.offset, vb);
+    rig.disk.CorruptRange(lb.first.segment, lb.first.offset, va);
+    Expect("3. swapping two stored chunk versions",
+           rig.chunks->Read(a).status(), StatusCode::kTamperDetected);
+  }
+
+  {  // 4. whole-database replay
+    Rig rig;
+    ChunkId id = *rig.chunks->AllocateChunk(rig.partition);
+    (void)rig.chunks->WriteChunk(id, BytesFromString("balance=100"));
+    std::vector<Bytes> saved;
+    for (uint32_t s = 0; s < rig.disk.num_segments(); ++s) {
+      saved.push_back(rig.disk.DumpSegment(s));
+    }
+    Bytes superblock = rig.disk.DumpSuperblock();
+    (void)rig.chunks->WriteChunk(id, BytesFromString("balance=0"));
+    rig.chunks.reset();
+    for (uint32_t s = 0; s < rig.disk.num_segments(); ++s) {
+      rig.disk.RestoreSegment(s, saved[s]);
+    }
+    rig.disk.RestoreSuperblock(superblock);
+    auto replayed = ChunkStore::Open(
+        &rig.disk, TrustedServices{&rig.secret, nullptr, &rig.counter},
+        rig.options);
+    Expect("4. replaying an old copy of the database", replayed.status(),
+           StatusCode::kTamperDetected);
+  }
+
+  {  // 5. truncating the log tail
+    Rig rig;
+    ChunkId id = *rig.chunks->AllocateChunk(rig.partition);
+    (void)rig.chunks->WriteChunk(id, BytesFromString("v1"));
+    std::vector<Bytes> saved;
+    for (uint32_t s = 0; s < rig.disk.num_segments(); ++s) {
+      saved.push_back(rig.disk.DumpSegment(s));
+    }
+    (void)rig.chunks->WriteChunk(id, BytesFromString("v2"));
+    rig.chunks.reset();
+    for (uint32_t s = 0; s < rig.disk.num_segments(); ++s) {
+      rig.disk.RestoreSegment(s, saved[s]);  // superblock left current
+    }
+    auto reopened = ChunkStore::Open(
+        &rig.disk, TrustedServices{&rig.secret, nullptr, &rig.counter},
+        rig.options);
+    Expect("5. deleting committed data from the log tail", reopened.status(),
+           StatusCode::kTamperDetected);
+  }
+
+  {  // 6. the layered design's metadata gap
+    std::printf("\n-- the same storage-level deletion against the layered "
+                "XDB design --\n");
+    MemPageFile data(4096);
+    MemAppendFile log;
+    MemMonotonicCounter counter;
+    auto db = Xdb::Create(&data, &log);
+    auto suite = CryptoSuite::Create(
+        CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, 9)});
+    SecureXdb secure(db->get(), *suite, &counter);
+    (void)secure.CreateTree("t");
+    (void)secure.Put("t", BytesFromString("license"), BytesFromString("valid"));
+    (void)secure.Commit();
+    // The attacker deletes the record through the unprotected B-tree.
+    (void)(*db)->Delete("t", BytesFromString("license"));
+    (void)(*db)->Commit();
+    Status result = secure.Get("t", BytesFromString("license")).status();
+    std::printf("%-52s %s (%s)\n",
+                "6. record deletion via unprotected metadata",
+                result.code() == StatusCode::kTamperDetected
+                    ? "DETECTED"
+                    : "UNDETECTED -- the layered design cannot see it",
+                result.ToString().c_str());
+    std::printf("   (TDB protects data and metadata uniformly; attack 3 "
+                "above is the equivalent and IS detected)\n");
+  }
+
+  std::printf("\n%s\n", g_failures == 0 ? "all TDB attacks detected"
+                                        : "SOME ATTACKS WENT UNDETECTED");
+  return g_failures;
+}

@@ -1,0 +1,94 @@
+// The backup store (§6): creates and restores backup sets on the untrusted
+// archival store.
+//
+// A backup set covers one or more partitions, snapshot consistently in a
+// single commit (copy-on-write partition copies, §6.1). Partition backups
+// are full or incremental (relative to a previous snapshot, §6.2), carry an
+// encrypted descriptor, the chunk versions, a signature binding descriptor
+// and chunks, and a plain checksum so untrusted tooling can verify transport
+// integrity without keys.
+//
+// Restores enforce (§6.3): incremental backups apply in creation order with
+// no missing links, and a backup set is restored in full or not at all. All
+// restored partitions are committed atomically, and a trusted-program
+// approval hook can reject frequent restores or old backups.
+
+#ifndef SRC_BACKUP_BACKUP_STORE_H_
+#define SRC_BACKUP_BACKUP_STORE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/chunk/chunk_store.h"
+#include "src/store/archival_store.h"
+
+namespace tdb {
+
+struct BackupDescriptor {
+  PartitionId source = 0;         // the partition being backed up
+  PartitionId snapshot = 0;       // snapshot this backup was taken from
+  PartitionId base_snapshot = 0;  // 0 = full backup
+  uint64_t backup_set_id = 0;     // random id shared by the whole set
+  uint32_t set_size = 0;          // number of partition backups in the set
+  CryptoParams params;            // partition cipher/hash/key
+  uint64_t created_unix = 0;
+
+  bool incremental() const { return base_snapshot != 0; }
+
+  Bytes Pickle() const;
+  static Result<BackupDescriptor> Unpickle(ByteView data);
+};
+
+class BackupStore {
+ public:
+  struct PartitionSpec {
+    PartitionId source = 0;
+    // Snapshot of `source` from a previous backup; 0 requests a full backup.
+    PartitionId base_snapshot = 0;
+  };
+
+  struct CreateResult {
+    uint64_t backup_set_id = 0;
+    // Snapshot partition created per spec; keep these ids to pass as
+    // base_snapshot for the next incremental backup.
+    std::vector<PartitionId> snapshots;
+    uint64_t bytes_written = 0;
+    uint64_t chunks_written = 0;
+  };
+
+  // Hook consulted before applying a restored partition backup. Returning a
+  // non-OK status aborts the restore (e.g. to deny rolling back to an old
+  // backup).
+  using RestoreApprover = std::function<Status(const BackupDescriptor&)>;
+
+  explicit BackupStore(ChunkStore* chunks) : chunks_(chunks) {}
+
+  // Creates one backup set: snapshots all sources in a single commit, then
+  // streams each partition backup to `sink`. `set_id` should be random.
+  Result<CreateResult> CreateBackupSet(const std::vector<PartitionSpec>& specs,
+                                       uint64_t set_id, uint64_t created_unix,
+                                       ArchivalSink* sink);
+
+  struct RestoreResult {
+    std::vector<PartitionId> restored;  // source partition ids
+    uint64_t chunks_applied = 0;
+  };
+
+  // Reads a stream of one or more backup sets and applies them. All state is
+  // committed in one atomic commit at the end.
+  Result<RestoreResult> RestoreStream(ArchivalSource* source,
+                                      RestoreApprover approver = nullptr);
+
+ private:
+  Status WritePartitionBackup(PartitionId snapshot,
+                              const BackupDescriptor& descriptor,
+                              ArchivalSink* sink, CreateResult& result);
+
+  ChunkStore* chunks_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_BACKUP_BACKUP_STORE_H_

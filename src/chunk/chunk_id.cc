@@ -1,0 +1,28 @@
+#include "src/chunk/chunk_id.h"
+
+namespace tdb {
+
+std::string ChunkId::ToString() const {
+  return std::to_string(partition) + ":" + std::to_string(position.height) +
+         "." + std::to_string(position.rank);
+}
+
+uint64_t ChunkId::Pack() const {
+  return static_cast<uint64_t>(partition) << 48 |
+         static_cast<uint64_t>(position.height) << 40 |
+         (position.rank & 0xFFFFFFFFFFULL);
+}
+
+ChunkId ChunkId::Unpack(uint64_t packed) {
+  ChunkId id;
+  id.partition = static_cast<PartitionId>(packed >> 48);
+  id.position.height = static_cast<uint8_t>(packed >> 40);
+  id.position.rank = packed & 0xFFFFFFFFFFULL;
+  return id;
+}
+
+std::string Location::ToString() const {
+  return std::to_string(segment) + "+" + std::to_string(offset);
+}
+
+}  // namespace tdb

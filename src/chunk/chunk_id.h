@@ -1,0 +1,92 @@
+// Chunk naming (§4.3, §5.1).
+//
+// A chunk id is (partition, position) where position = (height, rank):
+// height 0 holds data chunks, heights ≥ 1 hold map chunks, and the id of a
+// chunk encodes its place in the chunk-map tree, so the map can be navigated
+// by id arithmetic without storing ids explicitly. Partition leaders are the
+// data chunks of the reserved *system* partition: the leader of partition P
+// is chunk {kSystemPartition, 0, P}.
+
+#ifndef SRC_CHUNK_CHUNK_ID_H_
+#define SRC_CHUNK_CHUNK_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tdb {
+
+using PartitionId = uint16_t;
+
+// The system partition holds the partition map (§5.2).
+inline constexpr PartitionId kSystemPartition = 0;
+
+// Fanout of the chunk-map tree: descriptors per map chunk. The paper's
+// experiments use 64 (§9.2.2).
+inline constexpr uint64_t kMapFanout = 64;
+
+struct ChunkPosition {
+  uint8_t height = 0;  // 0 = data chunk, >=1 = map chunk
+  uint64_t rank = 0;   // index from the left among chunks at this height
+
+  ChunkPosition() = default;
+  ChunkPosition(uint8_t h, uint64_t r) : height(h), rank(r) {}
+
+  // The position of the map chunk whose descriptor vector covers this chunk.
+  ChunkPosition Parent() const {
+    return ChunkPosition(static_cast<uint8_t>(height + 1), rank / kMapFanout);
+  }
+  // This chunk's slot within its parent's descriptor vector.
+  uint64_t SlotInParent() const { return rank % kMapFanout; }
+
+  bool operator==(const ChunkPosition&) const = default;
+  auto operator<=>(const ChunkPosition&) const = default;
+};
+
+struct ChunkId {
+  PartitionId partition = 0;
+  ChunkPosition position;
+
+  ChunkId() = default;
+  ChunkId(PartitionId p, ChunkPosition pos) : partition(p), position(pos) {}
+  ChunkId(PartitionId p, uint8_t height, uint64_t rank)
+      : partition(p), position(height, rank) {}
+
+  bool operator==(const ChunkId&) const = default;
+  auto operator<=>(const ChunkId&) const = default;
+
+  std::string ToString() const;
+
+  // Packs into 64 bits: 16-bit partition, 8-bit height, 40-bit rank.
+  uint64_t Pack() const;
+  static ChunkId Unpack(uint64_t packed);
+};
+
+// A chunk version's place in the untrusted store.
+struct Location {
+  uint32_t segment = 0;
+  uint32_t offset = 0;
+
+  bool operator==(const Location&) const = default;
+  auto operator<=>(const Location&) const = default;
+
+  uint64_t Pack() const {
+    return static_cast<uint64_t>(segment) << 32 | offset;
+  }
+  static Location Unpack(uint64_t packed) {
+    return Location{static_cast<uint32_t>(packed >> 32),
+                    static_cast<uint32_t>(packed)};
+  }
+  std::string ToString() const;
+};
+
+}  // namespace tdb
+
+template <>
+struct std::hash<tdb::ChunkId> {
+  size_t operator()(const tdb::ChunkId& id) const noexcept {
+    return std::hash<uint64_t>()(id.Pack());
+  }
+};
+
+#endif  // SRC_CHUNK_CHUNK_ID_H_

@@ -1,0 +1,1470 @@
+#include "src/chunk/chunk_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/profiler.h"
+
+namespace tdb {
+
+namespace {
+
+constexpr uint32_t kSuperblockMagic = 0x54444201;  // "TDB" v1
+
+// The reserved id of the system leader chunk, whose tree position changes as
+// the partition map grows (§4.3).
+ChunkId SystemLeaderId() {
+  return ChunkId(kSystemPartition, kLeaderHeight, 0);
+}
+
+ChunkId LeaderChunkId(PartitionId partition) {
+  return ChunkId(kSystemPartition, 0, partition);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Batch
+
+void ChunkStore::Batch::WriteChunk(ChunkId id, Bytes state) {
+  chunk_writes.push_back(ChunkWrite{id, std::move(state), false});
+}
+
+void ChunkStore::Batch::RestoreChunk(ChunkId id, Bytes state) {
+  chunk_writes.push_back(ChunkWrite{id, std::move(state), true});
+}
+
+void ChunkStore::Batch::RestorePartition(PartitionId id, CryptoParams params) {
+  PartitionOp op;
+  op.id = id;
+  op.is_restore = true;
+  op.params = std::move(params);
+  partition_writes.push_back(std::move(op));
+}
+
+void ChunkStore::Batch::DeallocateChunk(ChunkId id) {
+  chunk_deallocs.push_back(id);
+}
+
+void ChunkStore::Batch::WritePartition(PartitionId id, CryptoParams params) {
+  PartitionOp op;
+  op.id = id;
+  op.params = std::move(params);
+  partition_writes.push_back(std::move(op));
+}
+
+void ChunkStore::Batch::CopyPartition(PartitionId id, PartitionId source) {
+  PartitionOp op;
+  op.id = id;
+  op.is_copy = true;
+  op.source = source;
+  partition_writes.push_back(std::move(op));
+}
+
+void ChunkStore::Batch::DeallocatePartition(PartitionId id) {
+  partition_deallocs.push_back(id);
+}
+
+bool ChunkStore::Batch::empty() const {
+  return partition_writes.empty() && chunk_writes.empty() &&
+         chunk_deallocs.empty() && partition_deallocs.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Construction / open / create
+
+ChunkStore::ChunkStore(UntrustedStore* store, TrustedServices trusted,
+                       ChunkStoreOptions options, CryptoSuite system_suite)
+    : store_(store),
+      trusted_(trusted),
+      options_(options),
+      system_suite_(std::make_unique<CryptoSuite>(std::move(system_suite))),
+      log_(store, system_suite_.get()),
+      cache_(options.descriptor_cache_capacity) {
+  if (options_.validation.mode == ValidationMode::kDirectHash) {
+    direct_.emplace(trusted_.register_store, system_suite_->hash_alg());
+  } else {
+    counter_.emplace(trusted_.counter, options_.validation.delta_ut);
+  }
+}
+
+ChunkStore::~ChunkStore() = default;
+
+namespace {
+Result<CryptoSuite> MakeSystemSuite(const TrustedServices& trusted,
+                                    const ChunkStoreOptions& options) {
+  if (trusted.secret == nullptr) {
+    return InvalidArgumentError("a secret store is required");
+  }
+  if (options.validation.mode == ValidationMode::kDirectHash &&
+      trusted.register_store == nullptr) {
+    return InvalidArgumentError(
+        "direct-hash validation requires a tamper-resistant register");
+  }
+  if (options.validation.mode == ValidationMode::kCounter &&
+      trusted.counter == nullptr) {
+    return InvalidArgumentError(
+        "counter-based validation requires a monotonic counter");
+  }
+  TDB_ASSIGN_OR_RETURN(Bytes secret, trusted.secret->Read());
+  CryptoParams params;
+  params.cipher = options.system_cipher;
+  params.hash = options.system_hash;
+  size_t key_size = CipherKeySize(params.cipher);
+  if (secret.size() < key_size) {
+    return InvalidArgumentError("secret is too short for the system cipher");
+  }
+  params.key = Bytes(secret.begin(), secret.begin() + key_size);
+  return CryptoSuite::Create(std::move(params));
+}
+}  // namespace
+
+Result<std::unique_ptr<ChunkStore>> ChunkStore::Create(
+    UntrustedStore* store, TrustedServices trusted,
+    ChunkStoreOptions options) {
+  TDB_ASSIGN_OR_RETURN(CryptoSuite suite, MakeSystemSuite(trusted, options));
+  auto cs = std::unique_ptr<ChunkStore>(
+      new ChunkStore(store, trusted, options, std::move(suite)));
+  TDB_RETURN_IF_ERROR(cs->log_.InitFresh());
+
+  PartitionLeader system_leader;
+  system_leader.params = cs->system_suite_->params();
+  system_leader.num_positions = 1;  // rank 0 is reserved for the system
+  cs->leaders_.emplace(
+      kSystemPartition,
+      LeaderEntry(std::move(system_leader), *cs->system_suite_));
+
+  if (cs->counter_) {
+    TDB_ASSIGN_OR_RETURN(uint64_t trusted_count, trusted.counter->Read());
+    TDB_RETURN_IF_ERROR(cs->counter_->Init(trusted_count));
+  }
+
+  std::lock_guard<std::mutex> lock(cs->mu_);
+  TDB_RETURN_IF_ERROR(cs->CheckpointLocked());
+  return cs;
+}
+
+Result<std::unique_ptr<ChunkStore>> ChunkStore::Open(UntrustedStore* store,
+                                                     TrustedServices trusted,
+                                                     ChunkStoreOptions options) {
+  TDB_ASSIGN_OR_RETURN(CryptoSuite suite, MakeSystemSuite(trusted, options));
+  auto cs = std::unique_ptr<ChunkStore>(
+      new ChunkStore(store, trusted, options, std::move(suite)));
+  std::lock_guard<std::mutex> lock(cs->mu_);
+  TDB_RETURN_IF_ERROR(cs->RecoverLocked());
+  return cs;
+}
+
+// ---------------------------------------------------------------------------
+// Superblock
+
+Status ChunkStore::WriteSuperblock(Location leader_loc, uint32_t leader_size) {
+  PickleWriter w;
+  w.WriteU32(kSuperblockMagic);
+  w.WriteU64(leader_loc.Pack());
+  w.WriteU32(leader_size);
+  return store_->WriteSuperblock(w.data());
+}
+
+Result<std::pair<Location, uint32_t>> ChunkStore::ReadSuperblock() {
+  TDB_ASSIGN_OR_RETURN(Bytes raw, store_->ReadSuperblock());
+  if (raw.empty()) {
+    return NotFoundError("superblock is empty: not a TDB store");
+  }
+  PickleReader r(raw);
+  if (r.ReadU32() != kSuperblockMagic) {
+    return CorruptionError("bad superblock magic");
+  }
+  Location loc = Location::Unpack(r.ReadU64());
+  uint32_t size = r.ReadU32();
+  TDB_RETURN_IF_ERROR(r.Done());
+  return std::make_pair(loc, size);
+}
+
+// ---------------------------------------------------------------------------
+// Leaders and descriptors
+
+Result<ChunkStore::LeaderEntry*> ChunkStore::GetLeader(PartitionId id) {
+  auto it = leaders_.find(id);
+  if (it != leaders_.end()) {
+    return &it->second;
+  }
+  if (id == kSystemPartition) {
+    return FailedPreconditionError("system leader not loaded");
+  }
+  TDB_ASSIGN_OR_RETURN(Descriptor desc, GetDescriptor(LeaderChunkId(id)));
+  if (!desc.written()) {
+    return NotFoundError("partition " + std::to_string(id) + " not written");
+  }
+  TDB_ASSIGN_OR_RETURN(Bytes plain,
+                       ReadVersion(LeaderChunkId(id), desc, *system_suite_));
+  TDB_ASSIGN_OR_RETURN(PartitionLeader leader,
+                       PartitionLeader::UnpickleFromBytes(plain));
+  TDB_ASSIGN_OR_RETURN(CryptoSuite suite, CryptoSuite::Create(leader.params));
+  auto [pos, _] =
+      leaders_.emplace(id, LeaderEntry(std::move(leader), std::move(suite)));
+  return &pos->second;
+}
+
+Result<Descriptor> ChunkStore::LeaderChunkDescriptor(PartitionId id) {
+  return GetDescriptor(LeaderChunkId(id));
+}
+
+Result<Descriptor> ChunkStore::GetDescriptor(const ChunkId& id) {
+  if (std::optional<Descriptor> cached = cache_.Get(id)) {
+    return *cached;
+  }
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* entry, GetLeader(id.partition));
+  const PartitionLeader& leader = entry->leader;
+  if (leader.tree_height == 0) {
+    // No checkpointed map yet; everything written is in the cache.
+    return Descriptor{};
+  }
+  if (id.position.height == leader.tree_height) {
+    if (id.position.rank != 0) {
+      return Descriptor{};
+    }
+    Descriptor root = leader.root;
+    if (root.written()) {
+      cache_.PutClean(id, root);
+    }
+    return root;
+  }
+  if (id.position.height > leader.tree_height) {
+    return Descriptor{};
+  }
+  ChunkId parent(id.partition, id.position.Parent());
+  TDB_ASSIGN_OR_RETURN(Descriptor parent_desc, GetDescriptor(parent));
+  if (!parent_desc.written()) {
+    return Descriptor{};
+  }
+  TDB_ASSIGN_OR_RETURN(Bytes content,
+                       ReadVersion(parent, parent_desc, entry->suite));
+  TDB_ASSIGN_OR_RETURN(MapChunk map, MapChunk::Unpickle(content));
+  // Cache every written descriptor from this map chunk; PutClean never
+  // overwrites dirty entries, so buffered updates stay authoritative.
+  uint64_t base = parent.position.rank * kMapFanout;
+  uint8_t child_height = static_cast<uint8_t>(parent.position.height - 1);
+  for (uint64_t i = 0; i < kMapFanout; ++i) {
+    if (map.slots[i].written()) {
+      cache_.PutClean(ChunkId(id.partition, child_height, base + i),
+                      map.slots[i]);
+    }
+  }
+  // The dirty entry (if any) still wins over the just-read map content.
+  if (std::optional<Descriptor> cached = cache_.Get(id)) {
+    return *cached;
+  }
+  return map.slots[id.position.SlotInParent()];
+}
+
+Result<Bytes> ChunkStore::ReadVersion(const ChunkId& id,
+                                      const Descriptor& desc,
+                                      const CryptoSuite& suite) {
+  size_t header_size = HeaderCipherSize(*system_suite_);
+  TDB_ASSIGN_OR_RETURN(
+      Bytes header_ct,
+      store_->Read(desc.location.segment, desc.location.offset, header_size));
+  Result<VersionHeader> header = DecodeHeader(*system_suite_, header_ct);
+  if (!header.ok()) {
+    return TamperDetectedError("chunk header fails to decode at " +
+                               desc.location.ToString());
+  }
+  if (header->unnamed || header->id.position != id.position) {
+    return TamperDetectedError("chunk at " + desc.location.ToString() +
+                               " does not match id " + id.ToString());
+  }
+  if (header_size + header->body_size != desc.stored_size) {
+    return TamperDetectedError("chunk size mismatch for " + id.ToString());
+  }
+  TDB_ASSIGN_OR_RETURN(
+      Bytes body_ct,
+      store_->Read(desc.location.segment,
+                   desc.location.offset + static_cast<uint32_t>(header_size),
+                   header->body_size));
+  Result<Bytes> plain = [&] {
+    ProfileScope decrypt_scope("encryption");
+    return suite.Decrypt(body_ct);
+  }();
+  if (!plain.ok()) {
+    return TamperDetectedError("chunk body fails to decrypt for " +
+                               id.ToString());
+  }
+  Bytes computed_hash;
+  {
+    ProfileScope hash_scope("hashing");
+    computed_hash = suite.Hash(*plain);
+  }
+  if (!ConstantTimeEqual(computed_hash, desc.hash)) {
+    return TamperDetectedError("hash mismatch for chunk " + id.ToString());
+  }
+  return plain;
+}
+
+// ---------------------------------------------------------------------------
+// Public reads and queries
+
+Result<Bytes> ChunkStore::Read(ChunkId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProfileScope scope("chunk_store");
+  return ReadLocked(id);
+}
+
+Result<Bytes> ChunkStore::ReadLocked(ChunkId id) {
+  TDB_RETURN_IF_ERROR(CheckUsable());
+  if (id.partition == kUnnamedPartition || id.position.height != 0) {
+    return InvalidArgumentError("not a data chunk id: " + id.ToString());
+  }
+  TDB_ASSIGN_OR_RETURN(Descriptor desc, GetDescriptor(id));
+  if (!desc.written()) {
+    return NotFoundError("chunk " + id.ToString() + " is not written");
+  }
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* entry, GetLeader(id.partition));
+  return ReadVersion(id, desc, entry->suite);
+}
+
+bool ChunkStore::ChunkWritten(ChunkId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Descriptor> desc = GetDescriptor(id);
+  return desc.ok() && desc->written();
+}
+
+bool ChunkStore::PartitionExists(PartitionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == kSystemPartition) {
+    return false;
+  }
+  return GetLeader(id).ok();
+}
+
+Result<CryptoParams> ChunkStore::PartitionParams(PartitionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* entry, GetLeader(id));
+  return entry->leader.params;
+}
+
+Result<uint64_t> ChunkStore::PartitionNumPositions(PartitionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* entry, GetLeader(id));
+  return entry->leader.num_positions;
+}
+
+Result<std::vector<PartitionId>> ChunkStore::PartitionCopies(PartitionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* entry, GetLeader(id));
+  return entry->leader.copies;
+}
+
+Result<PartitionId> ChunkStore::PartitionCopiedFrom(PartitionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* entry, GetLeader(id));
+  return entry->leader.copied_from;
+}
+
+std::vector<PartitionId> ChunkStore::ListPartitions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PartitionId> out;
+  auto it = leaders_.find(kSystemPartition);
+  if (it == leaders_.end()) {
+    return out;
+  }
+  uint64_t n = it->second.leader.num_positions;
+  for (uint64_t rank = 1; rank < n; ++rank) {
+    Result<Descriptor> desc =
+        GetDescriptor(LeaderChunkId(static_cast<PartitionId>(rank)));
+    if (desc.ok() && desc->written()) {
+      out.push_back(static_cast<PartitionId>(rank));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<ChunkPosition>> ChunkStore::Diff(
+    PartitionId old_partition, PartitionId new_partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProfileScope scope("chunk_store");
+  TDB_RETURN_IF_ERROR(CheckUsable());
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* old_entry, GetLeader(old_partition));
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* new_entry, GetLeader(new_partition));
+  uint64_t max_rank = std::max(old_entry->leader.num_positions,
+                               new_entry->leader.num_positions);
+  std::vector<ChunkPosition> out;
+  for (uint64_t rank = 0; rank < max_rank; ++rank) {
+    TDB_ASSIGN_OR_RETURN(Descriptor d_old,
+                         GetDescriptor(ChunkId(old_partition, 0, rank)));
+    TDB_ASSIGN_OR_RETURN(Descriptor d_new,
+                         GetDescriptor(ChunkId(new_partition, 0, rank)));
+    bool same;
+    if (d_old.written() != d_new.written()) {
+      same = false;
+    } else if (!d_old.written()) {
+      same = true;
+    } else {
+      same = d_old.hash == d_new.hash;
+    }
+    if (!same) {
+      out.emplace_back(0, rank);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Allocation
+
+Result<PartitionId> ChunkStore::AllocatePartition() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TDB_RETURN_IF_ERROR(CheckUsable());
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* sys, GetLeader(kSystemPartition));
+  uint64_t rank;
+  if (!sys->avail_ranks.empty()) {
+    rank = sys->avail_ranks.back();
+    sys->avail_ranks.pop_back();
+  } else {
+    rank = sys->leader.num_positions++;
+  }
+  if (rank >= kUnnamedPartition) {
+    return OutOfSpaceError("partition id space exhausted");
+  }
+  sys->allocated_ranks.insert(rank);
+  return static_cast<PartitionId>(rank);
+}
+
+Result<ChunkId> ChunkStore::AllocateChunk(PartitionId partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProfileScope scope("chunk_store");
+  TDB_RETURN_IF_ERROR(CheckUsable());
+  if (partition == kSystemPartition || partition == kUnnamedPartition) {
+    return InvalidArgumentError("cannot allocate chunks in this partition");
+  }
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* entry, GetLeader(partition));
+  uint64_t rank;
+  if (!entry->avail_ranks.empty()) {
+    rank = entry->avail_ranks.back();
+    entry->avail_ranks.pop_back();
+  } else {
+    rank = entry->leader.num_positions++;
+  }
+  entry->allocated_ranks.insert(rank);
+  return ChunkId(partition, 0, rank);
+}
+
+// ---------------------------------------------------------------------------
+// Version building and the commit set
+
+ChunkStore::BuiltVersion ChunkStore::BuildVersion(const ChunkId& id,
+                                                  ByteView plain,
+                                                  const CryptoSuite& suite) {
+  BuiltVersion built;
+  {
+    ProfileScope hash_scope("hashing");
+    built.hash = suite.Hash(plain);
+  }
+  Bytes body_ct;
+  {
+    ProfileScope encrypt_scope("encryption");
+    body_ct = suite.Encrypt(plain);
+  }
+  VersionHeader header =
+      VersionHeader::Named(id, static_cast<uint32_t>(body_ct.size()));
+  {
+    ProfileScope encrypt_scope("encryption");
+    built.blob = EncodeHeader(*system_suite_, header);
+  }
+  Append(built.blob, body_ct);
+  return built;
+}
+
+Bytes ChunkStore::BuildUnnamed(UnnamedType type, ByteView plain) {
+  Bytes body_ct = system_suite_->Encrypt(plain);
+  VersionHeader header =
+      VersionHeader::Unnamed(type, static_cast<uint32_t>(body_ct.size()));
+  Bytes blob = EncodeHeader(*system_suite_, header);
+  Append(blob, body_ct);
+  return blob;
+}
+
+Result<std::vector<Location>> ChunkStore::AppendToCommitSet(
+    std::vector<LogManager::Blob> blobs) {
+  auto on_append = [this](ByteView bytes, bool is_link) {
+    ProfileScope hash_scope("hashing");
+    if (direct_) {
+      direct_->Absorb(bytes);
+    }
+    if (set_hash_ && !is_link) {
+      set_hash_->Update(bytes);
+    }
+    stats_.log_bytes_appended += bytes.size();
+  };
+  Result<std::vector<Location>> locations = log_.Append(blobs, on_append);
+  if (!locations.ok()) {
+    failed_ = true;  // the in-memory commit set is now inconsistent
+  }
+  return locations;
+}
+
+Status ChunkStore::CheckUsable() const {
+  if (failed_) {
+    return FailedPreconditionError(
+        "chunk store is poisoned by an earlier mid-commit failure; reopen to "
+        "recover");
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+
+Status ChunkStore::WriteChunk(ChunkId id, Bytes state) {
+  Batch batch;
+  batch.WriteChunk(id, std::move(state));
+  return Commit(std::move(batch));
+}
+
+Status ChunkStore::DeallocateChunk(ChunkId id) {
+  Batch batch;
+  batch.DeallocateChunk(id);
+  return Commit(std::move(batch));
+}
+
+Status ChunkStore::Commit(Batch batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProfileScope scope("chunk_store");
+  TDB_RETURN_IF_ERROR(CommitLocked(batch, /*is_cleaner_commit=*/false));
+  if (options_.auto_checkpoint &&
+      cache_.dirty_count() >= options_.checkpoint_dirty_threshold &&
+      !in_checkpoint_) {
+    TDB_RETURN_IF_ERROR(CheckpointLocked());
+  }
+  // Reclaim space when free segments run low (§4.9.5: the cleaner "may be
+  // invoked synchronously when space is low").
+  if (options_.auto_checkpoint && !in_checkpoint_ &&
+      log_.free_segment_count() <
+          options_.clean_low_water * store_->num_segments()) {
+    TDB_RETURN_IF_ERROR(CleanLocked(8).status());
+  }
+  return OkStatus();
+}
+
+Result<std::vector<PartitionId>> ChunkStore::PartitionClosure(PartitionId id) {
+  std::vector<PartitionId> closure;
+  std::vector<PartitionId> work{id};
+  while (!work.empty()) {
+    PartitionId p = work.back();
+    work.pop_back();
+    if (std::find(closure.begin(), closure.end(), p) != closure.end()) {
+      continue;
+    }
+    closure.push_back(p);
+    TDB_ASSIGN_OR_RETURN(LeaderEntry* entry, GetLeader(p));
+    for (PartitionId copy : entry->leader.copies) {
+      work.push_back(copy);
+    }
+  }
+  return closure;
+}
+
+Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
+  TDB_RETURN_IF_ERROR(CheckUsable());
+  if (batch.empty()) {
+    return OkStatus();
+  }
+
+  // ---- validation phase (no mutation, no log writes) ----
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* sys, GetLeader(kSystemPartition));
+  for (const Batch::PartitionOp& op : batch.partition_writes) {
+    if (op.is_restore) {
+      if (op.id == kSystemPartition || op.id == kUnnamedPartition) {
+        return InvalidArgumentError("cannot restore onto a reserved id");
+      }
+      Result<LeaderEntry*> existing = GetLeader(op.id);
+      if (existing.ok() &&
+          ((*existing)->leader.params.cipher != op.params.cipher ||
+           (*existing)->leader.params.hash != op.params.hash ||
+           (*existing)->leader.params.key != op.params.key)) {
+        return InvalidArgumentError(
+            "restore target partition exists with different parameters");
+      }
+      TDB_RETURN_IF_ERROR(CryptoSuite::Create(op.params).status());
+      continue;
+    }
+    if (sys->allocated_ranks.count(op.id) == 0) {
+      return NotFoundError("partition id " + std::to_string(op.id) +
+                           " is not allocated");
+    }
+    if (op.is_copy) {
+      if (op.source == kSystemPartition) {
+        return InvalidArgumentError("cannot copy the system partition");
+      }
+      TDB_RETURN_IF_ERROR(GetLeader(op.source).status());
+    } else {
+      TDB_RETURN_IF_ERROR(CryptoSuite::Create(op.params).status());
+    }
+  }
+  struct PlannedWrite {
+    ChunkId id;
+    const Bytes* plain;
+    Descriptor old_desc;
+    const CryptoSuite* suite;
+    bool is_restore;
+  };
+  // Suites for partitions that are restored and populated in one batch.
+  std::vector<std::unique_ptr<CryptoSuite>> restore_suites;
+  auto restore_op_for = [&batch](PartitionId pid) -> const Batch::PartitionOp* {
+    for (const Batch::PartitionOp& op : batch.partition_writes) {
+      if (op.id == pid && op.is_restore) {
+        return &op;
+      }
+    }
+    return nullptr;
+  };
+  std::vector<PlannedWrite> writes;
+  writes.reserve(batch.chunk_writes.size());
+  for (auto& write : batch.chunk_writes) {
+    const ChunkId& id = write.id;
+    if (id.position.height != 0 || id.partition == kSystemPartition ||
+        id.partition == kUnnamedPartition) {
+      return InvalidArgumentError("not a writable data chunk id: " +
+                                  id.ToString());
+    }
+    Result<LeaderEntry*> entry = GetLeader(id.partition);
+    const CryptoSuite* suite = nullptr;
+    Descriptor old_desc;
+    if (entry.ok()) {
+      suite = &(*entry)->suite;
+      TDB_ASSIGN_OR_RETURN(old_desc, GetDescriptor(id));
+      bool allocated = (*entry)->allocated_ranks.count(id.position.rank) > 0;
+      if (!old_desc.written() && !allocated && !write.is_restore) {
+        return NotFoundError("chunk " + id.ToString() + " is not allocated");
+      }
+    } else if (write.is_restore) {
+      const Batch::PartitionOp* op = restore_op_for(id.partition);
+      if (op == nullptr) {
+        return entry.status();
+      }
+      TDB_ASSIGN_OR_RETURN(CryptoSuite tmp, CryptoSuite::Create(op->params));
+      restore_suites.push_back(std::make_unique<CryptoSuite>(std::move(tmp)));
+      suite = restore_suites.back().get();
+    } else {
+      return entry.status();
+    }
+    writes.push_back(
+        PlannedWrite{id, &write.state, old_desc, suite, write.is_restore});
+  }
+  struct PlannedDealloc {
+    ChunkId id;
+    Descriptor old_desc;
+    LeaderEntry* entry;
+  };
+  std::vector<PlannedDealloc> deallocs;
+  for (const ChunkId& id : batch.chunk_deallocs) {
+    if (id.position.height != 0 || id.partition == kSystemPartition) {
+      return InvalidArgumentError("not a deallocatable chunk id: " +
+                                  id.ToString());
+    }
+    TDB_ASSIGN_OR_RETURN(LeaderEntry* entry, GetLeader(id.partition));
+    TDB_ASSIGN_OR_RETURN(Descriptor old_desc, GetDescriptor(id));
+    if (!old_desc.written()) {
+      return NotFoundError("chunk " + id.ToString() + " is not written");
+    }
+    deallocs.push_back(PlannedDealloc{id, old_desc, entry});
+  }
+  std::vector<PartitionId> dealloc_closure;
+  for (PartitionId pid : batch.partition_deallocs) {
+    if (pid == kSystemPartition) {
+      return InvalidArgumentError("cannot deallocate the system partition");
+    }
+    TDB_ASSIGN_OR_RETURN(std::vector<PartitionId> closure,
+                         PartitionClosure(pid));
+    for (PartitionId p : closure) {
+      if (std::find(dealloc_closure.begin(), dealloc_closure.end(), p) ==
+          dealloc_closure.end()) {
+        dealloc_closure.push_back(p);
+      }
+    }
+  }
+
+  // ---- build & append phase ----
+  if (counter_) {
+    set_hash_.emplace(system_suite_->hash_alg());
+  }
+
+  // Copies first: a copy shares the source's position map, so the source's
+  // buffered descriptors must be materialized into map chunks first (the
+  // copied leader can only reference persisted state).
+  for (const Batch::PartitionOp& op : batch.partition_writes) {
+    if (op.is_copy) {
+      TDB_RETURN_IF_ERROR(MaterializeTree(op.source));
+    }
+  }
+
+  // Partition leader versions (creations and copies, plus rewritten source
+  // leaders so the copy lists and materialized roots are durable).
+  struct PlannedLeaderWrite {
+    PartitionId id;
+    PartitionLeader leader;
+    Descriptor old_desc;
+  };
+  std::vector<PlannedLeaderWrite> leader_writes;
+  for (const Batch::PartitionOp& op : batch.partition_writes) {
+    PlannedLeaderWrite lw;
+    lw.id = op.id;
+    TDB_ASSIGN_OR_RETURN(lw.old_desc, GetDescriptor(LeaderChunkId(op.id)));
+    if (op.is_restore) {
+      Result<LeaderEntry*> existing = GetLeader(op.id);
+      if (existing.ok()) {
+        // Same parameters (validated above): rewrite the current leader so
+        // the restore commit is self-contained in the log.
+        lw.leader = (*existing)->leader;
+        lw.leader.free_ranks = (*existing)->avail_ranks;
+      } else {
+        lw.leader.params = op.params;
+      }
+      leader_writes.push_back(std::move(lw));
+      continue;
+    }
+    if (op.is_copy) {
+      TDB_ASSIGN_OR_RETURN(LeaderEntry* src, GetLeader(op.source));
+      lw.leader = src->leader;
+      lw.leader.free_ranks = src->avail_ranks;
+      lw.leader.free_ranks.insert(lw.leader.free_ranks.end(),
+                                  src->allocated_ranks.begin(),
+                                  src->allocated_ranks.end());
+      lw.leader.copies.clear();
+      lw.leader.copied_from = op.source;
+      // The source records its new copy and is rewritten below.
+      src->leader.copies.push_back(op.id);
+      PlannedLeaderWrite src_lw;
+      src_lw.id = op.source;
+      TDB_ASSIGN_OR_RETURN(src_lw.old_desc,
+                           GetDescriptor(LeaderChunkId(op.source)));
+      src_lw.leader = src->leader;
+      src_lw.leader.free_ranks = src->avail_ranks;
+      src_lw.leader.free_ranks.insert(src_lw.leader.free_ranks.end(),
+                                      src->allocated_ranks.begin(),
+                                      src->allocated_ranks.end());
+      leader_writes.push_back(std::move(src_lw));
+    } else {
+      lw.leader.params = op.params;
+    }
+    leader_writes.push_back(std::move(lw));
+  }
+
+  std::vector<LogManager::Blob> blobs;
+  std::vector<BuiltVersion> built;
+  built.reserve(leader_writes.size() + writes.size());
+  for (const PlannedLeaderWrite& lw : leader_writes) {
+    built.push_back(BuildVersion(LeaderChunkId(lw.id),
+                                 lw.leader.PickleToBytes(), *system_suite_));
+    blobs.push_back(LogManager::Blob{built.back().blob, true});
+  }
+  for (const PlannedWrite& w : writes) {
+    built.push_back(BuildVersion(w.id, *w.plain, *w.suite));
+    blobs.push_back(LogManager::Blob{built.back().blob, true});
+    stats_.bytes_committed += w.plain->size();
+  }
+  if (!deallocs.empty() || !dealloc_closure.empty()) {
+    DeallocateRecord record;
+    for (const PlannedDealloc& d : deallocs) {
+      record.chunks.push_back(d.id);
+    }
+    record.partitions = dealloc_closure;
+    blobs.push_back(LogManager::Blob{
+        BuildUnnamed(UnnamedType::kDeallocate, record.Pickle()), false});
+  }
+
+  TDB_ASSIGN_OR_RETURN(std::vector<Location> locations,
+                       AppendToCommitSet(std::move(blobs)));
+
+  // Commit chunk (counter mode): count + commit-set digest, signed.
+  if (counter_) {
+    CommitRecord record;
+    record.count = counter_->NextCount();
+    record.set_digest = set_hash_->Finish();
+    record.Sign(*system_suite_);
+    std::vector<LogManager::Blob> tail;
+    tail.push_back(LogManager::Blob{
+        BuildUnnamed(UnnamedType::kCommit, record.Pickle()), false});
+    TDB_RETURN_IF_ERROR(AppendToCommitSet(std::move(tail)).status());
+  }
+
+  // ---- apply phase (descriptors, leaders, accounting) ----
+  size_t loc_index = 0;
+  for (const PlannedLeaderWrite& lw : leader_writes) {
+    const BuiltVersion& bv = built[loc_index];
+    Descriptor desc;
+    desc.status = ChunkStatus::kWritten;
+    desc.location = locations[loc_index];
+    desc.stored_size = static_cast<uint32_t>(bv.blob.size());
+    desc.hash = bv.hash;
+    cache_.PutDirty(LeaderChunkId(lw.id), desc);
+    if (lw.old_desc.written()) {
+      log_.ReleaseLive(lw.old_desc.location, lw.old_desc.stored_size);
+    }
+    // Install / refresh the in-memory leader.
+    auto it = leaders_.find(lw.id);
+    if (it != leaders_.end()) {
+      it->second.leader = lw.leader;
+      it->second.dirty = false;
+    } else {
+      TDB_ASSIGN_OR_RETURN(CryptoSuite suite,
+                           CryptoSuite::Create(lw.leader.params));
+      leaders_.emplace(lw.id, LeaderEntry(lw.leader, std::move(suite)));
+    }
+    sys->allocated_ranks.erase(lw.id);
+    std::erase(sys->avail_ranks, static_cast<uint64_t>(lw.id));
+    if (lw.id >= sys->leader.num_positions) {
+      sys->leader.num_positions = lw.id + 1;
+    }
+    ++loc_index;
+  }
+  for (const PlannedWrite& w : writes) {
+    const BuiltVersion& bv = built[loc_index];
+    Descriptor desc;
+    desc.status = ChunkStatus::kWritten;
+    desc.location = locations[loc_index];
+    desc.stored_size = static_cast<uint32_t>(bv.blob.size());
+    desc.hash = bv.hash;
+    cache_.PutDirty(w.id, desc);
+    if (w.old_desc.written()) {
+      log_.ReleaseLive(w.old_desc.location, w.old_desc.stored_size);
+    }
+    // Leader writes were applied above, so restored partitions resolve now.
+    TDB_ASSIGN_OR_RETURN(LeaderEntry* entry, GetLeader(w.id.partition));
+    entry->allocated_ranks.erase(w.id.position.rank);
+    if (w.is_restore) {
+      std::erase(entry->avail_ranks, w.id.position.rank);
+      if (w.id.position.rank >= entry->leader.num_positions) {
+        entry->leader.num_positions = w.id.position.rank + 1;
+        entry->dirty = true;
+      }
+    }
+    ++stats_.chunks_written;
+    ++loc_index;
+  }
+  for (const PlannedDealloc& d : deallocs) {
+    Descriptor free_desc;
+    free_desc.status = ChunkStatus::kFree;
+    cache_.PutDirty(d.id, free_desc);
+    log_.ReleaseLive(d.old_desc.location, d.old_desc.stored_size);
+    d.entry->avail_ranks.push_back(d.id.position.rank);
+  }
+  for (PartitionId pid : dealloc_closure) {
+    Result<Descriptor> old_desc = GetDescriptor(LeaderChunkId(pid));
+    if (old_desc.ok() && old_desc->written()) {
+      log_.ReleaseLive(old_desc->location, old_desc->stored_size);
+    }
+    Descriptor free_desc;
+    free_desc.status = ChunkStatus::kFree;
+    cache_.PutDirty(LeaderChunkId(pid), free_desc);
+    cache_.DropPartition(pid);
+    leaders_.erase(pid);
+    sys->avail_ranks.push_back(pid);
+  }
+
+  TDB_RETURN_IF_ERROR(FinishCommitSet());
+  if (!is_cleaner_commit) {
+    ++stats_.commits;
+  }
+  return OkStatus();
+}
+
+Status ChunkStore::FinishCommitSet() {
+  set_hash_.reset();
+  if (direct_ || options_.validation.flush_every_commit) {
+    ProfileScope scope("untrusted_store_write");
+    TDB_RETURN_IF_ERROR(log_.FlushStore());
+  }
+  ProfileScope scope("tamper_resistant_store");
+  if (direct_) {
+    TDB_RETURN_IF_ERROR(direct_->WriteRegister(last_leader_loc_, log_.tail()));
+  } else {
+    TDB_RETURN_IF_ERROR(counter_->MaybeFlush(/*force=*/false));
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Materialization & checkpoint
+
+Status ChunkStore::MaterializeTree(PartitionId partition) {
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* entry, GetLeader(partition));
+  PartitionLeader& leader = entry->leader;
+
+  std::vector<std::pair<ChunkId, Descriptor>> pending =
+      cache_.DirtyEntries(partition, 0);
+  uint8_t target_height = PartitionLeader::HeightFor(leader.num_positions);
+  if (pending.empty() && leader.tree_height == target_height) {
+    return OkStatus();
+  }
+  std::vector<ChunkId> to_mark_clean;
+  to_mark_clean.reserve(pending.size());
+  for (const auto& [id, _] : pending) {
+    to_mark_clean.push_back(id);
+  }
+
+  uint8_t old_height = leader.tree_height;
+  uint8_t top = std::max<uint8_t>(target_height, old_height);
+  if (top == 0) {
+    return OkStatus();  // empty partition, nothing to persist
+  }
+
+  for (uint8_t h = 1; h <= top; ++h) {
+    // Splice the old root into its new parent when the tree grows.
+    if (old_height >= 1 && h == old_height + 1 && leader.root.written()) {
+      bool overridden = false;
+      for (const auto& [id, _] : pending) {
+        if (id.position.rank == 0) {
+          overridden = true;
+          break;
+        }
+      }
+      if (!overridden) {
+        pending.emplace_back(ChunkId(partition, old_height, 0), leader.root);
+      }
+    }
+    if (pending.empty()) {
+      break;
+    }
+    // Group pending child descriptors by parent map chunk rank.
+    std::map<uint64_t, std::vector<std::pair<ChunkId, Descriptor>>> by_parent;
+    for (auto& p : pending) {
+      by_parent[p.first.position.rank / kMapFanout].push_back(std::move(p));
+    }
+    pending.clear();
+    for (auto& [parent_rank, children] : by_parent) {
+      ChunkId map_id(partition, h, parent_rank);
+      MapChunk map;
+      if (h <= old_height) {
+        TDB_ASSIGN_OR_RETURN(Descriptor existing, GetDescriptor(map_id));
+        if (existing.written()) {
+          TDB_ASSIGN_OR_RETURN(Bytes content,
+                               ReadVersion(map_id, existing, entry->suite));
+          TDB_ASSIGN_OR_RETURN(map, MapChunk::Unpickle(content));
+          log_.ReleaseLive(existing.location, existing.stored_size);
+        }
+      }
+      for (const auto& [child_id, child_desc] : children) {
+        map.slots[child_id.position.SlotInParent()] = child_desc;
+      }
+      BuiltVersion bv = BuildVersion(map_id, map.Pickle(), entry->suite);
+      std::vector<LogManager::Blob> blob;
+      blob.push_back(LogManager::Blob{bv.blob, true});
+      TDB_ASSIGN_OR_RETURN(std::vector<Location> locs,
+                           AppendToCommitSet(std::move(blob)));
+      Descriptor desc;
+      desc.status = ChunkStatus::kWritten;
+      desc.location = locs[0];
+      desc.stored_size = static_cast<uint32_t>(bv.blob.size());
+      desc.hash = bv.hash;
+      cache_.PutDirty(map_id, desc);
+      to_mark_clean.push_back(map_id);
+      pending.emplace_back(map_id, desc);
+    }
+  }
+
+  if (pending.size() == 1) {
+    leader.root = pending[0].second;
+    leader.tree_height = top;
+    entry->dirty = true;
+  } else if (!pending.empty()) {
+    failed_ = true;
+    return CorruptionError("map materialization did not converge to a root");
+  }
+  for (const ChunkId& id : to_mark_clean) {
+    cache_.MarkClean(id);
+  }
+  return OkStatus();
+}
+
+Status ChunkStore::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProfileScope scope("chunk_store");
+  return CheckpointLocked();
+}
+
+Status ChunkStore::CheckpointLocked() {
+  TDB_RETURN_IF_ERROR(CheckUsable());
+  in_checkpoint_ = true;
+  if (counter_) {
+    set_hash_.emplace(system_suite_->hash_alg());
+  }
+
+  // 1. Materialize every user partition with buffered descriptors.
+  for (PartitionId p : cache_.DirtyPartitions(0)) {
+    if (p != kSystemPartition) {
+      TDB_RETURN_IF_ERROR(MaterializeTree(p));
+    }
+  }
+
+  // 2. Write dirty partition leaders as system data chunks.
+  TDB_ASSIGN_OR_RETURN(LeaderEntry* sys, GetLeader(kSystemPartition));
+  for (auto& [pid, entry] : leaders_) {
+    if (pid == kSystemPartition || !entry.dirty) {
+      continue;
+    }
+    PartitionLeader to_write = entry.leader;
+    to_write.free_ranks = entry.avail_ranks;
+    to_write.free_ranks.insert(to_write.free_ranks.end(),
+                               entry.allocated_ranks.begin(),
+                               entry.allocated_ranks.end());
+    TDB_ASSIGN_OR_RETURN(Descriptor old_desc,
+                         GetDescriptor(LeaderChunkId(pid)));
+    BuiltVersion bv = BuildVersion(LeaderChunkId(pid),
+                                   to_write.PickleToBytes(), *system_suite_);
+    std::vector<LogManager::Blob> blob;
+    blob.push_back(LogManager::Blob{bv.blob, true});
+    TDB_ASSIGN_OR_RETURN(std::vector<Location> locs,
+                         AppendToCommitSet(std::move(blob)));
+    Descriptor desc;
+    desc.status = ChunkStatus::kWritten;
+    desc.location = locs[0];
+    desc.stored_size = static_cast<uint32_t>(bv.blob.size());
+    desc.hash = bv.hash;
+    cache_.PutDirty(LeaderChunkId(pid), desc);
+    if (old_desc.written()) {
+      log_.ReleaseLive(old_desc.location, old_desc.stored_size);
+    }
+    entry.dirty = false;
+  }
+
+  // 3. Materialize the system tree (partition map).
+  TDB_RETURN_IF_ERROR(MaterializeTree(kSystemPartition));
+
+  // 4. Build and append the system leader (the head of the new residual log).
+  SystemLeaderRecord record;
+  record.system_tree = sys->leader;
+  record.system_tree.free_ranks = sys->avail_ranks;
+  record.system_tree.free_ranks.insert(record.system_tree.free_ranks.end(),
+                                       sys->allocated_ranks.begin(),
+                                       sys->allocated_ranks.end());
+  if (counter_) {
+    record.commit_count = counter_->NextCount();
+  }
+  // Release the previous leader version's bytes.
+  if (last_leader_size_ > 0) {
+    log_.ReleaseLive(last_leader_loc_, last_leader_size_);
+  }
+  record.segments = log_.SegmentTableSnapshot();
+
+  if (direct_) {
+    direct_->ResetStream();
+  }
+  set_hash_.reset();
+  if (counter_) {
+    set_hash_.emplace(system_suite_->hash_alg());
+  }
+  BuiltVersion leader_bv =
+      BuildVersion(SystemLeaderId(), record.Pickle(), *system_suite_);
+  std::vector<LogManager::Blob> leader_blob;
+  leader_blob.push_back(LogManager::Blob{leader_bv.blob, true});
+  TDB_ASSIGN_OR_RETURN(std::vector<Location> leader_locs,
+                       AppendToCommitSet(std::move(leader_blob)));
+  Location leader_loc = leader_locs[0];
+
+  if (counter_) {
+    // "A checkpoint is followed by a commit chunk containing the hash of the
+    // leader chunk, as if the leader were the only chunk in the commit set."
+    CommitRecord commit;
+    commit.count = record.commit_count;
+    commit.set_digest = set_hash_->Finish();
+    commit.Sign(*system_suite_);
+    std::vector<LogManager::Blob> tail;
+    tail.push_back(LogManager::Blob{
+        BuildUnnamed(UnnamedType::kCommit, commit.Pickle()), false});
+    TDB_RETURN_IF_ERROR(AppendToCommitSet(std::move(tail)).status());
+  }
+  set_hash_.reset();
+
+  // 5./6. Durability ordering differs by mode.
+  //
+  // Direct mode: flush -> register (which carries the new head) -> super-
+  // block; the register write is the commit point and recovery uses its
+  // head, so a crash anywhere leaves a consistent triple.
+  //
+  // Counter mode: flush -> superblock -> counter. The superblock write marks
+  // checkpoint completion (§4.9.2). If it were written *after* the counter
+  // advanced, a crash in between would leave recovery scanning from the old
+  // leader while the trusted counter already counts the checkpoint's commit
+  // chunk — a false tamper positive. With this order, a crash between
+  // superblock and counter leaves the log at most one commit ahead, inside
+  // the accepted window, and recovery resynchronizes the counter.
+  {
+    ProfileScope io_scope("untrusted_store_write");
+    TDB_RETURN_IF_ERROR(log_.FlushStore());
+  }
+  if (direct_) {
+    {
+      ProfileScope trs_scope("tamper_resistant_store");
+      TDB_RETURN_IF_ERROR(direct_->WriteRegister(leader_loc, log_.tail()));
+    }
+    TDB_RETURN_IF_ERROR(WriteSuperblock(
+        leader_loc, static_cast<uint32_t>(leader_bv.blob.size())));
+  } else {
+    TDB_RETURN_IF_ERROR(WriteSuperblock(
+        leader_loc, static_cast<uint32_t>(leader_bv.blob.size())));
+    ProfileScope trs_scope("tamper_resistant_store");
+    TDB_RETURN_IF_ERROR(counter_->MaybeFlush(/*force=*/true));
+  }
+
+  last_leader_loc_ = leader_loc;
+  last_leader_size_ = static_cast<uint32_t>(leader_bv.blob.size());
+  log_.OnCheckpointComplete(leader_loc);
+  ++stats_.checkpoints;
+  in_checkpoint_ = false;
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+Status ChunkStore::RecoverLocked() {
+  // Locate the head (leader) of the residual log.
+  Location head;
+  uint32_t leader_size_hint = 0;
+  std::optional<DirectHashValidator::RegisterState> reg_state;
+  if (direct_) {
+    TDB_ASSIGN_OR_RETURN(DirectHashValidator::RegisterState state,
+                         direct_->ReadRegister());
+    head = state.head;
+    reg_state = state;
+  } else {
+    TDB_ASSIGN_OR_RETURN(auto super, ReadSuperblock());
+    head = super.first;
+    leader_size_hint = super.second;
+  }
+  (void)leader_size_hint;
+
+  // Bootstrap: read and parse the leader version.
+  size_t header_size = HeaderCipherSize(*system_suite_);
+  TDB_ASSIGN_OR_RETURN(Bytes header_ct,
+                       store_->Read(head.segment, head.offset, header_size));
+  Result<VersionHeader> header = DecodeHeader(*system_suite_, header_ct);
+  if (!header.ok() || header->unnamed ||
+      header->id.position.height != kLeaderHeight) {
+    return TamperDetectedError("no leader chunk at the stored head location");
+  }
+  TDB_ASSIGN_OR_RETURN(
+      Bytes body_ct,
+      store_->Read(head.segment, head.offset + static_cast<uint32_t>(header_size),
+                   header->body_size));
+  Result<Bytes> leader_plain = system_suite_->Decrypt(body_ct);
+  if (!leader_plain.ok()) {
+    return TamperDetectedError("leader chunk fails to decrypt");
+  }
+  Result<SystemLeaderRecord> record = SystemLeaderRecord::Unpickle(*leader_plain);
+  if (!record.ok()) {
+    return TamperDetectedError("leader chunk fails to parse");
+  }
+  uint32_t leader_size =
+      static_cast<uint32_t>(header_size) + header->body_size;
+
+  leaders_.clear();
+  leaders_.emplace(kSystemPartition,
+                   LeaderEntry(record->system_tree, *system_suite_));
+  TDB_RETURN_IF_ERROR(
+      log_.LoadFromCheckpoint(record->segments, head, leader_size));
+  last_leader_loc_ = head;
+  last_leader_size_ = leader_size;
+  if (counter_) {
+    TDB_RETURN_IF_ERROR(counter_->Init(record->commit_count));
+  }
+
+  // Roll forward through the residual log.
+  LogManager::Scanner scanner = log_.MakeScanner(head);
+  StreamingHash accum(system_suite_->hash_alg());
+  std::vector<LogManager::Scanned> pending;    // current (unconfirmed) set
+  std::vector<LogManager::Scanned> confirmed;  // validated, to apply
+  Location tail = Location{head.segment, head.offset + leader_size};
+  uint64_t expected_count = record->commit_count;
+  uint64_t last_valid_count = record->commit_count;
+  bool first = true;
+  bool hit_register_tail = false;
+
+  while (true) {
+    if (direct_ && scanner.position() == reg_state->tail) {
+      hit_register_tail = true;
+      break;
+    }
+    TDB_ASSIGN_OR_RETURN(std::optional<LogManager::Scanned> item,
+                         scanner.Next());
+    if (!item.has_value()) {
+      break;
+    }
+    log_.NoteScanned(item->location.segment,
+                     item->location.offset +
+                         static_cast<uint32_t>(item->raw.size()));
+    if (first) {
+      // The leader itself: absorbed into the hash, not applied.
+      first = false;
+      accum.Update(item->raw);
+      if (direct_) {
+        direct_->Absorb(item->raw);
+        tail = scanner.position();
+      }
+      continue;
+    }
+    if (counter_) {
+      if (item->header.unnamed && item->header.type == UnnamedType::kCommit) {
+        // Verify the commit set that just ended.
+        StreamingHash digest_copy = accum;
+        Bytes expected_digest = digest_copy.Finish();
+        Result<Bytes> plain = system_suite_->Decrypt(item->body_ct);
+        if (!plain.ok()) {
+          break;
+        }
+        Result<CommitRecord> commit = CommitRecord::Unpickle(*plain);
+        if (!commit.ok() || !commit->VerifySignature(*system_suite_) ||
+            commit->count != expected_count ||
+            !ConstantTimeEqual(commit->set_digest, expected_digest)) {
+#ifdef TDB_RECOVERY_DEBUG
+          fprintf(stderr, "recovery stop: ok=%d sig=%d count=%llu exp=%llu digest_ok=%d\n",
+                  commit.ok(), commit.ok() ? commit->VerifySignature(*system_suite_) : -1,
+                  commit.ok() ? (unsigned long long)commit->count : 0,
+                  (unsigned long long)expected_count,
+                  commit.ok() ? ConstantTimeEqual(commit->set_digest, expected_digest) : -1);
+#endif
+          break;  // torn tail (or tampering caught by the counter window)
+        }
+        // The set is valid: confirm it.
+        for (LogManager::Scanned& s : pending) {
+          confirmed.push_back(std::move(s));
+        }
+        pending.clear();
+        last_valid_count = commit->count;
+        ++expected_count;
+        tail = scanner.position();
+        accum = StreamingHash(system_suite_->hash_alg());
+      } else if (item->header.unnamed &&
+                 item->header.type == UnnamedType::kNextSegment) {
+        // Link chunks carry no state and are excluded from commit-set
+        // digests (they may be inserted after a digest was computed).
+      } else {
+        accum.Update(item->raw);
+        pending.push_back(std::move(*item));
+      }
+    } else {
+      direct_->Absorb(item->raw);
+      accum.Update(item->raw);
+      confirmed.push_back(std::move(*item));
+      tail = scanner.position();
+    }
+  }
+
+  if (direct_) {
+    if (!hit_register_tail && !(reg_state->tail == tail)) {
+      return TamperDetectedError(
+          "residual log ends before the trusted tail: the log was truncated");
+    }
+    if (!ConstantTimeEqual(direct_->CurrentDigest(), reg_state->digest)) {
+      return TamperDetectedError(
+          "residual log hash does not match the tamper-resistant store");
+    }
+  } else {
+    TDB_RETURN_IF_ERROR(counter_->RecoveryCheck(
+        last_valid_count, options_.validation.delta_tu));
+  }
+
+  // Apply the confirmed history: first collect cleaner overrides, then redo
+  // every update in order.
+  std::map<uint64_t, CleanerEntry> overrides;
+  for (const LogManager::Scanned& item : confirmed) {
+    if (item.header.unnamed && item.header.type == UnnamedType::kCleaner) {
+      TDB_ASSIGN_OR_RETURN(Bytes plain, system_suite_->Decrypt(item.body_ct));
+      TDB_ASSIGN_OR_RETURN(CleanerRecord rec, CleanerRecord::Unpickle(plain));
+      for (CleanerEntry& e : rec.entries) {
+        overrides[e.new_location.Pack()] = std::move(e);
+      }
+    }
+  }
+  for (const LogManager::Scanned& item : confirmed) {
+    TDB_RETURN_IF_ERROR(ApplyRecoveredVersion(item, overrides));
+  }
+
+  log_.SetTailForRecovery(tail);
+  log_.SetResidualChain(scanner.visited_segments());
+  return OkStatus();
+}
+
+Status ChunkStore::ApplyRecoveredVersion(
+    const LogManager::Scanned& scanned,
+    std::map<uint64_t, CleanerEntry>& overrides) {
+  const VersionHeader& header = scanned.header;
+  if (header.unnamed) {
+    if (header.type == UnnamedType::kDeallocate) {
+      TDB_ASSIGN_OR_RETURN(Bytes plain,
+                           system_suite_->Decrypt(scanned.body_ct));
+      TDB_ASSIGN_OR_RETURN(DeallocateRecord rec,
+                           DeallocateRecord::Unpickle(plain));
+      for (const ChunkId& id : rec.chunks) {
+        Result<LeaderEntry*> entry = GetLeader(id.partition);
+        if (!entry.ok()) {
+          continue;  // partition deallocated later in the log
+        }
+        Result<Descriptor> old_desc = GetDescriptor(id);
+        if (old_desc.ok() && old_desc->written()) {
+          log_.ReleaseLive(old_desc->location, old_desc->stored_size);
+        }
+        Descriptor free_desc;
+        free_desc.status = ChunkStatus::kFree;
+        cache_.PutDirty(id, free_desc);
+        (*entry)->avail_ranks.push_back(id.position.rank);
+      }
+      TDB_ASSIGN_OR_RETURN(LeaderEntry* sys, GetLeader(kSystemPartition));
+      for (PartitionId pid : rec.partitions) {
+        Result<Descriptor> old_desc = GetDescriptor(LeaderChunkId(pid));
+        if (old_desc.ok() && old_desc->written()) {
+          log_.ReleaseLive(old_desc->location, old_desc->stored_size);
+        }
+        Descriptor free_desc;
+        free_desc.status = ChunkStatus::kFree;
+        cache_.PutDirty(LeaderChunkId(pid), free_desc);
+        cache_.DropPartition(pid);
+        leaders_.erase(pid);
+        sys->avail_ranks.push_back(pid);
+      }
+    }
+    // Commit, next-segment, and cleaner records carry no further state.
+    return OkStatus();
+  }
+  if (header.id.position.height == kLeaderHeight) {
+    return OkStatus();  // an abandoned checkpoint's leader: ignore
+  }
+
+  auto it = overrides.find(scanned.location.Pack());
+  if (it != overrides.end()) {
+    // A cleaner-moved version: current in the listed partitions only.
+    const CleanerEntry& entry = it->second;
+    if (entry.current_in.empty()) {
+      return OkStatus();
+    }
+    TDB_ASSIGN_OR_RETURN(LeaderEntry* first_leader,
+                         GetLeader(entry.current_in[0]));
+    Result<Bytes> plain = first_leader->suite.Decrypt(scanned.body_ct);
+    if (!plain.ok()) {
+      return TamperDetectedError("cleaner-moved chunk fails to decrypt");
+    }
+    Bytes hash = first_leader->suite.Hash(*plain);
+    bool released = false;
+    for (PartitionId pid : entry.current_in) {
+      ChunkId cid(pid, header.id.position);
+      Result<Descriptor> old_desc = GetDescriptor(cid);
+      if (!released && old_desc.ok() && old_desc->written()) {
+        log_.ReleaseLive(old_desc->location, old_desc->stored_size);
+        released = true;  // the old physical version is shared
+      }
+      Descriptor desc;
+      desc.status = ChunkStatus::kWritten;
+      desc.location = scanned.location;
+      desc.stored_size = static_cast<uint32_t>(scanned.raw.size());
+      desc.hash = hash;
+      cache_.PutDirty(cid, desc);
+    }
+    log_.AddLive(scanned.location, static_cast<uint32_t>(scanned.raw.size()));
+    return OkStatus();
+  }
+
+  // Ordinary named version: redo the descriptor update.
+  const ChunkId& id = header.id;
+  Result<LeaderEntry*> entry_result = GetLeader(id.partition);
+  if (!entry_result.ok() &&
+      !(id.partition == kSystemPartition && id.position.height == 0)) {
+    // The partition is unknown (deallocated later in the log, perhaps);
+    // leave the version to the cleaner.
+    return OkStatus();
+  }
+
+  if (id.partition == kSystemPartition && id.position.height == 0) {
+    // A partition leader version.
+    PartitionId pid = static_cast<PartitionId>(id.position.rank);
+    Result<Bytes> plain = system_suite_->Decrypt(scanned.body_ct);
+    if (!plain.ok()) {
+      return TamperDetectedError("recovered leader fails to decrypt");
+    }
+    TDB_ASSIGN_OR_RETURN(PartitionLeader leader,
+                         PartitionLeader::UnpickleFromBytes(*plain));
+    Result<Descriptor> old_desc = GetDescriptor(id);
+    if (old_desc.ok() && old_desc->written()) {
+      log_.ReleaseLive(old_desc->location, old_desc->stored_size);
+    }
+    Descriptor desc;
+    desc.status = ChunkStatus::kWritten;
+    desc.location = scanned.location;
+    desc.stored_size = static_cast<uint32_t>(scanned.raw.size());
+    desc.hash = system_suite_->Hash(*plain);
+    cache_.PutDirty(id, desc);
+    log_.AddLive(scanned.location, desc.stored_size);
+    TDB_ASSIGN_OR_RETURN(CryptoSuite suite, CryptoSuite::Create(leader.params));
+    auto lit = leaders_.find(pid);
+    if (lit != leaders_.end()) {
+      lit->second.leader = leader;
+      lit->second.avail_ranks = leader.free_ranks;
+      lit->second.allocated_ranks.clear();
+      lit->second.dirty = true;
+    } else {
+      auto [pos, _] =
+          leaders_.emplace(pid, LeaderEntry(std::move(leader), std::move(suite)));
+      pos->second.dirty = true;
+    }
+    // Partition-id bookkeeping on the system tree.
+    TDB_ASSIGN_OR_RETURN(LeaderEntry* sys, GetLeader(kSystemPartition));
+    std::erase(sys->avail_ranks, id.position.rank);
+    sys->allocated_ranks.erase(id.position.rank);
+    if (id.position.rank >= sys->leader.num_positions) {
+      sys->leader.num_positions = id.position.rank + 1;
+    }
+    return OkStatus();
+  }
+
+  LeaderEntry* entry = *entry_result;
+  Result<Bytes> plain = entry->suite.Decrypt(scanned.body_ct);
+  if (!plain.ok()) {
+    return TamperDetectedError("recovered chunk fails to decrypt: " +
+                               id.ToString());
+  }
+  Result<Descriptor> old_desc = GetDescriptor(id);
+  if (old_desc.ok() && old_desc->written()) {
+    log_.ReleaseLive(old_desc->location, old_desc->stored_size);
+  }
+  Descriptor desc;
+  desc.status = ChunkStatus::kWritten;
+  desc.location = scanned.location;
+  desc.stored_size = static_cast<uint32_t>(scanned.raw.size());
+  desc.hash = entry->suite.Hash(*plain);
+  cache_.PutDirty(id, desc);
+  log_.AddLive(scanned.location, desc.stored_size);
+  if (id.position.height == 0) {
+    std::erase(entry->avail_ranks, id.position.rank);
+    entry->allocated_ranks.erase(id.position.rank);
+    if (id.position.rank >= entry->leader.num_positions) {
+      entry->leader.num_positions = id.position.rank + 1;
+    }
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+Result<std::pair<Location, uint32_t>> ChunkStore::DebugChunkLocation(
+    ChunkId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TDB_ASSIGN_OR_RETURN(Descriptor desc, GetDescriptor(id));
+  if (!desc.written()) {
+    return NotFoundError("chunk " + id.ToString() + " is not written");
+  }
+  return std::make_pair(desc.location, desc.stored_size);
+}
+
+ChunkStore::Stats ChunkStore::GetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.cache_size = cache_.size();
+  s.dirty_descriptors = cache_.dirty_count();
+  s.free_segments = log_.free_segment_count();
+  s.live_log_bytes = log_.total_live_bytes();
+  s.used_log_bytes = log_.total_used_bytes();
+  return s;
+}
+
+}  // namespace tdb

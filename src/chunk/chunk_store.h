@@ -1,0 +1,261 @@
+// The chunk store: TDB's trusted storage layer (§4, §5).
+//
+// Provides named, variable-sized chunks grouped into partitions with
+// per-partition cryptographic parameters; atomic multi-chunk commits;
+// copy-on-write partition copies (snapshots) and diffs; tamper detection
+// rooted in a tamper-resistant register or monotonic counter; checkpointed,
+// log-structured storage with roll-forward crash recovery and cleaning.
+//
+// All operations are serialized by an internal mutex (§4.2: serializability
+// via mutual exclusion, geared to low concurrency).
+
+#ifndef SRC_CHUNK_CHUNK_STORE_H_
+#define SRC_CHUNK_CHUNK_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/chunk/chunk_map.h"
+#include "src/chunk/log_manager.h"
+#include "src/chunk/validator.h"
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/crypto/suite.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+
+// The trusted stores the chunk store is built on (§2.1). `register_store`
+// is needed for direct-hash validation, `counter` for counter-based
+// validation; `secret` always.
+struct TrustedServices {
+  SecretStore* secret = nullptr;
+  TamperResistantRegister* register_store = nullptr;
+  MonotonicCounter* counter = nullptr;
+};
+
+struct ChunkStoreOptions {
+  ValidationConfig validation;
+
+  // System-partition cipher and hash ("a fixed cipher and hash function that
+  // are considered secure", §5.2). The key comes from the secret store.
+  CipherAlg system_cipher = CipherAlg::kAes128;
+  HashAlg system_hash = HashAlg::kSha256;
+
+  // Descriptor-cache sizing. A checkpoint is forced when the number of dirty
+  // descriptors reaches checkpoint_dirty_threshold (§4.7).
+  size_t descriptor_cache_capacity = 16384;
+  size_t checkpoint_dirty_threshold = 4096;
+  bool auto_checkpoint = true;
+
+  // Clean when free segments drop below this fraction of the store.
+  double clean_low_water = 0.125;
+};
+
+class ChunkStore {
+ public:
+  // A batch of mutations applied atomically by Commit (§4.1, §5.1).
+  class Batch {
+   public:
+    // Sets the state of an allocated or written chunk.
+    void WriteChunk(ChunkId id, Bytes state);
+    // Deallocates a written chunk; its id becomes reusable.
+    void DeallocateChunk(ChunkId id);
+    // Writes an allocated partition id as a fresh, empty partition.
+    void WritePartition(PartitionId id, CryptoParams params);
+    // Writes an allocated partition id as a copy (snapshot) of `source`.
+    void CopyPartition(PartitionId id, PartitionId source);
+    // Deallocates a partition, all of its chunks, and all of its copies.
+    void DeallocatePartition(PartitionId id);
+
+    // --- privileged restore operations (backup store, §6.3) ---
+    // Writes a chunk at an exact position, allocating the rank if needed, so
+    // restored chunks keep the ids they had when backed up.
+    void RestoreChunk(ChunkId id, Bytes state);
+    // Writes (or overwrites) a partition at an exact id with the given
+    // parameters, preserving existing chunks if the partition exists.
+    void RestorePartition(PartitionId id, CryptoParams params);
+
+    bool empty() const;
+
+   private:
+    friend class ChunkStore;
+    struct PartitionOp {
+      PartitionId id;
+      bool is_copy = false;
+      bool is_restore = false;
+      PartitionId source = 0;   // iff is_copy
+      CryptoParams params;      // iff !is_copy
+    };
+    struct ChunkWrite {
+      ChunkId id;
+      Bytes state;
+      bool is_restore = false;
+    };
+    std::vector<PartitionOp> partition_writes;
+    std::vector<ChunkWrite> chunk_writes;
+    std::vector<ChunkId> chunk_deallocs;
+    std::vector<PartitionId> partition_deallocs;
+  };
+
+  // Formats a fresh store (writes the initial checkpoint) / opens an
+  // existing one (runs crash recovery and validates the residual log).
+  static Result<std::unique_ptr<ChunkStore>> Create(UntrustedStore* store,
+                                                    TrustedServices trusted,
+                                                    ChunkStoreOptions options);
+  static Result<std::unique_ptr<ChunkStore>> Open(UntrustedStore* store,
+                                                  TrustedServices trusted,
+                                                  ChunkStoreOptions options);
+
+  // --- partition operations (§5.1) ---
+  Result<PartitionId> AllocatePartition();
+  bool PartitionExists(PartitionId id);
+  Result<CryptoParams> PartitionParams(PartitionId id);
+  Result<uint64_t> PartitionNumPositions(PartitionId id);
+  Result<std::vector<PartitionId>> PartitionCopies(PartitionId id);
+  Result<PartitionId> PartitionCopiedFrom(PartitionId id);
+  std::vector<PartitionId> ListPartitions();
+
+  // Positions whose state differs between two partitions (§5.1 Diff;
+  // commonly two snapshots of the same partition).
+  Result<std::vector<ChunkPosition>> Diff(PartitionId old_partition,
+                                          PartitionId new_partition);
+
+  // --- chunk operations (§4.1) ---
+  Result<ChunkId> AllocateChunk(PartitionId partition);
+  Result<Bytes> Read(ChunkId id);
+  // True if the chunk is written (readable).
+  bool ChunkWritten(ChunkId id);
+
+  // Applies all operations in `batch` atomically with respect to crashes.
+  Status Commit(Batch batch);
+
+  // Convenience single-op commits.
+  Status WriteChunk(ChunkId id, Bytes state);
+  Status DeallocateChunk(ChunkId id);
+
+  // Consolidates buffered descriptor updates into the chunk map (§4.7).
+  Status Checkpoint();
+
+  // Cleans up to `max_segments` low-utilization segments (§4.9.5).
+  // Returns the number of segments cleaned.
+  Result<size_t> Clean(size_t max_segments);
+
+  struct Stats {
+    uint64_t commits = 0;
+    uint64_t checkpoints = 0;
+    uint64_t segments_cleaned = 0;
+    uint64_t chunks_written = 0;
+    uint64_t bytes_committed = 0;       // plaintext bytes
+    uint64_t log_bytes_appended = 0;    // on-log bytes incl. overhead
+    uint64_t cache_size = 0;
+    uint64_t dirty_descriptors = 0;
+    uint64_t free_segments = 0;
+    uint64_t live_log_bytes = 0;
+    uint64_t used_log_bytes = 0;
+  };
+  Stats GetStats();
+
+  // Introspection for tests and tooling: where a chunk's current version
+  // lives in the untrusted store and how many bytes it occupies.
+  Result<std::pair<Location, uint32_t>> DebugChunkLocation(ChunkId id);
+
+  const CryptoSuite& system_suite() const { return *system_suite_; }
+
+  ~ChunkStore();
+
+ private:
+  struct LeaderEntry {
+    PartitionLeader leader;
+    CryptoSuite suite;
+    bool dirty = false;
+    // In-memory id management: ranks available for reuse and ranks handed
+    // out by Allocate but not yet written (auto-freed on restart, §4.4).
+    std::vector<uint64_t> avail_ranks;
+    std::set<uint64_t> allocated_ranks;
+
+    LeaderEntry(PartitionLeader l, CryptoSuite s)
+        : leader(std::move(l)), suite(std::move(s)) {
+      avail_ranks = leader.free_ranks;
+    }
+  };
+
+  ChunkStore(UntrustedStore* store, TrustedServices trusted,
+             ChunkStoreOptions options, CryptoSuite system_suite);
+
+  // --- shared plumbing ---
+  Result<LeaderEntry*> GetLeader(PartitionId id);
+  Result<Descriptor> GetDescriptor(const ChunkId& id);
+  Result<Bytes> ReadVersion(const ChunkId& id, const Descriptor& desc,
+                            const CryptoSuite& suite);
+  Result<Bytes> ReadLocked(ChunkId id);
+  Result<Descriptor> LeaderChunkDescriptor(PartitionId id);
+
+  // Builds a version blob (header ct || body ct) and its new descriptor.
+  struct BuiltVersion {
+    Bytes blob;
+    Bytes hash;
+  };
+  BuiltVersion BuildVersion(const ChunkId& id, ByteView plain,
+                            const CryptoSuite& suite);
+  Bytes BuildUnnamed(UnnamedType type, ByteView plain);
+
+  // Appends blobs as part of the current commit set, absorbing bytes into
+  // the validators' streams.
+  Result<std::vector<Location>> AppendToCommitSet(
+      std::vector<LogManager::Blob> blobs);
+
+  // Writes all dirty map chunks of a partition bottom-up and updates its
+  // leader's root descriptor (used by checkpoints and partition copies).
+  Status MaterializeTree(PartitionId partition);
+
+  Status CommitLocked(Batch& batch, bool is_cleaner_commit);
+  Status CheckpointLocked();
+  Status FinishCommitSet();           // flush + trusted-store update
+  Status WriteSuperblock(Location leader_loc, uint32_t leader_size);
+  Result<std::pair<Location, uint32_t>> ReadSuperblock();
+
+  // Gathers a partition and all its transitive copies.
+  Result<std::vector<PartitionId>> PartitionClosure(PartitionId id);
+
+  Status RecoverLocked();
+  Status ApplyRecoveredVersion(const LogManager::Scanned& scanned,
+                               std::map<uint64_t, CleanerEntry>& overrides);
+
+  Result<size_t> CleanLocked(size_t max_segments);
+  Status CleanSegment(uint32_t segment);
+
+  Status CheckUsable() const;
+
+  std::mutex mu_;
+  UntrustedStore* store_;
+  TrustedServices trusted_;
+  ChunkStoreOptions options_;
+  std::unique_ptr<CryptoSuite> system_suite_;
+  LogManager log_;
+  DescriptorCache cache_;
+  std::map<PartitionId, LeaderEntry> leaders_;
+
+  std::optional<DirectHashValidator> direct_;
+  std::optional<CounterValidator> counter_;
+
+  // Commit-set digest accumulator (counter mode) — reset per commit.
+  std::optional<StreamingHash> set_hash_;
+
+  Location last_leader_loc_;
+  uint32_t last_leader_size_ = 0;
+
+  bool failed_ = false;  // poisoned by a mid-commit I/O failure
+  bool in_checkpoint_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_CHUNK_CHUNK_STORE_H_

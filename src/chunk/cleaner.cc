@@ -1,0 +1,168 @@
+// Log cleaning (§4.9.5, §5.5): reclaims the storage of obsolete chunk
+// versions by scanning low-utilization segments of the checkpointed log,
+// revalidating and rewriting the versions that are still current in some
+// partition, and appending a cleaner chunk naming those partitions so
+// recovery can redo the moves.
+//
+// Cleaned segments are quarantined (kCleaned) until the next checkpoint: the
+// pre-checkpoint recovery state may still reference their old bytes, so they
+// must not be overwritten before a new checkpoint supersedes that state.
+
+#include "src/chunk/chunk_store.h"
+#include "src/common/profiler.h"
+
+namespace tdb {
+
+Result<size_t> ChunkStore::Clean(size_t max_segments) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProfileScope scope("chunk_store");
+  return CleanLocked(max_segments);
+}
+
+Result<size_t> ChunkStore::CleanLocked(size_t max_segments) {
+  TDB_RETURN_IF_ERROR(CheckUsable());
+  std::vector<uint32_t> candidates = log_.CleanableSegments();
+  size_t cleaned = 0;
+  for (uint32_t segment : candidates) {
+    if (cleaned >= max_segments) {
+      break;
+    }
+    if (log_.free_segment_count() == 0) {
+      break;  // no room to rewrite live data
+    }
+    TDB_RETURN_IF_ERROR(CleanSegment(segment));
+    ++cleaned;
+    ++stats_.segments_cleaned;
+  }
+  if (cleaned > 0) {
+    // Checkpointing supersedes all references into the cleaned segments and
+    // releases them for reuse.
+    TDB_RETURN_IF_ERROR(CheckpointLocked());
+  }
+  return cleaned;
+}
+
+Status ChunkStore::CleanSegment(uint32_t segment) {
+  const uint32_t bytes_used = log_.segments()[segment].bytes_used;
+
+  struct LiveVersion {
+    ChunkId original_id;
+    Bytes plain;
+    std::vector<PartitionId> current_in;
+    std::vector<Descriptor> old_descs;  // parallel to current_in
+  };
+  std::vector<LiveVersion> live;
+
+  LogManager::Scanner scanner = log_.MakeScanner(Location{segment, 0});
+  while (scanner.position().segment == segment &&
+         scanner.position().offset < bytes_used) {
+    TDB_ASSIGN_OR_RETURN(std::optional<LogManager::Scanned> item,
+                         scanner.Next());
+    if (!item.has_value()) {
+      break;
+    }
+    const VersionHeader& header = item->header;
+    if (header.unnamed || header.id.position.height == kLeaderHeight) {
+      // Unnamed chunks are always obsolete in the checkpointed log (§4.9.5);
+      // a stale system leader is obsolete by definition.
+      continue;
+    }
+    // Check current-ness in the owning partition and all transitive copies
+    // (a partition cannot be deallocated while its copies survive, so the
+    // closure covers every possible owner).
+    Result<std::vector<PartitionId>> closure =
+        PartitionClosure(header.id.partition);
+    if (!closure.ok()) {
+      continue;  // owning partition deallocated: version is dead
+    }
+    LiveVersion lv;
+    lv.original_id = header.id;
+    for (PartitionId q : *closure) {
+      ChunkId qid(q, header.id.position);
+      Result<Descriptor> desc = GetDescriptor(qid);
+      if (desc.ok() && desc->written() && desc->location == item->location) {
+        lv.current_in.push_back(q);
+        lv.old_descs.push_back(*desc);
+      }
+    }
+    if (lv.current_in.empty()) {
+      continue;
+    }
+    // Revalidate before rewriting so the cleaner cannot launder tampered
+    // chunks (§4.9.5: hashes are recomputed by the rewrite commit).
+    TDB_ASSIGN_OR_RETURN(LeaderEntry* owner, GetLeader(lv.current_in[0]));
+    Result<Bytes> plain = owner->suite.Decrypt(item->body_ct);
+    if (!plain.ok() ||
+        !ConstantTimeEqual(owner->suite.Hash(*plain), lv.old_descs[0].hash)) {
+      return TamperDetectedError("cleaner found a tampered chunk at " +
+                                 item->location.ToString());
+    }
+    lv.plain = std::move(*plain);
+    live.push_back(std::move(lv));
+  }
+
+  // Rewrite the live versions as one commit, cleaner record last.
+  if (counter_) {
+    set_hash_.emplace(system_suite_->hash_alg());
+  }
+  std::vector<LogManager::Blob> blobs;
+  std::vector<BuiltVersion> built;
+  built.reserve(live.size());
+  for (const LiveVersion& lv : live) {
+    TDB_ASSIGN_OR_RETURN(LeaderEntry* owner, GetLeader(lv.current_in[0]));
+    built.push_back(BuildVersion(lv.original_id, lv.plain, owner->suite));
+    blobs.push_back(LogManager::Blob{built.back().blob, true});
+  }
+  TDB_ASSIGN_OR_RETURN(std::vector<Location> locations,
+                       AppendToCommitSet(std::move(blobs)));
+
+  CleanerRecord record;
+  for (size_t i = 0; i < live.size(); ++i) {
+    CleanerEntry entry;
+    entry.original_id = live[i].original_id;
+    entry.current_in = live[i].current_in;
+    entry.new_location = locations[i];
+    entry.stored_size = static_cast<uint32_t>(built[i].blob.size());
+    record.entries.push_back(std::move(entry));
+  }
+  if (!record.entries.empty() || counter_) {
+    std::vector<LogManager::Blob> tail;
+    if (!record.entries.empty()) {
+      tail.push_back(LogManager::Blob{
+          BuildUnnamed(UnnamedType::kCleaner, record.Pickle()), false});
+    }
+    if (counter_) {
+      CommitRecord commit;
+      commit.count = counter_->NextCount();
+      // The cleaner blob must be appended before the digest is taken, so
+      // split the appends.
+      if (!tail.empty()) {
+        TDB_RETURN_IF_ERROR(AppendToCommitSet(std::move(tail)).status());
+        tail.clear();
+      }
+      commit.set_digest = set_hash_->Finish();
+      commit.Sign(*system_suite_);
+      tail.push_back(LogManager::Blob{
+          BuildUnnamed(UnnamedType::kCommit, commit.Pickle()), false});
+    }
+    TDB_RETURN_IF_ERROR(AppendToCommitSet(std::move(tail)).status());
+  }
+
+  // Update descriptors for every partition in which a version is current.
+  for (size_t i = 0; i < live.size(); ++i) {
+    Descriptor desc;
+    desc.status = ChunkStatus::kWritten;
+    desc.location = locations[i];
+    desc.stored_size = static_cast<uint32_t>(built[i].blob.size());
+    desc.hash = built[i].hash;
+    for (PartitionId q : live[i].current_in) {
+      cache_.PutDirty(ChunkId(q, live[i].original_id.position), desc);
+    }
+  }
+
+  TDB_RETURN_IF_ERROR(FinishCommitSet());
+  log_.MarkCleaned(segment);
+  return OkStatus();
+}
+
+}  // namespace tdb

@@ -1,0 +1,88 @@
+// Chunk descriptors, map chunks, and partition leaders (§4.3, §5.2).
+//
+// A descriptor records a chunk's status, the location and stored size of its
+// current version, and the expected hash of its plaintext state. Map chunks
+// are fixed-fanout vectors of descriptors. A partition leader carries the
+// partition's cryptographic parameters, the root descriptor and shape of its
+// position map, the free list, and the ids of its direct copies.
+
+#ifndef SRC_CHUNK_DESCRIPTOR_H_
+#define SRC_CHUNK_DESCRIPTOR_H_
+
+#include <vector>
+
+#include "src/chunk/chunk_id.h"
+#include "src/common/bytes.h"
+#include "src/common/pickle.h"
+#include "src/common/status.h"
+#include "src/crypto/suite.h"
+
+namespace tdb {
+
+enum class ChunkStatus : uint8_t {
+  kUnallocated = 0,
+  kWritten = 1,
+  kFree = 2,  // deallocated, id awaiting reuse
+};
+
+struct Descriptor {
+  ChunkStatus status = ChunkStatus::kUnallocated;
+  Location location;         // valid iff status == kWritten
+  uint32_t stored_size = 0;  // total bytes of the version in the log
+  Bytes hash;                // partition hash of the plaintext chunk state
+
+  bool written() const { return status == ChunkStatus::kWritten; }
+
+  void Pickle(PickleWriter& w) const;
+  static Result<Descriptor> Unpickle(PickleReader& r);
+
+  bool operator==(const Descriptor&) const = default;
+};
+
+// The state of a map chunk: kMapFanout descriptor slots.
+struct MapChunk {
+  std::vector<Descriptor> slots;  // always kMapFanout entries
+
+  MapChunk() : slots(kMapFanout) {}
+
+  Bytes Pickle() const;
+  static Result<MapChunk> Unpickle(ByteView data);
+};
+
+// Partition leader state (§5.2). For the system partition this same struct
+// describes the partition map; its extra log-level fields live in
+// SystemLeader (log_manager.h).
+struct PartitionLeader {
+  CryptoParams params;
+
+  // Position-map shape. tree_height == 0 means the partition has no chunks
+  // yet (no root map chunk exists).
+  uint8_t tree_height = 0;
+  Descriptor root;          // descriptor of the root map chunk
+  uint64_t num_positions = 0;  // data ranks ever allocated (tree width)
+
+  // Ids of deallocated data chunks available for reuse. The paper embeds
+  // this list in the descriptors; we store it in the leader, which is
+  // equivalent for recovery purposes and simpler (documented in DESIGN.md).
+  std::vector<uint64_t> free_ranks;
+
+  // Direct copies of this partition (§5.5), for cleaner current-ness checks.
+  std::vector<PartitionId> copies;
+
+  // The partition this one was copied from (0 = none); used by Diff and by
+  // backups to identify snapshot lineage.
+  PartitionId copied_from = 0;
+
+  void Pickle(PickleWriter& w) const;
+  static Result<PartitionLeader> Unpickle(PickleReader& r);
+
+  Bytes PickleToBytes() const;
+  static Result<PartitionLeader> UnpickleFromBytes(ByteView data);
+
+  // Number of map-tree levels needed to cover `num_positions` data ranks.
+  static uint8_t HeightFor(uint64_t num_positions);
+};
+
+}  // namespace tdb
+
+#endif  // SRC_CHUNK_DESCRIPTOR_H_

@@ -1,0 +1,83 @@
+#include "src/chunk/validator.h"
+
+#include "src/common/pickle.h"
+
+namespace tdb {
+
+Bytes DirectHashValidator::CurrentDigest() const {
+  StreamingHash copy = stream_;
+  return copy.Finish();
+}
+
+Status DirectHashValidator::WriteRegister(Location head, Location tail) {
+  PickleWriter w;
+  w.WriteBytes(CurrentDigest());
+  w.WriteU64(head.Pack());
+  w.WriteU64(tail.Pack());
+  return reg_->Write(w.data());
+}
+
+Result<DirectHashValidator::RegisterState> DirectHashValidator::ReadRegister()
+    const {
+  TDB_ASSIGN_OR_RETURN(Bytes raw, reg_->Read());
+  if (raw.empty()) {
+    return NotFoundError("tamper-resistant register is empty");
+  }
+  PickleReader r(raw);
+  RegisterState state;
+  state.digest = r.ReadBytes();
+  state.head = Location::Unpack(r.ReadU64());
+  state.tail = Location::Unpack(r.ReadU64());
+  TDB_RETURN_IF_ERROR(r.Done());
+  return state;
+}
+
+Status CounterValidator::Init(uint64_t count) {
+  count_ = count;
+  TDB_ASSIGN_OR_RETURN(uint64_t trusted, counter_->Read());
+  last_flushed_ = trusted;
+  return OkStatus();
+}
+
+Status CounterValidator::MaybeFlush(bool force) {
+  if (count_ <= last_flushed_) {
+    return OkStatus();
+  }
+  if (!force && count_ - last_flushed_ < std::max<uint32_t>(delta_ut_, 1)) {
+    return OkStatus();
+  }
+  TDB_RETURN_IF_ERROR(counter_->AdvanceTo(count_));
+  last_flushed_ = count_;
+  return OkStatus();
+}
+
+Status CounterValidator::RecoveryCheck(uint64_t log_count, uint32_t delta_tu) {
+  TDB_ASSIGN_OR_RETURN(uint64_t trusted, counter_->Read());
+  // The log may be ahead of the counter by at most delta_ut (unflushed
+  // counter updates) and behind it by at most delta_tu (unflushed log).
+  if (log_count + delta_tu < trusted) {
+    return TamperDetectedError(
+        "commit count in log is behind the trusted counter: commit sets were "
+        "deleted or an old copy of the store was replayed");
+  }
+  // The log may legitimately be ahead by up to max(delta_ut, 1): the counter
+  // write happens after the commit set is durable, so a crash in that window
+  // leaves one (or, with lag, delta_ut) signed-but-uncounted commits. Being
+  // ahead requires valid signed commit chunks, which an attacker cannot
+  // forge, so accepting this window does not weaken replay protection.
+  if (log_count > trusted + std::max<uint32_t>(delta_ut_, 1)) {
+    return TamperDetectedError(
+        "commit count in log is ahead of the trusted counter beyond the "
+        "allowed window");
+  }
+  count_ = log_count;
+  if (log_count > trusted) {
+    TDB_RETURN_IF_ERROR(counter_->AdvanceTo(log_count));
+    last_flushed_ = log_count;
+  } else {
+    last_flushed_ = trusted;
+  }
+  return OkStatus();
+}
+
+}  // namespace tdb

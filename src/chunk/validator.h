@@ -1,0 +1,104 @@
+// The two ways TDB keeps the tamper-resistant store current with the
+// residual log (§4.8.2).
+//
+// Direct hash validation (§4.8.2.1): the tamper-resistant register holds a
+// sequential hash of the residual log together with the head (leader) and
+// tail locations; it is rewritten after every commit, once the untrusted
+// store is durable. The register write is the real commit point.
+//
+// Counter-based validation (§4.8.2.2): every commit appends a signed commit
+// chunk carrying a commit count and a hash of the commit set; the
+// tamper-resistant store is only a monotonic counter, and may lag the log by
+// up to delta_ut commits (trading security for fewer counter writes) or lead
+// it by up to delta_tu commits (tolerating lazily flushed untrusted stores).
+
+#ifndef SRC_CHUNK_VALIDATOR_H_
+#define SRC_CHUNK_VALIDATOR_H_
+
+#include "src/chunk/chunk_id.h"
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/crypto/suite.h"
+#include "src/platform/trusted_store.h"
+
+namespace tdb {
+
+enum class ValidationMode : uint8_t {
+  kDirectHash = 0,
+  kCounter = 1,
+};
+
+struct ValidationConfig {
+  ValidationMode mode = ValidationMode::kCounter;
+  // Counter mode: flush the counter once per delta_ut commits (0 = every
+  // commit). An attacker can delete up to delta_ut unflushed commit sets.
+  uint32_t delta_ut = 0;
+  // Counter mode: accept logs up to delta_tu commits *behind* the counter,
+  // for untrusted stores that are flushed lazily.
+  uint32_t delta_tu = 0;
+  // Flush the untrusted store on every commit (§9.1 flushes every commit;
+  // set false to model a lazy device together with delta_tu > 0).
+  bool flush_every_commit = true;
+};
+
+class DirectHashValidator {
+ public:
+  DirectHashValidator(TamperResistantRegister* reg, HashAlg alg)
+      : reg_(reg), alg_(alg), stream_(alg) {}
+
+  // Absorbs bytes appended to the residual log, in log order.
+  void Absorb(ByteView bytes) { stream_.Update(bytes); }
+
+  // Starts a new residual log (at a checkpoint, before absorbing the new
+  // leader's bytes).
+  void ResetStream() { stream_ = StreamingHash(alg_); }
+
+  // The digest of everything absorbed so far (does not disturb the stream).
+  Bytes CurrentDigest() const;
+
+  struct RegisterState {
+    Bytes digest;
+    Location head;  // leader location
+    Location tail;  // position after the last committed byte
+  };
+
+  // Commit point: durably records digest/head/tail in the register.
+  Status WriteRegister(Location head, Location tail);
+  Result<RegisterState> ReadRegister() const;
+
+ private:
+  TamperResistantRegister* reg_;
+  HashAlg alg_;
+  StreamingHash stream_;
+};
+
+class CounterValidator {
+ public:
+  CounterValidator(MonotonicCounter* counter, uint32_t delta_ut)
+      : counter_(counter), delta_ut_(delta_ut) {}
+
+  // Initializes in-memory count and the flush watermark (at open/create).
+  Status Init(uint64_t count);
+
+  uint64_t count() const { return count_; }
+  uint64_t NextCount() { return ++count_; }
+
+  // Advances the trusted counter if the lag reached delta_ut (or if forced).
+  Status MaybeFlush(bool force);
+
+  Result<uint64_t> ReadTrusted() const { return counter_->Read(); }
+
+  // Recovery: checks the last commit count found in the log against the
+  // trusted counter, honouring the delta windows, and resynchronizes.
+  Status RecoveryCheck(uint64_t log_count, uint32_t delta_tu);
+
+ private:
+  MonotonicCounter* counter_;
+  uint32_t delta_ut_;
+  uint64_t count_ = 0;
+  uint64_t last_flushed_ = 0;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_CHUNK_VALIDATOR_H_

@@ -1,0 +1,99 @@
+// The collection store (§8): collections of objects sharing one or more
+// functional indexes. Indexes are maintained automatically as objects are
+// inserted, updated, and removed, and can be added or dropped dynamically.
+// Collections and indexes are themselves objects in the underlying object
+// store, so they inherit transactions and trusted storage for free.
+
+#ifndef SRC_COLLECT_COLLECTION_STORE_H_
+#define SRC_COLLECT_COLLECTION_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/collect/index.h"
+#include "src/object/object_store.h"
+
+namespace tdb {
+
+struct IndexSpec {
+  std::string name;
+  std::string key_fn;  // registered in the KeyFunctionRegistry
+  bool sorted = false;
+  // Store index contents in an object-backed B-tree (object_btree.h) instead
+  // of a single inline object — use for large collections, where fetching
+  // the whole index per lookup would defeat the cache. Scalable indexes are
+  // always sorted.
+  bool scalable = false;
+};
+
+class CollectionStore {
+ public:
+  // Registers the collection store's own object types. Call once on the
+  // TypeRegistry shared with the object store.
+  static Status RegisterTypes(TypeRegistry& registry);
+
+  // Creates the root directory object (call once on a fresh database, inside
+  // a transaction); keep the returned id, it is the handle to everything.
+  static Result<ObjectId> Format(Transaction& txn);
+
+  CollectionStore(ObjectStore* objects, const KeyFunctionRegistry* key_fns,
+                  ObjectId directory_id)
+      : objects_(objects), key_fns_(key_fns), directory_id_(directory_id) {}
+
+  // --- collection management ---
+  Result<ObjectId> CreateCollection(Transaction& txn, const std::string& name,
+                                    const std::vector<IndexSpec>& indexes = {});
+  Result<ObjectId> FindCollection(Transaction& txn, const std::string& name);
+  Status DropCollection(Transaction& txn, const std::string& name);
+  Result<std::vector<std::string>> ListCollections(Transaction& txn);
+
+  // --- dynamic index management ---
+  Status AddIndex(Transaction& txn, ObjectId collection, const IndexSpec& spec);
+  Status DropIndex(Transaction& txn, ObjectId collection,
+                   const std::string& index_name);
+
+  // --- member operations (indexes maintained automatically) ---
+  Result<ObjectId> Insert(Transaction& txn, ObjectId collection,
+                          ObjectPtr object);
+  Status Update(Transaction& txn, ObjectId collection, ObjectId object_id,
+                ObjectPtr object);
+  Status Remove(Transaction& txn, ObjectId collection, ObjectId object_id);
+
+  // --- iterators (§2.2: scan, exact-match, and range) ---
+  Result<std::vector<ObjectId>> Scan(Transaction& txn, ObjectId collection);
+  Result<std::vector<ObjectId>> LookupExact(Transaction& txn,
+                                            ObjectId collection,
+                                            const std::string& index_name,
+                                            const Bytes& key);
+  // Inclusive range over a sorted index.
+  Result<std::vector<ObjectId>> LookupRange(Transaction& txn,
+                                            ObjectId collection,
+                                            const std::string& index_name,
+                                            const Bytes& lo, const Bytes& hi);
+
+  ObjectId directory_id() const { return directory_id_; }
+
+ private:
+  Result<std::shared_ptr<const CollectionObject>> GetCollection(
+      Transaction& txn, ObjectId id, bool for_update);
+  Result<std::pair<ObjectId, std::shared_ptr<const IndexObject>>> GetIndex(
+      Transaction& txn, const CollectionObject& collection,
+      const std::string& index_name, bool for_update);
+  Result<Bytes> KeyFor(const std::string& key_fn, const Pickled& object);
+
+  // Representation-agnostic index entry maintenance (inline or B-tree).
+  Status IndexAddEntry(Transaction& txn, ObjectId index_id,
+                       const IndexObject& index, const Bytes& key,
+                       uint64_t packed_object_id);
+  Status IndexRemoveEntry(Transaction& txn, ObjectId index_id,
+                          const IndexObject& index, const Bytes& key,
+                          uint64_t packed_object_id);
+
+  ObjectStore* objects_;
+  const KeyFunctionRegistry* key_fns_;
+  ObjectId directory_id_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_COLLECT_COLLECTION_STORE_H_

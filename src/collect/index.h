@@ -1,0 +1,98 @@
+// Functional indexes (§8, [Hwa94]): keys are extracted from objects by
+// deterministic, registered functions, so no separate data definition
+// language is needed. Indexes may be unsorted (exact-match only) or sorted
+// (exact-match and range), which is possible because indexed objects are
+// decrypted inside the trust boundary.
+//
+// Keys are byte strings compared lexicographically; the Encode* helpers
+// produce order-preserving encodings for common field types.
+
+#ifndef SRC_COLLECT_INDEX_H_
+#define SRC_COLLECT_INDEX_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/object/pickler.h"
+
+namespace tdb {
+
+// Order-preserving key encodings.
+Bytes EncodeU64Key(uint64_t value);
+Bytes EncodeI64Key(int64_t value);
+Bytes EncodeStringKey(std::string_view value);
+
+class KeyFunctionRegistry {
+ public:
+  using KeyFn = std::function<Result<Bytes>(const Pickled&)>;
+
+  Status Register(const std::string& name, KeyFn fn);
+  Result<const KeyFn*> Get(const std::string& name) const;
+
+ private:
+  std::map<std::string, KeyFn> functions_;
+};
+
+// Reserved type tags for collection-store objects.
+inline constexpr uint32_t kCollectionTypeTag = 0xF0000001;
+inline constexpr uint32_t kIndexTypeTag = 0xF0000002;
+inline constexpr uint32_t kDirectoryTypeTag = 0xF0000003;
+
+// An index over one collection, stored as an object.
+class IndexObject final : public Pickled {
+ public:
+  static constexpr uint32_t kTypeTag = kIndexTypeTag;
+
+  std::string index_name;
+  std::string key_fn;
+  bool sorted = false;
+  // Inline representation: (key, packed object id), kept sorted by
+  // (key, id). Used when btree_root == 0.
+  std::vector<std::pair<Bytes, uint64_t>> entries;
+  // Scalable representation: the packed object id of an ObjectBTree root
+  // (object_btree.h). When non-zero, `entries` is unused and index contents
+  // live in B-tree node objects, so large indexes are fetched piecemeal.
+  uint64_t btree_root = 0;
+
+  uint32_t type_tag() const override { return kIndexTypeTag; }
+  void PickleFields(PickleWriter& w) const override;
+  static Result<ObjectPtr> UnpickleFields(PickleReader& r);
+
+  void Add(const Bytes& key, uint64_t packed_id);
+  void Remove(const Bytes& key, uint64_t packed_id);
+  std::vector<uint64_t> Exact(const Bytes& key) const;
+  // Inclusive range; requires sorted (callers enforce).
+  std::vector<uint64_t> Range(const Bytes& lo, const Bytes& hi) const;
+};
+
+// A collection: member objects plus attached indexes.
+class CollectionObject final : public Pickled {
+ public:
+  static constexpr uint32_t kTypeTag = kCollectionTypeTag;
+
+  std::string collection_name;
+  std::vector<uint64_t> members;           // packed object ids
+  std::vector<uint64_t> index_object_ids;  // packed ids of IndexObjects
+
+  uint32_t type_tag() const override { return kCollectionTypeTag; }
+  void PickleFields(PickleWriter& w) const override;
+  static Result<ObjectPtr> UnpickleFields(PickleReader& r);
+};
+
+// Maps collection names to collection object ids.
+class DirectoryObject final : public Pickled {
+ public:
+  static constexpr uint32_t kTypeTag = kDirectoryTypeTag;
+
+  std::map<std::string, uint64_t> collections;  // name -> packed object id
+
+  uint32_t type_tag() const override { return kDirectoryTypeTag; }
+  void PickleFields(PickleWriter& w) const override;
+  static Result<ObjectPtr> UnpickleFields(PickleReader& r);
+};
+
+}  // namespace tdb
+
+#endif  // SRC_COLLECT_INDEX_H_

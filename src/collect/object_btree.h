@@ -1,0 +1,83 @@
+// A B-tree whose nodes are objects in the object store: the scalable index
+// structure behind large collections (§2.2: "TDB allows the database to
+// scale … It uses scalable data structures and fetches data piecemeal on
+// demand"). Entries are (key, value) pairs with duplicate keys allowed;
+// uniqueness is by the full pair, which is what a secondary index needs.
+//
+// The root node's object id is stable across splits (the root is rewritten
+// in place when it splits), so an index can hold a single reference to its
+// tree forever. All operations run inside the caller's transaction and
+// inherit its atomicity and isolation.
+
+#ifndef SRC_COLLECT_OBJECT_BTREE_H_
+#define SRC_COLLECT_OBJECT_BTREE_H_
+
+#include <vector>
+
+#include "src/object/object_store.h"
+
+namespace tdb {
+
+inline constexpr uint32_t kBTreeNodeTypeTag = 0xF0000004;
+
+class BTreeNodeObject final : public Pickled {
+ public:
+  static constexpr uint32_t kTypeTag = kBTreeNodeTypeTag;
+
+  bool leaf = true;
+  // Leaf payload: sorted by (key, value).
+  std::vector<std::pair<Bytes, uint64_t>> entries;
+  // Interior payload: separators are full (key, value) pairs — routing on
+  // the key alone would misplace duplicate keys that straddle a split.
+  // separators[i] = smallest entry in children[i+1].
+  std::vector<std::pair<Bytes, uint64_t>> separators;
+  std::vector<uint64_t> children;  // packed ObjectIds, separators.size() + 1
+
+  uint32_t type_tag() const override { return kTypeTag; }
+  void PickleFields(PickleWriter& w) const override;
+  static Result<ObjectPtr> UnpickleFields(PickleReader& r);
+};
+
+class ObjectBTree {
+ public:
+  // Max entries (leaf) / keys (interior) per node before splitting.
+  static constexpr size_t kMaxNodeEntries = 32;
+
+  static Status RegisterTypes(TypeRegistry& registry);
+
+  // Creates an empty tree; returns the (stable) root object id.
+  static Result<ObjectId> Create(Transaction& txn);
+
+  ObjectBTree(Transaction* txn, ObjectId root) : txn_(txn), root_(root) {}
+
+  Status Insert(const Bytes& key, uint64_t value);
+  // Removes one (key, value) pair; kNotFound if absent.
+  Status Remove(const Bytes& key, uint64_t value);
+
+  Result<std::vector<uint64_t>> Exact(const Bytes& key);
+  // Inclusive key range, in order.
+  Result<std::vector<uint64_t>> Range(const Bytes& lo, const Bytes& hi);
+  Result<uint64_t> Count();
+
+ private:
+  struct SplitResult {
+    std::pair<Bytes, uint64_t> separator;
+    uint64_t right_id = 0;
+  };
+
+  Result<std::shared_ptr<const BTreeNodeObject>> ReadNode(ObjectId id,
+                                                          bool for_update);
+  Result<std::optional<SplitResult>> InsertRec(ObjectId node_id,
+                                               const Bytes& key,
+                                               uint64_t value, bool is_root);
+  Result<bool> RemoveRec(ObjectId node_id, const Bytes& key, uint64_t value);
+  Status CollectRange(ObjectId node_id, const Bytes& lo, const Bytes& hi,
+                      std::vector<uint64_t>& out);
+
+  Transaction* txn_;
+  ObjectId root_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_COLLECT_OBJECT_BTREE_H_

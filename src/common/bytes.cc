@@ -1,0 +1,108 @@
+#include "src/common/bytes.h"
+
+namespace tdb {
+
+Bytes BytesFromString(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string StringFromBytes(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string HexEncode(ByteView b) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+}  // namespace
+
+Bytes HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return {};
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return {};
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void Append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+bool ConstantTimeEqual(ByteView a, ByteView b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+void PutU16(Bytes& dst, uint16_t v) {
+  dst.push_back(static_cast<uint8_t>(v));
+  dst.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(Bytes& dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(Bytes& dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+}  // namespace tdb

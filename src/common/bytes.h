@@ -1,0 +1,47 @@
+// Byte-buffer helpers shared by all TDB modules.
+//
+// Bytes is the unit of chunk state, cipher text, hashes, and pickled objects.
+// ByteView is a non-owning read-only view.
+
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdb {
+
+using Bytes = std::vector<uint8_t>;
+using ByteView = std::span<const uint8_t>;
+
+// Converts between Bytes and std::string (no encoding; raw bytes).
+Bytes BytesFromString(std::string_view s);
+std::string StringFromBytes(ByteView b);
+
+// Lower-case hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string HexEncode(ByteView b);
+// Inverse of HexEncode; returns empty on malformed input of odd length or
+// non-hex characters.
+Bytes HexDecode(std::string_view hex);
+
+// Appends `src` to `dst`.
+void Append(Bytes& dst, ByteView src);
+
+// Constant-time equality for secrets and MACs.
+bool ConstantTimeEqual(ByteView a, ByteView b);
+
+// Little-endian fixed-width integer packing used by the log format.
+void PutU16(Bytes& dst, uint16_t v);
+void PutU32(Bytes& dst, uint32_t v);
+void PutU64(Bytes& dst, uint64_t v);
+uint16_t GetU16(const uint8_t* p);
+uint32_t GetU32(const uint8_t* p);
+uint64_t GetU64(const uint8_t* p);
+
+}  // namespace tdb
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,86 @@
+#include "src/common/profiler.h"
+
+namespace tdb {
+
+namespace {
+thread_local ProfileScope* g_top = nullptr;
+}  // namespace
+
+Profiler& Profiler::Instance() {
+  static Profiler instance;
+  return instance;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  counters_.clear();
+}
+
+void Profiler::AddSample(const char* module, double us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[module];
+  e.module = module;
+  e.total_us += us;
+  e.calls += 1;
+}
+
+std::vector<Profiler::Entry> Profiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) {
+    out.push_back(e);
+  }
+  return out;
+}
+
+void Profiler::AddCount(const char* counter, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[counter] += n;
+}
+
+uint64_t Profiler::GetCount(const std::string& counter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(counter);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, uint64_t> Profiler::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+ProfileScope::ProfileScope(const char* module) : module_(module) {
+  if (!Profiler::Instance().enabled()) {
+    return;
+  }
+  active_ = true;
+  parent_ = g_top;
+  Clock::time_point now = Clock::now();
+  if (parent_ != nullptr) {
+    // Pause the parent: bank its on-top interval.
+    parent_->self_us_ +=
+        std::chrono::duration<double, std::micro>(now - parent_->started_)
+            .count();
+  }
+  started_ = now;
+  g_top = this;
+}
+
+ProfileScope::~ProfileScope() {
+  if (!active_) {
+    return;
+  }
+  Clock::time_point now = Clock::now();
+  self_us_ +=
+      std::chrono::duration<double, std::micro>(now - started_).count();
+  Profiler::Instance().AddSample(module_, self_us_);
+  g_top = parent_;
+  if (parent_ != nullptr) {
+    // Resume the parent's on-top interval.
+    parent_->started_ = now;
+  }
+}
+
+}  // namespace tdb

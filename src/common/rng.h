@@ -1,0 +1,34 @@
+// Deterministic pseudo-random generator (xoshiro256**) used for workload
+// generation, randomized property tests, and backup-set ids. Deterministic
+// seeding keeps tests and benchmarks reproducible.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace tdb {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+  // Uniform in [lo, hi] inclusive; lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+  double NextDouble();  // [0, 1)
+  bool NextBool();
+
+  Bytes NextBytes(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace tdb
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,78 @@
+#include "src/common/status.h"
+
+namespace tdb {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kTamperDetected:
+      return "TAMPER_DETECTED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfSpace:
+      return "OUT_OF_SPACE";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status OkStatus() { return Status(); }
+
+Status TamperDetectedError(std::string message) {
+  return Status(StatusCode::kTamperDetected, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status OutOfSpaceError(std::string message) {
+  return Status(StatusCode::kOutOfSpace, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status TimeoutError(std::string message) {
+  return Status(StatusCode::kTimeout, std::move(message));
+}
+Status IoError(std::string message) {
+  return Status(StatusCode::kIoError, std::move(message));
+}
+Status CorruptionError(std::string message) {
+  return Status(StatusCode::kCorruption, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status UnimplementedError(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+
+}  // namespace tdb

@@ -1,0 +1,151 @@
+// Status / Result error model used throughout TDB.
+//
+// TDB never throws on hot paths; every fallible operation returns a Status or
+// a Result<T>. Tamper detection is an ordinary status code
+// (StatusCode::kTamperDetected) so callers can reject data and keep running,
+// as the paper requires (§1: "such data fails validation when a trusted
+// program reads it").
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace tdb {
+
+enum class StatusCode {
+  kOk = 0,
+  // The untrusted store contents failed cryptographic validation.
+  kTamperDetected,
+  // A chunk/partition/object id is not allocated, not written, or unknown.
+  kNotFound,
+  // An argument violates the operation's contract (e.g., zero-size segment).
+  kInvalidArgument,
+  // Allocation or commit would exceed a configured capacity.
+  kOutOfSpace,
+  // The operation conflicts with concurrent state (e.g., id already written).
+  kAlreadyExists,
+  // A lock could not be acquired within its timeout (deadlock breaking, §7).
+  kTimeout,
+  // Underlying storage failed in a non-cryptographic way (I/O error).
+  kIoError,
+  // The store/log contents are structurally malformed (corruption that is
+  // detected before cryptographic checks, e.g. impossible sizes).
+  kCorruption,
+  // A precondition about module state does not hold (e.g., use after close).
+  kFailedPrecondition,
+  // Feature intentionally not available in the current configuration.
+  kUnimplemented,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap, copyable status word with an optional message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status OkStatus();
+Status TamperDetectedError(std::string message);
+Status NotFoundError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status OutOfSpaceError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status TimeoutError(std::string message);
+Status IoError(std::string message);
+Status CorruptionError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() && "Result must not hold OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(data_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace tdb
+
+// Propagates a non-OK Status from an expression returning Status.
+#define TDB_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::tdb::Status tdb_status_ = (expr);            \
+    if (!tdb_status_.ok()) {                       \
+      return tdb_status_;                          \
+    }                                              \
+  } while (0)
+
+#define TDB_CONCAT_IMPL_(a, b) a##b
+#define TDB_CONCAT_(a, b) TDB_CONCAT_IMPL_(a, b)
+
+// Evaluates an expression returning Result<T>; on success binds the value to
+// `lhs`, otherwise propagates the status.
+#define TDB_ASSIGN_OR_RETURN(lhs, expr)                             \
+  auto TDB_CONCAT_(tdb_result_, __LINE__) = (expr);                 \
+  if (!TDB_CONCAT_(tdb_result_, __LINE__).ok()) {                   \
+    return TDB_CONCAT_(tdb_result_, __LINE__).status();             \
+  }                                                                 \
+  lhs = std::move(TDB_CONCAT_(tdb_result_, __LINE__)).value()
+
+#endif  // SRC_COMMON_STATUS_H_

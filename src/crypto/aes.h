@@ -1,0 +1,35 @@
+// AES-128 (FIPS 197). The modern block cipher offered as a per-partition
+// option alongside the paper's DES/3DES ("There are other, more secure,
+// algorithms that run faster than DES", §9.2.1).
+
+#ifndef SRC_CRYPTO_AES_H_
+#define SRC_CRYPTO_AES_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace tdb {
+
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+
+  static Result<Aes128> Create(ByteView key);
+
+  void EncryptBlock(const uint8_t* in, uint8_t* out) const;
+  void DecryptBlock(const uint8_t* in, uint8_t* out) const;
+
+ private:
+  Aes128() = default;
+  void ExpandKey(const uint8_t* key);
+
+  static constexpr int kRounds = 10;
+  uint8_t round_keys_[(kRounds + 1) * 16];
+};
+
+}  // namespace tdb
+
+#endif  // SRC_CRYPTO_AES_H_

@@ -1,0 +1,90 @@
+#include "src/crypto/cbc.h"
+
+#include <cstring>
+
+namespace tdb {
+
+Bytes NullCipher::Encrypt(ByteView plaintext) {
+  return Bytes(plaintext.begin(), plaintext.end());
+}
+
+Result<Bytes> NullCipher::Decrypt(ByteView ciphertext) const {
+  return Bytes(ciphertext.begin(), ciphertext.end());
+}
+
+template <typename BlockCipherT>
+Bytes CbcCipher<BlockCipherT>::NextIv() {
+  constexpr size_t b = BlockCipherT::kBlockSize;
+  uint8_t counter_block[b] = {0};
+  uint64_t c = ++iv_counter_;
+  std::memcpy(counter_block, &c, sizeof(c) < b ? sizeof(c) : b);
+  Bytes iv(b);
+  block_.EncryptBlock(counter_block, iv.data());
+  return iv;
+}
+
+template <typename BlockCipherT>
+Bytes CbcCipher<BlockCipherT>::Encrypt(ByteView plaintext) {
+  constexpr size_t b = BlockCipherT::kBlockSize;
+  Bytes iv = NextIv();
+  size_t pad = b - plaintext.size() % b;  // 1..b
+  size_t padded_size = plaintext.size() + pad;
+
+  Bytes out;
+  out.reserve(b + padded_size);
+  Append(out, iv);
+
+  uint8_t prev[b];
+  std::memcpy(prev, iv.data(), b);
+  uint8_t block[b];
+  for (size_t off = 0; off < padded_size; off += b) {
+    for (size_t i = 0; i < b; ++i) {
+      size_t idx = off + i;
+      uint8_t p = idx < plaintext.size() ? plaintext[idx]
+                                         : static_cast<uint8_t>(pad);
+      block[i] = static_cast<uint8_t>(p ^ prev[i]);
+    }
+    uint8_t enc[b];
+    block_.EncryptBlock(block, enc);
+    out.insert(out.end(), enc, enc + b);
+    std::memcpy(prev, enc, b);
+  }
+  return out;
+}
+
+template <typename BlockCipherT>
+Result<Bytes> CbcCipher<BlockCipherT>::Decrypt(ByteView ciphertext) const {
+  constexpr size_t b = BlockCipherT::kBlockSize;
+  if (ciphertext.size() < 2 * b || ciphertext.size() % b != 0) {
+    return CorruptionError("CBC: ciphertext length not a multiple of block");
+  }
+  const uint8_t* prev = ciphertext.data();  // IV
+  Bytes out;
+  out.reserve(ciphertext.size() - b);
+  for (size_t off = b; off < ciphertext.size(); off += b) {
+    uint8_t dec[b];
+    block_.DecryptBlock(ciphertext.data() + off, dec);
+    for (size_t i = 0; i < b; ++i) {
+      out.push_back(static_cast<uint8_t>(dec[i] ^ prev[i]));
+    }
+    prev = ciphertext.data() + off;
+  }
+  // Strip PKCS#7 padding.
+  uint8_t pad = out.back();
+  if (pad == 0 || pad > b || pad > out.size()) {
+    return CorruptionError("CBC: invalid padding");
+  }
+  for (size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) {
+      return CorruptionError("CBC: invalid padding");
+    }
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+template class CbcCipher<Des>;
+template class CbcCipher<TripleDes>;
+template class CbcCipher<Aes128>;
+
+}  // namespace tdb

@@ -1,0 +1,193 @@
+#include "src/crypto/des.h"
+
+#include <cstring>
+
+namespace tdb {
+
+namespace {
+
+// Standard DES permutation tables (1-based bit indices, MSB = bit 1).
+constexpr int kInitialPermutation[64] = {
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+
+constexpr int kFinalPermutation[64] = {
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
+
+constexpr int kExpansion[48] = {
+    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
+    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
+    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+
+constexpr int kPermutationP[32] = {16, 7,  20, 21, 29, 12, 28, 17,
+                                   1,  15, 23, 26, 5,  18, 31, 10,
+                                   2,  8,  24, 14, 32, 27, 3,  9,
+                                   19, 13, 30, 6,  22, 11, 4,  25};
+
+constexpr uint8_t kSBoxes[8][64] = {
+    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
+     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
+     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
+     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
+    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
+     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
+     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
+     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
+    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
+     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
+     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
+     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
+    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
+     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
+     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
+     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
+    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
+     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
+     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
+     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
+    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
+     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
+     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
+     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
+    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
+     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
+     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
+     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
+    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
+     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
+     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
+     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11}};
+
+constexpr int kPc1[56] = {57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
+                          10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
+                          63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
+                          14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
+
+constexpr int kPc2[48] = {14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10,
+                          23, 19, 12, 4,  26, 8,  16, 7,  27, 20, 13, 2,
+                          41, 52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48,
+                          44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
+
+constexpr int kShifts[16] = {1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1};
+
+uint64_t LoadBe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void StoreBe64(uint64_t v, uint8_t* p) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<uint8_t>(v);
+    v >>= 8;
+  }
+}
+
+// Applies a 1-based permutation table: output bit i (MSB-first, width `out`)
+// = input bit table[i] of an `in`-bit value.
+uint64_t Permute(uint64_t value, int in_bits, const int* table, int out_bits) {
+  uint64_t out = 0;
+  for (int i = 0; i < out_bits; ++i) {
+    int src = table[i];  // 1-based from MSB
+    uint64_t bit = (value >> (in_bits - src)) & 1;
+    out = (out << 1) | bit;
+  }
+  return out;
+}
+
+uint32_t RotateLeft28(uint32_t v, int n) {
+  return ((v << n) | (v >> (28 - n))) & 0x0FFFFFFF;
+}
+
+}  // namespace
+
+Result<Des> Des::Create(ByteView key) {
+  if (key.size() != kKeySize) {
+    return InvalidArgumentError("DES key must be 8 bytes");
+  }
+  Des des;
+  des.ExpandKey(key.data());
+  return des;
+}
+
+void Des::ExpandKey(const uint8_t* key) {
+  uint64_t k = LoadBe64(key);
+  uint64_t pc1 = Permute(k, 64, kPc1, 56);
+  uint32_t c = static_cast<uint32_t>(pc1 >> 28) & 0x0FFFFFFF;
+  uint32_t d = static_cast<uint32_t>(pc1) & 0x0FFFFFFF;
+  for (int round = 0; round < 16; ++round) {
+    c = RotateLeft28(c, kShifts[round]);
+    d = RotateLeft28(d, kShifts[round]);
+    uint64_t cd = (static_cast<uint64_t>(c) << 28) | d;
+    subkeys_[round] = Permute(cd, 56, kPc2, 48);
+  }
+  for (int round = 0; round < 16; ++round) {
+    reverse_subkeys_[round] = subkeys_[15 - round];
+  }
+}
+
+uint64_t Des::Feistel(uint64_t block, const uint64_t* subkeys) {
+  uint64_t ip = Permute(block, 64, kInitialPermutation, 64);
+  uint32_t left = static_cast<uint32_t>(ip >> 32);
+  uint32_t right = static_cast<uint32_t>(ip);
+  for (int round = 0; round < 16; ++round) {
+    uint64_t expanded = Permute(right, 32, kExpansion, 48);
+    uint64_t x = expanded ^ subkeys[round];
+    uint32_t sbox_out = 0;
+    for (int box = 0; box < 8; ++box) {
+      uint8_t six = static_cast<uint8_t>((x >> (42 - 6 * box)) & 0x3F);
+      // Row = outer bits, column = inner 4 bits.
+      int row = ((six & 0x20) >> 4) | (six & 1);
+      int col = (six >> 1) & 0xF;
+      sbox_out = (sbox_out << 4) | kSBoxes[box][row * 16 + col];
+    }
+    uint32_t f = static_cast<uint32_t>(Permute(sbox_out, 32, kPermutationP, 32));
+    uint32_t new_right = left ^ f;
+    left = right;
+    right = new_right;
+  }
+  // Swap halves before the final permutation.
+  uint64_t preoutput = (static_cast<uint64_t>(right) << 32) | left;
+  return Permute(preoutput, 64, kFinalPermutation, 64);
+}
+
+void Des::EncryptBlock(const uint8_t* in, uint8_t* out) const {
+  StoreBe64(Feistel(LoadBe64(in), subkeys_), out);
+}
+
+void Des::DecryptBlock(const uint8_t* in, uint8_t* out) const {
+  StoreBe64(Feistel(LoadBe64(in), reverse_subkeys_), out);
+}
+
+Result<TripleDes> TripleDes::Create(ByteView key) {
+  if (key.size() != kKeySize) {
+    return InvalidArgumentError("3DES key must be 24 bytes");
+  }
+  TDB_ASSIGN_OR_RETURN(Des k1, Des::Create(key.subspan(0, 8)));
+  TDB_ASSIGN_OR_RETURN(Des k2, Des::Create(key.subspan(8, 8)));
+  TDB_ASSIGN_OR_RETURN(Des k3, Des::Create(key.subspan(16, 8)));
+  return TripleDes(k1, k2, k3);
+}
+
+void TripleDes::EncryptBlock(const uint8_t* in, uint8_t* out) const {
+  uint8_t tmp1[8], tmp2[8];
+  k1_.EncryptBlock(in, tmp1);
+  k2_.DecryptBlock(tmp1, tmp2);
+  k3_.EncryptBlock(tmp2, out);
+}
+
+void TripleDes::DecryptBlock(const uint8_t* in, uint8_t* out) const {
+  uint8_t tmp1[8], tmp2[8];
+  k3_.DecryptBlock(in, tmp1);
+  k2_.EncryptBlock(tmp1, tmp2);
+  k1_.DecryptBlock(tmp2, out);
+}
+
+}  // namespace tdb

@@ -1,0 +1,58 @@
+// DES and Triple-DES (EDE3) block ciphers (FIPS 46-3).
+//
+// The paper uses 3DES-CBC for the system partition and DES-CBC for ordinary
+// partitions (§9.2.1). Both are obsolete for new designs; they are
+// implemented for fidelity, and AES-128 (src/crypto/aes.h) is the modern
+// alternative.
+
+#ifndef SRC_CRYPTO_DES_H_
+#define SRC_CRYPTO_DES_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace tdb {
+
+// Single DES; 8-byte key (parity bits ignored), 8-byte block.
+class Des {
+ public:
+  static constexpr size_t kBlockSize = 8;
+  static constexpr size_t kKeySize = 8;
+
+  // Key must be exactly kKeySize bytes.
+  static Result<Des> Create(ByteView key);
+
+  void EncryptBlock(const uint8_t* in, uint8_t* out) const;
+  void DecryptBlock(const uint8_t* in, uint8_t* out) const;
+
+ private:
+  Des() = default;
+  void ExpandKey(const uint8_t* key);
+  static uint64_t Feistel(uint64_t block, const uint64_t* subkeys);
+
+  uint64_t subkeys_[16];          // encryption order
+  uint64_t reverse_subkeys_[16];  // decryption order
+};
+
+// Triple DES in EDE3 mode; 24-byte key (three independent DES keys).
+class TripleDes {
+ public:
+  static constexpr size_t kBlockSize = 8;
+  static constexpr size_t kKeySize = 24;
+
+  static Result<TripleDes> Create(ByteView key);
+
+  void EncryptBlock(const uint8_t* in, uint8_t* out) const;
+  void DecryptBlock(const uint8_t* in, uint8_t* out) const;
+
+ private:
+  TripleDes(Des k1, Des k2, Des k3) : k1_(k1), k2_(k2), k3_(k3) {}
+
+  Des k1_, k2_, k3_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_CRYPTO_DES_H_

@@ -1,0 +1,46 @@
+#include "src/crypto/hmac.h"
+
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha256.h"
+
+namespace tdb {
+
+namespace {
+
+template <typename HasherT>
+Bytes HmacImpl(ByteView key, ByteView data) {
+  constexpr size_t kBlock = HasherT::kBlockSize;
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) {
+    k = HasherT::Hash(k);
+  }
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
+  }
+
+  HasherT inner;
+  inner.Update(ipad);
+  inner.Update(data);
+  Bytes inner_digest = inner.Finish();
+
+  HasherT outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+}  // namespace
+
+Bytes HmacSha1(ByteView key, ByteView data) {
+  return HmacImpl<Sha1>(key, data);
+}
+
+Bytes HmacSha256(ByteView key, ByteView data) {
+  return HmacImpl<Sha256>(key, data);
+}
+
+}  // namespace tdb

@@ -1,0 +1,18 @@
+// HMAC (RFC 2104) over the project hash functions. Used as the symmetric-key
+// "signature" on commit chunks and backups — the paper notes the signature
+// "need not be publicly verifiable, so it may be based on symmetric-key
+// encryption" (§4.8.2.2); HMAC is the standard such construction.
+
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include "src/common/bytes.h"
+
+namespace tdb {
+
+Bytes HmacSha1(ByteView key, ByteView data);
+Bytes HmacSha256(ByteView key, ByteView data);
+
+}  // namespace tdb
+
+#endif  // SRC_CRYPTO_HMAC_H_

@@ -1,0 +1,43 @@
+// SHA-1 (FIPS 180-1), the collision-resistant hash function the paper uses
+// for chunk descriptors and the residual-log hash (§2.2, §9.2.1).
+//
+// SHA-1 is cryptographically broken for new designs; it is implemented here
+// for fidelity with the paper. SHA-256 (src/crypto/sha256.h) is offered as
+// the modern alternative and is the default for new partitions.
+
+#ifndef SRC_CRYPTO_SHA1_H_
+#define SRC_CRYPTO_SHA1_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace tdb {
+
+class Sha1 {
+ public:
+  static constexpr size_t kDigestSize = 20;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha1();
+
+  void Update(ByteView data);
+  // Finalizes and returns the 20-byte digest; the object resets to a fresh
+  // state afterwards so it can be reused.
+  Bytes Finish();
+
+  static Bytes Hash(ByteView data);
+
+ private:
+  void Reset();
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_;
+  uint64_t total_len_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_CRYPTO_SHA1_H_

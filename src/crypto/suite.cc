@@ -1,0 +1,158 @@
+#include "src/crypto/suite.h"
+
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha256.h"
+
+namespace tdb {
+
+std::string_view CipherAlgName(CipherAlg alg) {
+  switch (alg) {
+    case CipherAlg::kNone:
+      return "none";
+    case CipherAlg::kDes:
+      return "des-cbc";
+    case CipherAlg::kTripleDes:
+      return "3des-cbc";
+    case CipherAlg::kAes128:
+      return "aes128-cbc";
+  }
+  return "unknown";
+}
+
+std::string_view HashAlgName(HashAlg alg) {
+  switch (alg) {
+    case HashAlg::kSha1:
+      return "sha1";
+    case HashAlg::kSha256:
+      return "sha256";
+  }
+  return "unknown";
+}
+
+size_t CipherKeySize(CipherAlg alg) {
+  switch (alg) {
+    case CipherAlg::kNone:
+      return 0;
+    case CipherAlg::kDes:
+      return Des::kKeySize;
+    case CipherAlg::kTripleDes:
+      return TripleDes::kKeySize;
+    case CipherAlg::kAes128:
+      return Aes128::kKeySize;
+  }
+  return 0;
+}
+
+size_t HashDigestSize(HashAlg alg) {
+  switch (alg) {
+    case HashAlg::kSha1:
+      return Sha1::kDigestSize;
+    case HashAlg::kSha256:
+      return Sha256::kDigestSize;
+  }
+  return 0;
+}
+
+Bytes HashData(HashAlg alg, ByteView data) {
+  switch (alg) {
+    case HashAlg::kSha1:
+      return Sha1::Hash(data);
+    case HashAlg::kSha256:
+      return Sha256::Hash(data);
+  }
+  return {};
+}
+
+StreamingHash::StreamingHash(HashAlg alg) : alg_(alg) {}
+
+void StreamingHash::Update(ByteView data) {
+  switch (alg_) {
+    case HashAlg::kSha1:
+      sha1_.Update(data);
+      return;
+    case HashAlg::kSha256:
+      sha256_.Update(data);
+      return;
+  }
+}
+
+Bytes StreamingHash::Finish() {
+  switch (alg_) {
+    case HashAlg::kSha1:
+      return sha1_.Finish();
+    case HashAlg::kSha256:
+      return sha256_.Finish();
+  }
+  return {};
+}
+
+Bytes MacData(HashAlg alg, ByteView key, ByteView data) {
+  switch (alg) {
+    case HashAlg::kSha1:
+      return HmacSha1(key, data);
+    case HashAlg::kSha256:
+      return HmacSha256(key, data);
+  }
+  return {};
+}
+
+Result<std::unique_ptr<Cipher>> MakeCipher(CipherAlg alg, ByteView key) {
+  switch (alg) {
+    case CipherAlg::kNone:
+      return std::unique_ptr<Cipher>(new NullCipher());
+    case CipherAlg::kDes: {
+      TDB_ASSIGN_OR_RETURN(Des des, Des::Create(key));
+      return std::unique_ptr<Cipher>(new DesCbc(des, "des-cbc"));
+    }
+    case CipherAlg::kTripleDes: {
+      TDB_ASSIGN_OR_RETURN(TripleDes tdes, TripleDes::Create(key));
+      return std::unique_ptr<Cipher>(new TripleDesCbc(tdes, "3des-cbc"));
+    }
+    case CipherAlg::kAes128: {
+      TDB_ASSIGN_OR_RETURN(Aes128 aes, Aes128::Create(key));
+      return std::unique_ptr<Cipher>(new Aes128Cbc(aes, "aes128-cbc"));
+    }
+  }
+  return InvalidArgumentError("unknown cipher algorithm");
+}
+
+void CryptoParams::Pickle(PickleWriter& w) const {
+  w.WriteU8(static_cast<uint8_t>(cipher));
+  w.WriteU8(static_cast<uint8_t>(hash));
+  w.WriteBytes(key);
+}
+
+Result<CryptoParams> CryptoParams::Unpickle(PickleReader& r) {
+  CryptoParams p;
+  uint8_t cipher = r.ReadU8();
+  uint8_t hash = r.ReadU8();
+  p.key = r.ReadBytes();
+  TDB_RETURN_IF_ERROR(r.Check());
+  if (cipher > static_cast<uint8_t>(CipherAlg::kAes128)) {
+    return CorruptionError("unknown cipher id in pickled params");
+  }
+  if (hash > static_cast<uint8_t>(HashAlg::kSha256)) {
+    return CorruptionError("unknown hash id in pickled params");
+  }
+  p.cipher = static_cast<CipherAlg>(cipher);
+  p.hash = static_cast<HashAlg>(hash);
+  return p;
+}
+
+Result<CryptoSuite> CryptoSuite::Create(CryptoParams params) {
+  if (params.key.size() != CipherKeySize(params.cipher) &&
+      !(params.cipher == CipherAlg::kNone && !params.key.empty())) {
+    // kNone still allows a key (used for MACs on unencrypted partitions).
+    if (params.cipher != CipherAlg::kNone) {
+      return InvalidArgumentError("key length does not match cipher");
+    }
+  }
+  CryptoSuite suite(std::move(params));
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<Cipher> cipher,
+                       MakeCipher(suite.params_.cipher, suite.params_.key));
+  suite.cipher_ = std::move(cipher);
+  return suite;
+}
+
+}  // namespace tdb

@@ -1,0 +1,57 @@
+#include "src/object/lock_manager.h"
+
+namespace tdb {
+
+bool LockManager::Compatible(const LockState& state, uint64_t owner,
+                             LockMode mode) const {
+  for (const auto& [holder, held] : state.holders) {
+    if (holder == owner) {
+      continue;
+    }
+    if (mode == LockMode::kExclusive || held == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Acquire(uint64_t owner, const ChunkId& id, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (true) {
+    LockState& state = locks_[id];
+    auto held = state.holders.find(owner);
+    if (held != state.holders.end() &&
+        (held->second == LockMode::kExclusive || mode == LockMode::kShared)) {
+      return OkStatus();  // already strong enough
+    }
+    if (Compatible(state, owner, mode)) {
+      state.holders[owner] = mode;
+      return OkStatus();
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return TimeoutError("lock wait timed out on " + id.ToString() +
+                          " (possible deadlock, transaction should abort)");
+    }
+  }
+}
+
+void LockManager::ReleaseAll(uint64_t owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    it->second.holders.erase(owner);
+    if (it->second.holders.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cv_.notify_all();
+}
+
+size_t LockManager::locked_object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locks_.size();
+}
+
+}  // namespace tdb

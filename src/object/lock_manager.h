@@ -1,0 +1,51 @@
+// Two-phase locking for the object store (§7): shared/exclusive locks on
+// object ids, with lock-wait timeouts as the deadlock-breaking mechanism
+// ("implements two-phase locking on objects and breaks deadlocks using
+// timeouts"). Geared to low concurrency, as the paper intends.
+
+#ifndef SRC_OBJECT_LOCK_MANAGER_H_
+#define SRC_OBJECT_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/chunk/chunk_id.h"
+#include "src/common/status.h"
+
+namespace tdb {
+
+enum class LockMode { kShared, kExclusive };
+
+class LockManager {
+ public:
+  explicit LockManager(std::chrono::milliseconds timeout) : timeout_(timeout) {}
+
+  // Blocks until the lock is granted or the timeout elapses (kTimeout).
+  // Re-acquisition and shared→exclusive upgrade by the same owner are
+  // supported; upgrades can deadlock and are resolved by the timeout.
+  Status Acquire(uint64_t owner, const ChunkId& id, LockMode mode);
+
+  // Releases everything `owner` holds (end of the two-phase protocol).
+  void ReleaseAll(uint64_t owner);
+
+  size_t locked_object_count() const;
+
+ private:
+  struct LockState {
+    std::map<uint64_t, LockMode> holders;
+  };
+
+  bool Compatible(const LockState& state, uint64_t owner, LockMode mode) const;
+
+  std::chrono::milliseconds timeout_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<ChunkId, LockState> locks_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_OBJECT_LOCK_MANAGER_H_

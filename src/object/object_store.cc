@@ -1,0 +1,219 @@
+#include "src/object/object_store.h"
+
+#include "src/common/profiler.h"
+
+namespace tdb {
+
+ObjectStore::ObjectStore(ChunkStore* chunks, PartitionId partition,
+                         const TypeRegistry* registry,
+                         ObjectStoreOptions options)
+    : chunks_(chunks),
+      partition_(partition),
+      registry_(registry),
+      options_(options),
+      locks_(options.lock_timeout) {}
+
+std::unique_ptr<Transaction> ObjectStore::Begin() {
+  return std::unique_ptr<Transaction>(
+      new Transaction(this, next_txn_id_.fetch_add(1)));
+}
+
+std::optional<ObjectPtr> ObjectStore::CacheGet(const ObjectId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(id);
+  if (it == cache_.end()) {
+    return std::nullopt;
+  }
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(id);
+  it->second.lru_it = lru_.begin();
+  return it->second.object;
+}
+
+void ObjectStore::CachePut(const ObjectId& id, ObjectPtr object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    it->second.object = std::move(object);
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(id);
+    it->second.lru_it = lru_.begin();
+    return;
+  }
+  lru_.push_front(id);
+  cache_[id] = CacheEntry{std::move(object), lru_.begin()};
+  while (cache_.size() > options_.cache_capacity && !lru_.empty()) {
+    ObjectId victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+}
+
+void ObjectStore::CacheErase(const ObjectId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    lru_.erase(it->second.lru_it);
+    cache_.erase(it);
+  }
+}
+
+Result<ObjectPtr> ObjectStore::LoadObject(const ObjectId& id) {
+  TDB_ASSIGN_OR_RETURN(Bytes pickled, chunks_->Read(id));
+  return registry_->Unpickle(pickled);
+}
+
+ObjectStore::OpCounts ObjectStore::counts() const {
+  std::lock_guard<std::mutex> lock(counts_mu_);
+  return counts_;
+}
+
+void ObjectStore::ResetCounts() {
+  std::lock_guard<std::mutex> lock(counts_mu_);
+  counts_ = OpCounts{};
+}
+
+size_t ObjectStore::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Transaction
+
+Transaction::~Transaction() {
+  if (active_) {
+    Abort();
+  }
+}
+
+Result<ObjectPtr> Transaction::GetInternal(ObjectId id, LockMode mode) {
+  ProfileScope scope("object_store");
+  if (!active_) {
+    return FailedPreconditionError("transaction is finished");
+  }
+  TDB_RETURN_IF_ERROR(store_->locks_.Acquire(txn_id_, id, mode));
+  {
+    std::lock_guard<std::mutex> lock(store_->counts_mu_);
+    ++store_->counts_.reads;
+  }
+  auto pending = write_set_.find(id);
+  if (pending != write_set_.end()) {
+    if (!pending->second.has_value()) {
+      return NotFoundError("object deleted in this transaction");
+    }
+    return *pending->second;
+  }
+  if (std::optional<ObjectPtr> cached = store_->CacheGet(id)) {
+    return *cached;
+  }
+  TDB_ASSIGN_OR_RETURN(ObjectPtr object, store_->LoadObject(id));
+  store_->CachePut(id, object);
+  return object;
+}
+
+Result<ObjectPtr> Transaction::Get(ObjectId id) {
+  return GetInternal(id, LockMode::kShared);
+}
+
+Result<ObjectPtr> Transaction::GetForUpdate(ObjectId id) {
+  return GetInternal(id, LockMode::kExclusive);
+}
+
+Result<ObjectId> Transaction::Insert(ObjectPtr object) {
+  ProfileScope scope("object_store");
+  if (!active_) {
+    return FailedPreconditionError("transaction is finished");
+  }
+  if (object == nullptr) {
+    return InvalidArgumentError("cannot insert a null object");
+  }
+  TDB_ASSIGN_OR_RETURN(ObjectId id,
+                       store_->chunks_->AllocateChunk(store_->partition_));
+  TDB_RETURN_IF_ERROR(
+      store_->locks_.Acquire(txn_id_, id, LockMode::kExclusive));
+  write_set_[id] = std::move(object);
+  std::lock_guard<std::mutex> lock(store_->counts_mu_);
+  ++store_->counts_.adds;
+  return id;
+}
+
+Status Transaction::Put(ObjectId id, ObjectPtr object) {
+  ProfileScope scope("object_store");
+  if (!active_) {
+    return FailedPreconditionError("transaction is finished");
+  }
+  if (object == nullptr) {
+    return InvalidArgumentError("cannot put a null object");
+  }
+  TDB_RETURN_IF_ERROR(
+      store_->locks_.Acquire(txn_id_, id, LockMode::kExclusive));
+  write_set_[id] = std::move(object);
+  std::lock_guard<std::mutex> lock(store_->counts_mu_);
+  ++store_->counts_.updates;
+  return OkStatus();
+}
+
+Status Transaction::Delete(ObjectId id) {
+  ProfileScope scope("object_store");
+  if (!active_) {
+    return FailedPreconditionError("transaction is finished");
+  }
+  TDB_RETURN_IF_ERROR(
+      store_->locks_.Acquire(txn_id_, id, LockMode::kExclusive));
+  auto pending = write_set_.find(id);
+  bool inserted_here =
+      pending != write_set_.end() && pending->second.has_value() &&
+      !store_->chunks_->ChunkWritten(id);
+  if (inserted_here) {
+    // Inserted and deleted within this transaction: nothing to persist.
+    write_set_.erase(pending);
+  } else {
+    if (pending == write_set_.end() && !store_->chunks_->ChunkWritten(id)) {
+      return NotFoundError("object " + id.ToString() + " does not exist");
+    }
+    write_set_[id] = std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(store_->counts_mu_);
+  ++store_->counts_.deletes;
+  return OkStatus();
+}
+
+Status Transaction::Commit() {
+  ProfileScope scope("object_store");
+  if (!active_) {
+    return FailedPreconditionError("transaction is finished");
+  }
+  ChunkStore::Batch batch;
+  for (const auto& [id, value] : write_set_) {
+    if (value.has_value()) {
+      batch.WriteChunk(id, store_->registry_->Pickle(**value));
+    } else if (store_->chunks_->ChunkWritten(id)) {
+      batch.DeallocateChunk(id);
+    }
+  }
+  Status status = store_->chunks_->Commit(std::move(batch));
+  if (status.ok()) {
+    for (auto& [id, value] : write_set_) {
+      if (value.has_value()) {
+        store_->CachePut(id, std::move(*value));
+      } else {
+        store_->CacheErase(id);
+      }
+    }
+    std::lock_guard<std::mutex> lock(store_->counts_mu_);
+    ++store_->counts_.commits;
+  }
+  write_set_.clear();
+  store_->locks_.ReleaseAll(txn_id_);
+  active_ = false;
+  return status;
+}
+
+void Transaction::Abort() {
+  write_set_.clear();
+  store_->locks_.ReleaseAll(txn_id_);
+  active_ = false;
+}
+
+}  // namespace tdb

@@ -1,0 +1,34 @@
+#include "src/object/pickler.h"
+
+namespace tdb {
+
+Status TypeRegistry::Register(uint32_t tag, UnpickleFn fn) {
+  auto [_, inserted] = types_.emplace(tag, std::move(fn));
+  if (!inserted) {
+    return AlreadyExistsError("type tag " + std::to_string(tag) +
+                              " already registered");
+  }
+  return OkStatus();
+}
+
+Bytes TypeRegistry::Pickle(const Pickled& object) const {
+  PickleWriter w;
+  w.WriteVarint(object.type_tag());
+  object.PickleFields(w);
+  return w.Take();
+}
+
+Result<ObjectPtr> TypeRegistry::Unpickle(ByteView data) const {
+  PickleReader r(data);
+  uint64_t tag = r.ReadVarint();
+  TDB_RETURN_IF_ERROR(r.Check());
+  auto it = types_.find(static_cast<uint32_t>(tag));
+  if (it == types_.end()) {
+    return CorruptionError("unknown object type tag " + std::to_string(tag));
+  }
+  TDB_ASSIGN_OR_RETURN(ObjectPtr object, it->second(r));
+  TDB_RETURN_IF_ERROR(r.Done());
+  return object;
+}
+
+}  // namespace tdb

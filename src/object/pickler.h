@@ -1,0 +1,60 @@
+// Application object pickling (§2.2, §7).
+//
+// TDB stores abstract objects that applications access without explicitly
+// invoking encryption, validation, or pickling. Applications implement
+// Pickled for each object type and register an unpickle function in a
+// TypeRegistry; the stored representation is a type tag followed by the
+// object's pickled fields — compact and portable.
+
+#ifndef SRC_OBJECT_PICKLER_H_
+#define SRC_OBJECT_PICKLER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/common/bytes.h"
+#include "src/common/pickle.h"
+#include "src/common/status.h"
+
+namespace tdb {
+
+class Pickled {
+ public:
+  virtual ~Pickled() = default;
+
+  // Stable identifier of this object's type; must be registered.
+  virtual uint32_t type_tag() const = 0;
+
+  // Serializes the object's fields (the tag is written by the registry).
+  virtual void PickleFields(PickleWriter& w) const = 0;
+};
+
+// Objects are immutable once stored; updates store a new value.
+using ObjectPtr = std::shared_ptr<const Pickled>;
+
+class TypeRegistry {
+ public:
+  using UnpickleFn = std::function<Result<ObjectPtr>(PickleReader&)>;
+
+  Status Register(uint32_t tag, UnpickleFn fn);
+
+  // tag + fields.
+  Bytes Pickle(const Pickled& object) const;
+  Result<ObjectPtr> Unpickle(ByteView data) const;
+
+ private:
+  std::map<uint32_t, UnpickleFn> types_;
+};
+
+// Convenience helper: register a default-constructible type T that has
+//   static constexpr uint32_t kTypeTag;
+//   static Result<ObjectPtr> UnpickleFields(PickleReader&);
+template <typename T>
+Status RegisterType(TypeRegistry& registry) {
+  return registry.Register(T::kTypeTag, &T::UnpickleFields);
+}
+
+}  // namespace tdb
+
+#endif  // SRC_OBJECT_PICKLER_H_

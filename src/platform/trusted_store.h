@@ -1,0 +1,136 @@
+// The trusted platform model of §2.1: a small secret store (read-only, e.g.
+// a 16-byte key), and a small tamper-resistant store that is either a
+// writable register or a monotonic counter, updated atomically with respect
+// to crashes.
+//
+// The paper emulated the tamper-resistant store with a file on a second disk
+// (§9.1); we provide in-memory stores for tests and file-backed stores for
+// durability, both with an optional modelled flush latency so benchmarks can
+// reproduce the paper's device assumptions (EEPROM ≈ 5 ms, disk ≈ 10-20 ms).
+
+#ifndef SRC_PLATFORM_TRUSTED_STORE_H_
+#define SRC_PLATFORM_TRUSTED_STORE_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace tdb {
+
+// Read-only persistent secret (the master key). Only trusted programs can
+// read it; in this process-level model, possession of the object is the
+// capability.
+class SecretStore {
+ public:
+  virtual ~SecretStore() = default;
+  virtual Result<Bytes> Read() const = 0;
+};
+
+class MemSecretStore final : public SecretStore {
+ public:
+  explicit MemSecretStore(Bytes secret) : secret_(std::move(secret)) {}
+  Result<Bytes> Read() const override { return secret_; }
+
+ private:
+  Bytes secret_;
+};
+
+// Small writable tamper-resistant persistent register. Write() is atomic
+// with respect to crashes and durable on return.
+class TamperResistantRegister {
+ public:
+  virtual ~TamperResistantRegister() = default;
+  virtual Result<Bytes> Read() const = 0;
+  virtual Status Write(ByteView value) = 0;
+};
+
+// Monotonic counter variant (§4.8.2.2): cannot be decremented by any program.
+class MonotonicCounter {
+ public:
+  virtual ~MonotonicCounter() = default;
+  virtual Result<uint64_t> Read() const = 0;
+  // Advances the counter; returns kInvalidArgument if value < current.
+  virtual Status AdvanceTo(uint64_t value) = 0;
+};
+
+// Models the write/flush latency of a trusted-store device. A zero latency
+// (the default) makes tests fast; benchmarks set it to the paper's constants.
+struct TrustedStoreOptions {
+  std::chrono::microseconds write_latency{0};
+};
+
+class MemTamperResistantRegister final : public TamperResistantRegister {
+ public:
+  explicit MemTamperResistantRegister(TrustedStoreOptions options = {})
+      : options_(options) {}
+
+  Result<Bytes> Read() const override { return value_; }
+  Status Write(ByteView value) override;
+
+ private:
+  TrustedStoreOptions options_;
+  Bytes value_;
+};
+
+class MemMonotonicCounter final : public MonotonicCounter {
+ public:
+  explicit MemMonotonicCounter(TrustedStoreOptions options = {})
+      : options_(options) {}
+
+  Result<uint64_t> Read() const override { return value_; }
+  Status AdvanceTo(uint64_t value) override;
+
+ private:
+  TrustedStoreOptions options_;
+  uint64_t value_ = 0;
+};
+
+// File-backed register with crash-atomic updates: two slots, each holding
+// (sequence, length, payload, checksum); a torn write corrupts at most the
+// slot being written, and the reader picks the valid slot with the higher
+// sequence number.
+class FileTamperResistantRegister final : public TamperResistantRegister {
+ public:
+  static Result<std::unique_ptr<FileTamperResistantRegister>> Open(
+      const std::string& path, TrustedStoreOptions options = {});
+
+  Result<Bytes> Read() const override;
+  Status Write(ByteView value) override;
+
+ private:
+  FileTamperResistantRegister(std::string path, TrustedStoreOptions options)
+      : path_(std::move(path)), options_(options) {}
+
+  std::string path_;
+  TrustedStoreOptions options_;
+  uint64_t sequence_ = 0;
+  Bytes cached_;
+  bool have_cached_ = false;
+};
+
+// File-backed monotonic counter built on the register.
+class FileMonotonicCounter final : public MonotonicCounter {
+ public:
+  static Result<std::unique_ptr<FileMonotonicCounter>> Open(
+      const std::string& path, TrustedStoreOptions options = {});
+
+  Result<uint64_t> Read() const override;
+  Status AdvanceTo(uint64_t value) override;
+
+ private:
+  explicit FileMonotonicCounter(
+      std::unique_ptr<FileTamperResistantRegister> reg)
+      : reg_(std::move(reg)) {}
+
+  std::unique_ptr<FileTamperResistantRegister> reg_;
+};
+
+// Applies the modelled device latency (no-op when zero).
+void ApplyTrustedStoreLatency(const TrustedStoreOptions& options);
+
+}  // namespace tdb
+
+#endif  // SRC_PLATFORM_TRUSTED_STORE_H_

@@ -1,0 +1,159 @@
+#include "src/store/archival_store.h"
+
+#include <cstdio>
+#include <map>
+
+namespace tdb {
+
+namespace {
+
+class MemSink final : public ArchivalSink {
+ public:
+  MemSink(MemArchive* archive, std::string name, Bytes* target)
+      : target_(target) {
+    (void)archive;
+    (void)name;
+  }
+
+  Status Write(ByteView data) override {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    return OkStatus();
+  }
+
+  Status Close() override {
+    *target_ = std::move(buffer_);
+    return OkStatus();
+  }
+
+ private:
+  Bytes buffer_;
+  Bytes* target_;
+};
+
+class MemSource final : public ArchivalSource {
+ public:
+  explicit MemSource(Bytes data) : data_(std::move(data)) {}
+
+  Result<Bytes> Read(size_t n) override {
+    size_t take = std::min(n, data_.size() - pos_);
+    Bytes out(data_.begin() + pos_, data_.begin() + pos_ + take);
+    pos_ += take;
+    return out;
+  }
+
+ private:
+  Bytes data_;
+  size_t pos_ = 0;
+};
+
+class FileSink final : public ArchivalSink {
+ public:
+  explicit FileSink(std::FILE* f) : f_(f) {}
+  ~FileSink() override {
+    if (f_ != nullptr) {
+      std::fclose(f_);
+    }
+  }
+
+  Status Write(ByteView data) override {
+    if (f_ == nullptr) {
+      return FailedPreconditionError("sink closed");
+    }
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return IoError("archive write failed");
+    }
+    return OkStatus();
+  }
+
+  Status Close() override {
+    if (f_ == nullptr) {
+      return OkStatus();
+    }
+    int rc = std::fflush(f_);
+    std::fclose(f_);
+    f_ = nullptr;
+    if (rc != 0) {
+      return IoError("archive flush failed");
+    }
+    return OkStatus();
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+class FileSource final : public ArchivalSource {
+ public:
+  explicit FileSource(std::FILE* f) : f_(f) {}
+  ~FileSource() override {
+    if (f_ != nullptr) {
+      std::fclose(f_);
+    }
+  }
+
+  Result<Bytes> Read(size_t n) override {
+    Bytes out(n);
+    size_t got = std::fread(out.data(), 1, n, f_);
+    out.resize(got);
+    return out;
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+std::unique_ptr<ArchivalSink> MemArchive::OpenSink(const std::string& name) {
+  return std::make_unique<MemSink>(this, name, &streams_[name]);
+}
+
+Result<std::unique_ptr<ArchivalSource>> MemArchive::OpenSource(
+    const std::string& name) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return NotFoundError("no archived stream named " + name);
+  }
+  return std::unique_ptr<ArchivalSource>(new MemSource(it->second));
+}
+
+bool MemArchive::Contains(const std::string& name) const {
+  return streams_.count(name) > 0;
+}
+
+Status MemArchive::Corrupt(const std::string& name, size_t offset,
+                           uint8_t xor_mask) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return NotFoundError("no archived stream named " + name);
+  }
+  if (offset >= it->second.size()) {
+    return InvalidArgumentError("corrupt offset past end of stream");
+  }
+  it->second[offset] ^= xor_mask;
+  return OkStatus();
+}
+
+size_t MemArchive::StreamSize(const std::string& name) const {
+  auto it = streams_.find(name);
+  return it == streams_.end() ? 0 : it->second.size();
+}
+
+Result<std::unique_ptr<ArchivalSink>> OpenFileSink(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return IoError("cannot create " + path);
+  }
+  return std::unique_ptr<ArchivalSink>(new FileSink(f));
+}
+
+Result<std::unique_ptr<ArchivalSource>> OpenFileSource(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open " + path);
+  }
+  return std::unique_ptr<ArchivalSource>(new FileSource(f));
+}
+
+}  // namespace tdb

@@ -1,0 +1,57 @@
+// The archival store of §2.1: untrusted, stream-oriented storage used for
+// backups. "It need not provide efficient random access to data, only input
+// and output streams. It might be a tape or an ftp server."
+
+#ifndef SRC_STORE_ARCHIVAL_STORE_H_
+#define SRC_STORE_ARCHIVAL_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace tdb {
+
+// Output stream for one backup stream.
+class ArchivalSink {
+ public:
+  virtual ~ArchivalSink() = default;
+  virtual Status Write(ByteView data) = 0;
+  virtual Status Close() = 0;
+};
+
+// Input stream over a previously written backup stream.
+class ArchivalSource {
+ public:
+  virtual ~ArchivalSource() = default;
+  // Reads up to `n` bytes; returns fewer only at end of stream. An empty
+  // result means end of stream.
+  virtual Result<Bytes> Read(size_t n) = 0;
+};
+
+// In-memory archive: a named map of byte streams.
+class MemArchive {
+ public:
+  std::unique_ptr<ArchivalSink> OpenSink(const std::string& name);
+  // Returns kNotFound if no stream with this name was closed.
+  Result<std::unique_ptr<ArchivalSource>> OpenSource(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+  // Attacker primitive: mutate an archived stream in place.
+  Status Corrupt(const std::string& name, size_t offset, uint8_t xor_mask);
+  size_t StreamSize(const std::string& name) const;
+
+ private:
+  friend class MemArchivalSink;
+  std::map<std::string, Bytes> streams_;
+};
+
+// File-backed sink/source.
+Result<std::unique_ptr<ArchivalSink>> OpenFileSink(const std::string& path);
+Result<std::unique_ptr<ArchivalSource>> OpenFileSource(const std::string& path);
+
+}  // namespace tdb
+
+#endif  // SRC_STORE_ARCHIVAL_STORE_H_

@@ -1,0 +1,68 @@
+#include "src/store/faulty_store.h"
+
+namespace tdb {
+
+Result<Bytes> FaultyStore::Read(uint32_t segment, uint32_t offset,
+                                size_t len) const {
+  return base_->Read(segment, offset, len);
+}
+
+Status FaultyStore::Write(uint32_t segment, uint32_t offset, ByteView data) {
+  if (faulted_) {
+    return IoError("injected fault: store is down");
+  }
+  if (armed_) {
+    if (writes_until_fault_ == 0) {
+      faulted_ = true;
+      if (tear_ && data.size() > 1) {
+        // Persist a prefix, then fail: a torn write.
+        (void)base_->Write(segment, offset, data.subspan(0, data.size() / 2));
+      }
+      return IoError("injected fault: write failed");
+    }
+    --writes_until_fault_;
+  }
+  ++write_count_;
+  return base_->Write(segment, offset, data);
+}
+
+Status FaultyStore::Flush() {
+  if (faulted_) {
+    return IoError("injected fault: store is down");
+  }
+  ++flush_count_;
+  return base_->Flush();
+}
+
+Result<Bytes> FaultyStore::ReadSuperblock() const {
+  return base_->ReadSuperblock();
+}
+
+Status FaultyStore::WriteSuperblock(ByteView data) {
+  if (faulted_) {
+    return IoError("injected fault: store is down");
+  }
+  if (armed_) {
+    if (writes_until_fault_ == 0) {
+      faulted_ = true;
+      return IoError("injected fault: superblock write failed");
+    }
+    --writes_until_fault_;
+  }
+  ++write_count_;
+  return base_->WriteSuperblock(data);
+}
+
+void FaultyStore::FailAfterWrites(uint64_t n, bool tear) {
+  armed_ = true;
+  tear_ = tear;
+  writes_until_fault_ = n;
+  faulted_ = false;
+}
+
+void FaultyStore::ClearFault() {
+  armed_ = false;
+  faulted_ = false;
+}
+
+}  // namespace tdb

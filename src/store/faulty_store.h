@@ -1,0 +1,49 @@
+// Fault-injection wrapper around an UntrustedStore, used by crash-recovery
+// and error-propagation tests. It can fail writes after a countdown and can
+// tear the write that trips the countdown (persisting only a prefix), which
+// models a power failure in the middle of a device write.
+
+#ifndef SRC_STORE_FAULTY_STORE_H_
+#define SRC_STORE_FAULTY_STORE_H_
+
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+
+class FaultyStore final : public UntrustedStore {
+ public:
+  explicit FaultyStore(UntrustedStore* base) : base_(base) {}
+
+  size_t segment_size() const override { return base_->segment_size(); }
+  uint32_t num_segments() const override { return base_->num_segments(); }
+
+  Result<Bytes> Read(uint32_t segment, uint32_t offset,
+                     size_t len) const override;
+  Status Write(uint32_t segment, uint32_t offset, ByteView data) override;
+  Status Flush() override;
+  Result<Bytes> ReadSuperblock() const override;
+  Status WriteSuperblock(ByteView data) override;
+
+  // After `n` more successful writes, the next write fails with kIoError
+  // (and, if `tear` is set, persists only the first half of its data before
+  // failing). Further writes and flushes keep failing until ClearFault().
+  void FailAfterWrites(uint64_t n, bool tear = false);
+  void ClearFault();
+  bool faulted() const { return faulted_; }
+
+  uint64_t write_count() const { return write_count_; }
+  uint64_t flush_count() const { return flush_count_; }
+
+ private:
+  UntrustedStore* base_;
+  uint64_t write_count_ = 0;
+  uint64_t flush_count_ = 0;
+  bool armed_ = false;
+  bool tear_ = false;
+  uint64_t writes_until_fault_ = 0;
+  bool faulted_ = false;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_STORE_FAULTY_STORE_H_

@@ -1,0 +1,218 @@
+#include "src/store/untrusted_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include "src/common/pickle.h"
+#include "src/common/profiler.h"
+
+namespace tdb {
+
+MemUntrustedStore::MemUntrustedStore(UntrustedStoreOptions options)
+    : options_(options),
+      segments_(options.num_segments),
+      durable_segments_(options.num_segments),
+      dirty_(options.num_segments, false) {
+  for (uint32_t i = 0; i < options_.num_segments; ++i) {
+    segments_[i].resize(options_.segment_size, 0);
+    durable_segments_[i].resize(options_.segment_size, 0);
+  }
+}
+
+Status MemUntrustedStore::CheckRange(uint32_t segment, uint32_t offset,
+                                     size_t len) const {
+  if (segment >= options_.num_segments) {
+    return InvalidArgumentError("segment index out of range");
+  }
+  if (offset + len > options_.segment_size) {
+    return InvalidArgumentError("read/write past end of segment");
+  }
+  return OkStatus();
+}
+
+Result<Bytes> MemUntrustedStore::Read(uint32_t segment, uint32_t offset,
+                                      size_t len) const {
+  TDB_RETURN_IF_ERROR(CheckRange(segment, offset, len));
+  ProfileCount("untrusted_store.reads");
+  ProfileCount("untrusted_store.bytes_read", len);
+  const Bytes& seg = segments_[segment];
+  return Bytes(seg.begin() + offset, seg.begin() + offset + len);
+}
+
+Status MemUntrustedStore::Write(uint32_t segment, uint32_t offset,
+                                ByteView data) {
+  TDB_RETURN_IF_ERROR(CheckRange(segment, offset, data.size()));
+  std::memcpy(segments_[segment].data() + offset, data.data(), data.size());
+  dirty_[segment] = true;
+  bytes_written_ += data.size();
+  ProfileCount("untrusted_store.bytes_written", data.size());
+  return OkStatus();
+}
+
+Status MemUntrustedStore::Flush() {
+  if (options_.flush_latency.count() > 0) {
+    std::this_thread::sleep_for(options_.flush_latency);
+  }
+  for (uint32_t i = 0; i < options_.num_segments; ++i) {
+    if (dirty_[i]) {
+      durable_segments_[i] = segments_[i];
+      dirty_[i] = false;
+    }
+  }
+  ++flush_count_;
+  ProfileCount("untrusted_store.flushes");
+  return OkStatus();
+}
+
+Result<Bytes> MemUntrustedStore::ReadSuperblock() const { return superblock_; }
+
+Status MemUntrustedStore::WriteSuperblock(ByteView data) {
+  superblock_.assign(data.begin(), data.end());
+  ProfileCount("untrusted_store.superblock_writes");
+  return OkStatus();
+}
+
+void MemUntrustedStore::Crash() {
+  for (uint32_t i = 0; i < options_.num_segments; ++i) {
+    if (dirty_[i]) {
+      segments_[i] = durable_segments_[i];
+      dirty_[i] = false;
+    }
+  }
+}
+
+void MemUntrustedStore::CorruptByte(uint32_t segment, uint32_t offset,
+                                    uint8_t xor_mask) {
+  segments_[segment][offset] ^= xor_mask;
+  durable_segments_[segment][offset] = segments_[segment][offset];
+}
+
+void MemUntrustedStore::CorruptRange(uint32_t segment, uint32_t offset,
+                                     ByteView replacement) {
+  std::memcpy(segments_[segment].data() + offset, replacement.data(),
+              replacement.size());
+  durable_segments_[segment] = segments_[segment];
+}
+
+Bytes MemUntrustedStore::DumpSegment(uint32_t segment) const {
+  return segments_[segment];
+}
+
+void MemUntrustedStore::RestoreSegment(uint32_t segment, ByteView content) {
+  segments_[segment].assign(content.begin(), content.end());
+  segments_[segment].resize(options_.segment_size, 0);
+  durable_segments_[segment] = segments_[segment];
+}
+
+void MemUntrustedStore::RestoreSuperblock(ByteView content) {
+  superblock_.assign(content.begin(), content.end());
+}
+
+Result<std::unique_ptr<FileUntrustedStore>> FileUntrustedStore::Open(
+    const std::string& path, UntrustedStoreOptions options) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return IoError("cannot open " + path);
+  }
+  uint64_t total = kSuperblockRegion + static_cast<uint64_t>(options.num_segments) *
+                                           options.segment_size;
+  if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
+    ::close(fd);
+    return IoError("cannot size " + path);
+  }
+  return std::unique_ptr<FileUntrustedStore>(
+      new FileUntrustedStore(fd, options));
+}
+
+FileUntrustedStore::~FileUntrustedStore() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<Bytes> FileUntrustedStore::Read(uint32_t segment, uint32_t offset,
+                                       size_t len) const {
+  if (segment >= options_.num_segments ||
+      offset + len > options_.segment_size) {
+    return InvalidArgumentError("read past end of segment");
+  }
+  Bytes out(len);
+  ssize_t got = ::pread(fd_, out.data(), len,
+                        static_cast<off_t>(FileOffset(segment, offset)));
+  if (got != static_cast<ssize_t>(len)) {
+    return IoError("short read");
+  }
+  ProfileCount("untrusted_store.reads");
+  ProfileCount("untrusted_store.bytes_read", len);
+  return out;
+}
+
+Status FileUntrustedStore::Write(uint32_t segment, uint32_t offset,
+                                 ByteView data) {
+  if (segment >= options_.num_segments ||
+      offset + data.size() > options_.segment_size) {
+    return InvalidArgumentError("write past end of segment");
+  }
+  ssize_t wrote = ::pwrite(fd_, data.data(), data.size(),
+                           static_cast<off_t>(FileOffset(segment, offset)));
+  if (wrote != static_cast<ssize_t>(data.size())) {
+    return IoError("short write");
+  }
+  ProfileCount("untrusted_store.bytes_written", data.size());
+  return OkStatus();
+}
+
+Status FileUntrustedStore::Flush() {
+  if (options_.flush_latency.count() > 0) {
+    std::this_thread::sleep_for(options_.flush_latency);
+  }
+  if (::fdatasync(fd_) != 0) {
+    return IoError("fdatasync failed");
+  }
+  ProfileCount("untrusted_store.flushes");
+  return OkStatus();
+}
+
+Result<Bytes> FileUntrustedStore::ReadSuperblock() const {
+  Bytes header(4);
+  ssize_t got = ::pread(fd_, header.data(), 4, 0);
+  if (got != 4) {
+    return IoError("cannot read superblock length");
+  }
+  uint32_t len = GetU32(header.data());
+  if (len == 0) {
+    return Bytes{};
+  }
+  if (len > kSuperblockRegion - 4) {
+    return CorruptionError("superblock length out of range");
+  }
+  Bytes out(len);
+  got = ::pread(fd_, out.data(), len, 4);
+  if (got != static_cast<ssize_t>(len)) {
+    return IoError("short superblock read");
+  }
+  return out;
+}
+
+Status FileUntrustedStore::WriteSuperblock(ByteView data) {
+  if (data.size() > kSuperblockRegion - 4) {
+    return InvalidArgumentError("superblock data too large");
+  }
+  Bytes buf;
+  PutU32(buf, static_cast<uint32_t>(data.size()));
+  Append(buf, data);
+  ssize_t wrote = ::pwrite(fd_, buf.data(), buf.size(), 0);
+  if (wrote != static_cast<ssize_t>(buf.size())) {
+    return IoError("short superblock write");
+  }
+  if (::fdatasync(fd_) != 0) {
+    return IoError("fdatasync failed");
+  }
+  ProfileCount("untrusted_store.superblock_writes");
+  return OkStatus();
+}
+
+}  // namespace tdb

@@ -1,0 +1,131 @@
+// The untrusted store of §2.1: bulk persistent storage with efficient random
+// access, readable and writable by *any* program — the adversary included.
+// TDB's log-structured chunk store divides it into fixed-size segments
+// (§4.9.4) plus a small fixed superblock region outside the log that holds
+// the location of the current leader chunk (§4.9.2).
+//
+// Durability model: Write() may be buffered by the device; data is guaranteed
+// durable only after Flush() returns. MemUntrustedStore models this
+// faithfully (Crash() discards unflushed writes), which the crash-recovery
+// tests rely on. WriteSuperblock() is atomic and durable on return.
+
+#ifndef SRC_STORE_UNTRUSTED_STORE_H_
+#define SRC_STORE_UNTRUSTED_STORE_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace tdb {
+
+struct UntrustedStoreOptions {
+  size_t segment_size = 64 * 1024;
+  uint32_t num_segments = 4096;
+  // Modelled device latency applied per Flush (benchmarks only).
+  std::chrono::microseconds flush_latency{0};
+};
+
+class UntrustedStore {
+ public:
+  virtual ~UntrustedStore() = default;
+
+  virtual size_t segment_size() const = 0;
+  virtual uint32_t num_segments() const = 0;
+
+  virtual Result<Bytes> Read(uint32_t segment, uint32_t offset,
+                             size_t len) const = 0;
+  virtual Status Write(uint32_t segment, uint32_t offset, ByteView data) = 0;
+  // Durability barrier for all prior Writes.
+  virtual Status Flush() = 0;
+
+  virtual Result<Bytes> ReadSuperblock() const = 0;
+  virtual Status WriteSuperblock(ByteView data) = 0;
+};
+
+// In-memory store with an explicit volatile write cache. Also the tamper
+// testbed: Corrupt* methods mutate durable state directly, modelling an
+// attacker with full access to the device.
+class MemUntrustedStore final : public UntrustedStore {
+ public:
+  explicit MemUntrustedStore(UntrustedStoreOptions options = {});
+
+  size_t segment_size() const override { return options_.segment_size; }
+  uint32_t num_segments() const override { return options_.num_segments; }
+
+  Result<Bytes> Read(uint32_t segment, uint32_t offset,
+                     size_t len) const override;
+  Status Write(uint32_t segment, uint32_t offset, ByteView data) override;
+  Status Flush() override;
+
+  Result<Bytes> ReadSuperblock() const override;
+  Status WriteSuperblock(ByteView data) override;
+
+  // --- crash & tamper testbed (not part of the UntrustedStore contract) ---
+
+  // Discards all unflushed writes, as a power failure would.
+  void Crash();
+
+  // Attacker operations: mutate the current (visible) state directly.
+  void CorruptByte(uint32_t segment, uint32_t offset, uint8_t xor_mask);
+  void CorruptRange(uint32_t segment, uint32_t offset, ByteView replacement);
+  // Snapshot/restore a whole segment — the replay attack primitive.
+  Bytes DumpSegment(uint32_t segment) const;
+  void RestoreSegment(uint32_t segment, ByteView content);
+  Bytes DumpSuperblock() const { return superblock_; }
+  void RestoreSuperblock(ByteView content);
+
+  uint64_t flush_count() const { return flush_count_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Status CheckRange(uint32_t segment, uint32_t offset, size_t len) const;
+
+  UntrustedStoreOptions options_;
+  std::vector<Bytes> segments_;          // current view (includes unflushed)
+  std::vector<Bytes> durable_segments_;  // survives Crash()
+  std::vector<bool> dirty_;
+  Bytes superblock_;
+  uint64_t flush_count_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+// File-backed store. Layout: 4 KiB superblock region, then segments.
+class FileUntrustedStore final : public UntrustedStore {
+ public:
+  static Result<std::unique_ptr<FileUntrustedStore>> Open(
+      const std::string& path, UntrustedStoreOptions options = {});
+  ~FileUntrustedStore() override;
+
+  size_t segment_size() const override { return options_.segment_size; }
+  uint32_t num_segments() const override { return options_.num_segments; }
+
+  Result<Bytes> Read(uint32_t segment, uint32_t offset,
+                     size_t len) const override;
+  Status Write(uint32_t segment, uint32_t offset, ByteView data) override;
+  Status Flush() override;
+
+  Result<Bytes> ReadSuperblock() const override;
+  Status WriteSuperblock(ByteView data) override;
+
+ private:
+  static constexpr size_t kSuperblockRegion = 4096;
+
+  FileUntrustedStore(int fd, UntrustedStoreOptions options)
+      : fd_(fd), options_(options) {}
+
+  uint64_t FileOffset(uint32_t segment, uint32_t offset) const {
+    return kSuperblockRegion +
+           static_cast<uint64_t>(segment) * options_.segment_size + offset;
+  }
+
+  int fd_ = -1;
+  UntrustedStoreOptions options_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_STORE_UNTRUSTED_STORE_H_

@@ -1,0 +1,90 @@
+// The minimal database facade the vending workload (§9.5.1) runs against.
+//
+// The paper compares TDB with "a system that layers cryptography on top of
+// an off-the-shelf embedded database" on the *same* benchmark. To keep that
+// comparison honest, the workload logic is written once against this facade
+// and both backends implement it: the TDB backend maps it onto the
+// collection/object stores, the XDB backend onto encrypted B-trees with
+// manually maintained index trees. Operation counts (Figure 10) are tallied
+// here, uniformly for both systems.
+
+#ifndef SRC_WORKLOAD_RECORD_H_
+#define SRC_WORKLOAD_RECORD_H_
+
+#include <array>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/pickle.h"
+#include "src/common/status.h"
+
+namespace tdb {
+
+// A generic record with four indexable integer fields and a payload blob.
+// Collections index field i with index #i (a collection with k indexes
+// indexes fields 0..k-1).
+struct Record {
+  std::array<uint64_t, 4> fields = {0, 0, 0, 0};
+  Bytes payload;
+
+  Bytes Pickle() const {
+    PickleWriter w;
+    for (uint64_t f : fields) {
+      w.WriteU64(f);
+    }
+    w.WriteBytes(payload);
+    return w.Take();
+  }
+  static Result<Record> Unpickle(ByteView data) {
+    PickleReader r(data);
+    Record rec;
+    for (uint64_t& f : rec.fields) {
+      f = r.ReadU64();
+    }
+    rec.payload = r.ReadBytes();
+    TDB_RETURN_IF_ERROR(r.Done());
+    return rec;
+  }
+};
+
+struct WorkloadCounts {
+  uint64_t reads = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t adds = 0;
+  uint64_t commits = 0;
+};
+
+class WorkloadStore {
+ public:
+  virtual ~WorkloadStore() = default;
+
+  // Creates a collection with `num_indexes` (1..4) functional indexes over
+  // Record fields 0..num_indexes-1.
+  virtual Status CreateCollection(const std::string& name,
+                                  int num_indexes) = 0;
+
+  // All data operations happen inside a transaction.
+  virtual Status Begin() = 0;
+  virtual Status Commit() = 0;
+
+  virtual Result<uint64_t> Insert(const std::string& collection,
+                                  const Record& record) = 0;
+  virtual Result<Record> Get(const std::string& collection, uint64_t id) = 0;
+  virtual Status Update(const std::string& collection, uint64_t id,
+                        const Record& record) = 0;
+  virtual Status Delete(const std::string& collection, uint64_t id) = 0;
+  // Ids of records whose field `field` equals `key`.
+  virtual Result<std::vector<uint64_t>> LookupByField(
+      const std::string& collection, int field, uint64_t key) = 0;
+
+  const WorkloadCounts& counts() const { return counts_; }
+  void ResetCounts() { counts_ = WorkloadCounts{}; }
+
+ protected:
+  WorkloadCounts counts_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_WORKLOAD_RECORD_H_

@@ -1,0 +1,69 @@
+// The TDB backend for the vending workload: records become objects in the
+// collection store, collections get functional indexes on record fields,
+// and each facade transaction is an object-store transaction.
+
+#ifndef SRC_WORKLOAD_TDB_BACKEND_H_
+#define SRC_WORKLOAD_TDB_BACKEND_H_
+
+#include <memory>
+
+#include "src/collect/collection_store.h"
+#include "src/workload/record.h"
+
+namespace tdb {
+
+// A Pickled wrapper for workload records.
+class RecordObject final : public Pickled {
+ public:
+  static constexpr uint32_t kTypeTag = 300;
+
+  RecordObject() = default;
+  explicit RecordObject(Record record) : record(std::move(record)) {}
+
+  Record record;
+
+  uint32_t type_tag() const override { return kTypeTag; }
+  void PickleFields(PickleWriter& w) const override {
+    w.WriteRaw(record.Pickle());
+  }
+  static Result<ObjectPtr> UnpickleFields(PickleReader& r);
+};
+
+class TdbWorkloadStore final : public WorkloadStore {
+ public:
+  // Creates its own partition, registries, object and collection stores on
+  // top of an existing chunk store.
+  static Result<std::unique_ptr<TdbWorkloadStore>> Create(
+      ChunkStore* chunks, ObjectStoreOptions object_options = {});
+
+  Status CreateCollection(const std::string& name, int num_indexes) override;
+  Status Begin() override;
+  Status Commit() override;
+  Result<uint64_t> Insert(const std::string& collection,
+                          const Record& record) override;
+  Result<Record> Get(const std::string& collection, uint64_t id) override;
+  Status Update(const std::string& collection, uint64_t id,
+                const Record& record) override;
+  Status Delete(const std::string& collection, uint64_t id) override;
+  Result<std::vector<uint64_t>> LookupByField(const std::string& collection,
+                                              int field,
+                                              uint64_t key) override;
+
+  ObjectStore* object_store() { return objects_.get(); }
+
+ private:
+  TdbWorkloadStore() = default;
+
+  Result<ObjectId> CollectionId(const std::string& name);
+
+  std::unique_ptr<TypeRegistry> registry_;
+  std::unique_ptr<KeyFunctionRegistry> key_fns_;
+  std::unique_ptr<ObjectStore> objects_;
+  std::unique_ptr<CollectionStore> collections_;
+  std::unique_ptr<Transaction> txn_;
+  std::map<std::string, ObjectId> collection_ids_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_WORKLOAD_TDB_BACKEND_H_

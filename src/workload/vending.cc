@@ -1,0 +1,219 @@
+#include "src/workload/vending.h"
+
+namespace tdb {
+
+namespace {
+constexpr int kReservedCollections = 5;  // goods/contracts/accounts/licenses/receipts
+}  // namespace
+
+std::string VendingWorkload::FillerName(int index) const {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "c%02d", index + kReservedCollections);
+  return buf;
+}
+
+Record VendingWorkload::MakeRecord(uint64_t f0, uint64_t f1) {
+  Record rec;
+  rec.fields = {f0, f1, rng_.NextBelow(1000), rng_.NextBelow(1000)};
+  rec.payload = rng_.NextBytes(config_.payload_size);
+  return rec;
+}
+
+Status VendingWorkload::Setup() {
+  // Schema: 30 collections with 1-4 indexes each.
+  TDB_RETURN_IF_ERROR(store_->CreateCollection("goods", 2));
+  TDB_RETURN_IF_ERROR(store_->CreateCollection("contracts", 2));
+  TDB_RETURN_IF_ERROR(store_->CreateCollection("accounts", 1));
+  TDB_RETURN_IF_ERROR(store_->CreateCollection("licenses", 2));
+  TDB_RETURN_IF_ERROR(store_->CreateCollection("receipts", 1));
+  int num_fillers = config_.num_collections - kReservedCollections;
+  for (int i = 0; i < num_fillers; ++i) {
+    TDB_RETURN_IF_ERROR(store_->CreateCollection(FillerName(i), i % 4 + 1));
+  }
+
+  // Initial data.
+  TDB_RETURN_IF_ERROR(store_->Begin());
+  for (int g = 0; g < config_.num_goods; ++g) {
+    TDB_ASSIGN_OR_RETURN(uint64_t id,
+                         store_->Insert("goods", MakeRecord(g, 100 + g)));
+    good_ids_.push_back(id);
+  }
+  for (int c = 0; c < config_.num_consumers; ++c) {
+    TDB_ASSIGN_OR_RETURN(uint64_t id,
+                         store_->Insert("accounts", MakeRecord(c, 10000)));
+    account_ids_.push_back(id);
+  }
+  for (int c = 0; c < config_.num_consumers; ++c) {
+    for (int g = 0; g < config_.num_goods; ++g) {
+      TDB_ASSIGN_OR_RETURN(uint64_t id,
+                           store_->Insert("licenses", MakeRecord(c, g)));
+      license_ids_.push_back(id);
+    }
+  }
+  for (int i = 0; i < config_.initial_receipts; ++i) {
+    TDB_ASSIGN_OR_RETURN(uint64_t id,
+                         store_->Insert("receipts", MakeRecord(i, i % 7)));
+    receipt_pool_.push_back(id);
+  }
+  TDB_RETURN_IF_ERROR(store_->Commit());
+
+  for (int i = 0; i < num_fillers; ++i) {
+    TDB_RETURN_IF_ERROR(store_->Begin());
+    std::string name = FillerName(i);
+    for (int j = 0; j < config_.filler_per_collection; ++j) {
+      Record record = MakeRecord(j, i);
+      TDB_ASSIGN_OR_RETURN(uint64_t id, store_->Insert(name, record));
+      filler_ids_[name].push_back(id);
+      filler_records_[{name, id}] = std::move(record);
+    }
+    TDB_RETURN_IF_ERROR(store_->Commit());
+  }
+
+  // Warm the cache: touch everything once.
+  TDB_RETURN_IF_ERROR(store_->Begin());
+  for (uint64_t id : good_ids_) {
+    TDB_RETURN_IF_ERROR(store_->Get("goods", id).status());
+  }
+  for (uint64_t id : account_ids_) {
+    TDB_RETURN_IF_ERROR(store_->Get("accounts", id).status());
+  }
+  for (const auto& [name, ids] : filler_ids_) {
+    for (uint64_t id : ids) {
+      TDB_RETURN_IF_ERROR(store_->Get(name, id).status());
+    }
+  }
+  TDB_RETURN_IF_ERROR(store_->Commit());
+  store_->ResetCounts();
+  return OkStatus();
+}
+
+Status VendingWorkload::FillerReads(int collections, int reads_each) {
+  int num_fillers = config_.num_collections - kReservedCollections;
+  for (int i = 0; i < collections; ++i) {
+    std::string name = FillerName((filler_cursor_ + i) % num_fillers);
+    const std::vector<uint64_t>& ids = filler_ids_[name];
+    for (int j = 0; j < reads_each; ++j) {
+      uint64_t id = ids[rng_.NextBelow(ids.size())];
+      TDB_RETURN_IF_ERROR(store_->Get(name, id).status());
+    }
+  }
+  return OkStatus();
+}
+
+Status VendingWorkload::FillerUpdates(int collections, int updates_each) {
+  int num_fillers = config_.num_collections - kReservedCollections;
+  for (int i = 0; i < collections; ++i) {
+    std::string name = FillerName((filler_cursor_ + i) % num_fillers);
+    std::vector<uint64_t>& ids = filler_ids_[name];
+    for (int j = 0; j < updates_each; ++j) {
+      uint64_t id = ids[rng_.NextBelow(ids.size())];
+      Record& rec = filler_records_[{name, id}];
+      rec.fields[2] += 1;
+      TDB_RETURN_IF_ERROR(store_->Update(name, id, rec));
+    }
+  }
+  ++filler_cursor_;
+  return OkStatus();
+}
+
+Status VendingWorkload::FillerAdds(int adds) {
+  int num_fillers = config_.num_collections - kReservedCollections;
+  for (int i = 0; i < adds; ++i) {
+    std::string name = FillerName(static_cast<int>(rng_.NextBelow(num_fillers)));
+    Record record = MakeRecord(rng_.NextBelow(1000), i);
+    TDB_ASSIGN_OR_RETURN(uint64_t id, store_->Insert(name, record));
+    filler_ids_[name].push_back(id);
+    filler_records_[{name, id}] = std::move(record);
+  }
+  return OkStatus();
+}
+
+Status VendingWorkload::Bind(int good_index) {
+  // Transaction 1: create the three alternative contracts and rebind the
+  // good's catalog entry.
+  TDB_RETURN_IF_ERROR(store_->Begin());
+  uint64_t good_id = good_ids_[good_index];
+  TDB_ASSIGN_OR_RETURN(Record good, store_->Get("goods", good_id));
+  for (int contract = 0; contract < 3; ++contract) {
+    // Field 0 holds the good index so contracts are findable by good.
+    TDB_RETURN_IF_ERROR(
+        store_->Insert("contracts", MakeRecord(good_index, contract)).status());
+  }
+  good.fields[3] += 1;  // bump the good's binding generation
+  TDB_RETURN_IF_ERROR(store_->Update("goods", good_id, good));
+  TDB_RETURN_IF_ERROR(FillerReads(12, 3));
+  TDB_RETURN_IF_ERROR(FillerUpdates(12, 3));
+  TDB_RETURN_IF_ERROR(FillerAdds(8));
+  TDB_RETURN_IF_ERROR(store_->Commit());
+
+  // Transaction 2: vendor-side bookkeeping and audit trail.
+  TDB_RETURN_IF_ERROR(store_->Begin());
+  TDB_RETURN_IF_ERROR(FillerReads(11, 3));
+  TDB_RETURN_IF_ERROR(FillerUpdates(12, 3));
+  TDB_RETURN_IF_ERROR(FillerAdds(11));
+  if (!receipt_pool_.empty()) {
+    uint64_t victim = receipt_pool_.front();
+    receipt_pool_.erase(receipt_pool_.begin());
+    TDB_RETURN_IF_ERROR(store_->Delete("receipts", victim));
+  }
+  return store_->Commit();
+}
+
+Status VendingWorkload::Release(int good_index, int consumer_index) {
+  TDB_RETURN_IF_ERROR(store_->Begin());
+  uint64_t good_id = good_ids_[good_index];
+  TDB_RETURN_IF_ERROR(store_->Get("goods", good_id).status());
+  // Find the good's contracts and pick one of the three at random (§9.5.1).
+  TDB_ASSIGN_OR_RETURN(std::vector<uint64_t> contract_ids,
+                       store_->LookupByField("contracts", 0, good_index));
+  size_t inspect = std::min<size_t>(contract_ids.size(), 3);
+  for (size_t i = 0; i < inspect; ++i) {
+    TDB_RETURN_IF_ERROR(store_->Get("contracts", contract_ids[i]).status());
+  }
+  // Debit the consumer's account.
+  uint64_t account_id = account_ids_[consumer_index];
+  TDB_ASSIGN_OR_RETURN(Record account, store_->Get("accounts", account_id));
+  if (account.fields[1] > 0) {
+    account.fields[1] -= 1;
+  }
+  TDB_RETURN_IF_ERROR(store_->Update("accounts", account_id, account));
+  // Count the use against the license.
+  uint64_t license_id =
+      license_ids_[consumer_index * config_.num_goods + good_index];
+  TDB_ASSIGN_OR_RETURN(Record license, store_->Get("licenses", license_id));
+  license.fields[2] += 1;
+  TDB_RETURN_IF_ERROR(store_->Update("licenses", license_id, license));
+  // Receipt turnover: occasionally add, always retire one.
+  if (rng_.NextBelow(10) < 4) {
+    TDB_ASSIGN_OR_RETURN(
+        uint64_t id,
+        store_->Insert("receipts", MakeRecord(consumer_index, good_index)));
+    receipt_pool_.push_back(id);
+  }
+  if (!receipt_pool_.empty()) {
+    uint64_t victim = receipt_pool_.front();
+    receipt_pool_.erase(receipt_pool_.begin());
+    TDB_RETURN_IF_ERROR(store_->Delete("receipts", victim));
+  }
+  // Consumer-side bookkeeping across the cached working set.
+  TDB_RETURN_IF_ERROR(FillerReads(10, 7));
+  TDB_RETURN_IF_ERROR(FillerUpdates(15, 1));
+  return store_->Commit();
+}
+
+Status VendingWorkload::RunBindExperiment(int operations) {
+  for (int i = 0; i < operations; ++i) {
+    TDB_RETURN_IF_ERROR(Bind(i % config_.num_goods));
+  }
+  return OkStatus();
+}
+
+Status VendingWorkload::RunReleaseExperiment(int operations) {
+  for (int i = 0; i < operations; ++i) {
+    TDB_RETURN_IF_ERROR(Release(i % config_.num_goods,
+                                i % config_.num_consumers));
+  }
+  return OkStatus();
+}
+
+}  // namespace tdb

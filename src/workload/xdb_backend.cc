@@ -1,0 +1,139 @@
+#include "src/workload/xdb_backend.h"
+
+#include "src/collect/index.h"
+
+namespace tdb {
+
+Result<std::unique_ptr<XdbWorkloadStore>> XdbWorkloadStore::Create(
+    Xdb* db, MonotonicCounter* counter, uint32_t counter_flush_interval) {
+  auto store = std::unique_ptr<XdbWorkloadStore>(new XdbWorkloadStore());
+  CryptoParams params;
+  params.cipher = CipherAlg::kDes;
+  params.hash = HashAlg::kSha1;
+  params.key = Bytes(8, 0x5C);
+  TDB_ASSIGN_OR_RETURN(CryptoSuite suite, CryptoSuite::Create(params));
+  store->secure_ = std::make_unique<SecureXdb>(db, std::move(suite), counter,
+                                               counter_flush_interval);
+  return store;
+}
+
+Bytes XdbWorkloadStore::IndexKey(uint64_t field_value, uint64_t id) {
+  Bytes key;
+  for (int i = 0; i < 8; ++i) {
+    key.push_back(static_cast<uint8_t>(field_value >> (56 - 8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    key.push_back(static_cast<uint8_t>(id >> (56 - 8 * i)));
+  }
+  return key;
+}
+
+Status XdbWorkloadStore::CreateCollection(const std::string& name,
+                                          int num_indexes) {
+  TDB_RETURN_IF_ERROR(secure_->CreateTree(name));
+  for (int field = 0; field < num_indexes; ++field) {
+    TDB_RETURN_IF_ERROR(secure_->CreateTree(IndexTree(name, field)));
+  }
+  index_counts_[name] = num_indexes;
+  next_ids_[name] = 1;
+  return OkStatus();
+}
+
+Status XdbWorkloadStore::Begin() { return OkStatus(); }
+
+Status XdbWorkloadStore::Commit() {
+  TDB_RETURN_IF_ERROR(secure_->Commit());
+  ++counts_.commits;
+  return OkStatus();
+}
+
+Status XdbWorkloadStore::AddIndexEntries(const std::string& collection,
+                                         uint64_t id, const Record& record) {
+  for (int field = 0; field < index_counts_[collection]; ++field) {
+    TDB_RETURN_IF_ERROR(secure_->Put(IndexTree(collection, field),
+                                     IndexKey(record.fields[field], id), {}));
+  }
+  return OkStatus();
+}
+
+Status XdbWorkloadStore::RemoveIndexEntries(const std::string& collection,
+                                            uint64_t id,
+                                            const Record& record) {
+  for (int field = 0; field < index_counts_[collection]; ++field) {
+    TDB_RETURN_IF_ERROR(secure_->Delete(IndexTree(collection, field),
+                                        IndexKey(record.fields[field], id)));
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> XdbWorkloadStore::Insert(const std::string& collection,
+                                          const Record& record) {
+  uint64_t id = next_ids_[collection]++;
+  TDB_RETURN_IF_ERROR(
+      secure_->Put(collection, EncodeU64Key(id), record.Pickle()));
+  TDB_RETURN_IF_ERROR(AddIndexEntries(collection, id, record));
+  ++counts_.adds;
+  return id;
+}
+
+Result<Record> XdbWorkloadStore::Get(const std::string& collection,
+                                     uint64_t id) {
+  TDB_ASSIGN_OR_RETURN(Bytes stored, secure_->Get(collection, EncodeU64Key(id)));
+  TDB_ASSIGN_OR_RETURN(Record record, Record::Unpickle(stored));
+  ++counts_.reads;
+  return record;
+}
+
+Status XdbWorkloadStore::Update(const std::string& collection, uint64_t id,
+                                const Record& record) {
+  TDB_ASSIGN_OR_RETURN(Bytes old_stored,
+                       secure_->Get(collection, EncodeU64Key(id)));
+  TDB_ASSIGN_OR_RETURN(Record old_record, Record::Unpickle(old_stored));
+  // Reindex changed fields.
+  for (int field = 0; field < index_counts_[collection]; ++field) {
+    if (old_record.fields[field] != record.fields[field]) {
+      TDB_RETURN_IF_ERROR(
+          secure_->Delete(IndexTree(collection, field),
+                          IndexKey(old_record.fields[field], id)));
+      TDB_RETURN_IF_ERROR(secure_->Put(IndexTree(collection, field),
+                                       IndexKey(record.fields[field], id), {}));
+    }
+  }
+  TDB_RETURN_IF_ERROR(
+      secure_->Put(collection, EncodeU64Key(id), record.Pickle()));
+  ++counts_.updates;
+  return OkStatus();
+}
+
+Status XdbWorkloadStore::Delete(const std::string& collection, uint64_t id) {
+  TDB_ASSIGN_OR_RETURN(Bytes old_stored,
+                       secure_->Get(collection, EncodeU64Key(id)));
+  TDB_ASSIGN_OR_RETURN(Record old_record, Record::Unpickle(old_stored));
+  TDB_RETURN_IF_ERROR(RemoveIndexEntries(collection, id, old_record));
+  TDB_RETURN_IF_ERROR(secure_->Delete(collection, EncodeU64Key(id)));
+  ++counts_.deletes;
+  return OkStatus();
+}
+
+Result<std::vector<uint64_t>> XdbWorkloadStore::LookupByField(
+    const std::string& collection, int field, uint64_t key) {
+  if (field >= index_counts_[collection]) {
+    return InvalidArgumentError("field is not indexed");
+  }
+  std::vector<uint64_t> out;
+  Bytes lo = IndexKey(key, 0);
+  Bytes hi = IndexKey(key, ~0ULL);
+  TDB_RETURN_IF_ERROR(secure_->Scan(
+      IndexTree(collection, field), lo, hi, [&](ByteView k, ByteView) {
+        uint64_t id = 0;
+        for (int i = 8; i < 16; ++i) {
+          id = (id << 8) | k[i];
+        }
+        out.push_back(id);
+        return true;
+      }));
+  ++counts_.reads;
+  return out;
+}
+
+}  // namespace tdb

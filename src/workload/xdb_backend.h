@@ -1,0 +1,58 @@
+// The XDB backend for the vending workload: the "cryptography layered on an
+// off-the-shelf embedded database" system of §9.5. Each collection is an
+// encrypted B-tree (id → record) plus one index tree per indexed field; the
+// layer above XDB maintains the index trees itself, since XDB knows nothing
+// about the records it stores.
+
+#ifndef SRC_WORKLOAD_XDB_BACKEND_H_
+#define SRC_WORKLOAD_XDB_BACKEND_H_
+
+#include <map>
+#include <memory>
+
+#include "src/workload/record.h"
+#include "src/xdb/crypto_layer.h"
+
+namespace tdb {
+
+class XdbWorkloadStore final : public WorkloadStore {
+ public:
+  // Uses the same cryptographic parameters as the TDB backend, per §9.5:
+  // "We configured both systems to use the same cryptographic parameters".
+  static Result<std::unique_ptr<XdbWorkloadStore>> Create(
+      Xdb* db, MonotonicCounter* counter, uint32_t counter_flush_interval);
+
+  Status CreateCollection(const std::string& name, int num_indexes) override;
+  Status Begin() override;
+  Status Commit() override;
+  Result<uint64_t> Insert(const std::string& collection,
+                          const Record& record) override;
+  Result<Record> Get(const std::string& collection, uint64_t id) override;
+  Status Update(const std::string& collection, uint64_t id,
+                const Record& record) override;
+  Status Delete(const std::string& collection, uint64_t id) override;
+  Result<std::vector<uint64_t>> LookupByField(const std::string& collection,
+                                              int field,
+                                              uint64_t key) override;
+
+ private:
+  XdbWorkloadStore() = default;
+
+  static std::string IndexTree(const std::string& collection, int field) {
+    return collection + ".i" + std::to_string(field);
+  }
+  static Bytes IndexKey(uint64_t field_value, uint64_t id);
+
+  Status AddIndexEntries(const std::string& collection, uint64_t id,
+                         const Record& record);
+  Status RemoveIndexEntries(const std::string& collection, uint64_t id,
+                            const Record& record);
+
+  std::unique_ptr<SecureXdb> secure_;
+  std::map<std::string, int> index_counts_;
+  std::map<std::string, uint64_t> next_ids_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_WORKLOAD_XDB_BACKEND_H_

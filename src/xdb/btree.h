@@ -1,0 +1,81 @@
+// A B+-tree over fixed-size pages: XDB's ordered index structure. Keys and
+// values are byte strings; interior nodes hold separator keys, leaves are
+// chained for range scans. Nodes are (de)serialized whole from their pages,
+// which keeps the layout logic simple at a small CPU cost.
+
+#ifndef SRC_XDB_BTREE_H_
+#define SRC_XDB_BTREE_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/xdb/pager.h"
+
+namespace tdb {
+
+class BTree {
+ public:
+  // Visits (key, value); return false to stop the scan.
+  using ScanFn = std::function<bool(ByteView key, ByteView value)>;
+
+  // Allocates an empty leaf root and returns its page number.
+  static Result<uint32_t> CreateEmpty(Pager* pager);
+
+  BTree(Pager* pager, uint32_t root_page)
+      : pager_(pager), root_(root_page) {}
+
+  // The root may move after structural changes; persist it after mutations.
+  uint32_t root() const { return root_; }
+
+  // Upserts. Fails with kInvalidArgument if the record cannot fit.
+  Status Put(ByteView key, ByteView value);
+  Result<Bytes> Get(ByteView key);
+  Status Delete(ByteView key);
+
+  // Inclusive range scan in key order.
+  Status Scan(ByteView lo, ByteView hi, const ScanFn& fn);
+  Status ScanAll(const ScanFn& fn);
+
+  // Largest key+value the tree accepts (two records must fit in a page).
+  size_t max_record_size() const;
+
+  // Diagnostics: number of (leaf) records, via a full scan.
+  Result<uint64_t> Count();
+
+ private:
+  struct LeafNode {
+    std::vector<std::pair<Bytes, Bytes>> entries;
+    uint32_t next_leaf = 0;  // 0 = none (page 0 is never a tree node)
+  };
+  struct InteriorNode {
+    std::vector<Bytes> keys;        // keys[i] = min key of children[i+1]
+    std::vector<uint32_t> children;  // keys.size() + 1
+  };
+  struct Node {
+    bool is_leaf = true;
+    LeafNode leaf;
+    InteriorNode interior;
+  };
+  struct SplitResult {
+    Bytes separator;  // min key of the new right sibling
+    uint32_t right_page = 0;
+  };
+
+  Result<Node> ReadNode(uint32_t page_no);
+  Status WriteNode(uint32_t page_no, const Node& node);
+  static Bytes Serialize(const Node& node);
+  static Result<Node> Deserialize(ByteView data);
+  size_t NodeSizeLimit() const;
+
+  Result<std::optional<SplitResult>> PutRec(uint32_t page_no, ByteView key,
+                                            ByteView value);
+  Result<bool> DeleteRec(uint32_t page_no, ByteView key);
+
+  Pager* pager_;
+  uint32_t root_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_XDB_BTREE_H_

@@ -1,0 +1,76 @@
+#include "src/xdb/crypto_layer.h"
+
+namespace tdb {
+
+Bytes SecureXdb::MacInput(const std::string& tree, ByteView key,
+                          ByteView value) const {
+  PickleWriter w;
+  w.WriteString(tree);
+  w.WriteBytes(key);
+  w.WriteBytes(value);
+  return w.Take();
+}
+
+Status SecureXdb::Put(const std::string& tree, ByteView key, ByteView value) {
+  Bytes ciphertext = suite_.Encrypt(value);
+  Bytes mac = suite_.Mac(MacInput(tree, key, value));
+  PickleWriter w;
+  w.WriteBytes(ciphertext);
+  w.WriteBytes(mac);
+  return db_->Put(tree, key, w.data());
+}
+
+Result<Bytes> SecureXdb::Get(const std::string& tree, ByteView key) {
+  TDB_ASSIGN_OR_RETURN(Bytes stored, db_->Get(tree, key));
+  PickleReader r(stored);
+  Bytes ciphertext = r.ReadBytes();
+  Bytes mac = r.ReadBytes();
+  TDB_RETURN_IF_ERROR(r.Done());
+  Result<Bytes> value = suite_.Decrypt(ciphertext);
+  if (!value.ok()) {
+    return TamperDetectedError("record fails to decrypt");
+  }
+  if (!ConstantTimeEqual(suite_.Mac(MacInput(tree, key, *value)), mac)) {
+    return TamperDetectedError("record MAC mismatch");
+  }
+  return value;
+}
+
+Status SecureXdb::Delete(const std::string& tree, ByteView key) {
+  return db_->Delete(tree, key);
+}
+
+Status SecureXdb::Scan(const std::string& tree, ByteView lo, ByteView hi,
+                       const BTree::ScanFn& fn) {
+  Status verify = OkStatus();
+  TDB_RETURN_IF_ERROR(db_->Scan(
+      tree, lo, hi, [&](ByteView key, ByteView stored) {
+        PickleReader r(stored);
+        Bytes ciphertext = r.ReadBytes();
+        Bytes mac = r.ReadBytes();
+        if (!r.Done().ok()) {
+          verify = TamperDetectedError("malformed stored record");
+          return false;
+        }
+        Result<Bytes> value = suite_.Decrypt(ciphertext);
+        if (!value.ok() ||
+            !ConstantTimeEqual(suite_.Mac(MacInput(tree, key, *value)), mac)) {
+          verify = TamperDetectedError("record fails validation during scan");
+          return false;
+        }
+        return fn(key, *value);
+      }));
+  return verify;
+}
+
+Status SecureXdb::Commit() {
+  TDB_RETURN_IF_ERROR(db_->Commit());
+  ++commit_count_;
+  if (commit_count_ % flush_interval_ == 0) {
+    TDB_ASSIGN_OR_RETURN(uint64_t current, counter_->Read());
+    TDB_RETURN_IF_ERROR(counter_->AdvanceTo(current + flush_interval_));
+  }
+  return OkStatus();
+}
+
+}  // namespace tdb

@@ -1,0 +1,65 @@
+// The "cryptography layered on top of a conventional database" architecture
+// that the paper compares TDB against (§1.2, §9.5): records are encrypted
+// and MACed before being handed to XDB, and a commit sequence number is kept
+// in the tamper-resistant store.
+//
+// This layer deliberately has the weaknesses the paper describes:
+//  * XDB's metadata (B-tree structure, the record *keys* used for ordering)
+//    is not protected — an attacker with store access can delete or reorder
+//    records undetectably at the storage level.
+//  * Individual record replay is not detected (no hash tree over records).
+//  * Ordered indexes over encrypted fields are impossible, so the layer
+//    stores keys in plaintext to keep range queries working.
+// TDB's integrated design is the fix; this layer exists to reproduce the
+// paper's comparison, not as a recommended system.
+
+#ifndef SRC_XDB_CRYPTO_LAYER_H_
+#define SRC_XDB_CRYPTO_LAYER_H_
+
+#include <memory>
+
+#include "src/crypto/suite.h"
+#include "src/platform/trusted_store.h"
+#include "src/xdb/xdb.h"
+
+namespace tdb {
+
+class SecureXdb {
+ public:
+  // `counter` plays the role of the tamper-resistant store; a commit
+  // sequence number is advanced once per `counter_flush_interval` commits,
+  // mirroring TDB's delta_ut configuration (§9.1).
+  SecureXdb(Xdb* db, CryptoSuite suite, MonotonicCounter* counter,
+            uint32_t counter_flush_interval = 1)
+      : db_(db),
+        suite_(std::move(suite)),
+        counter_(counter),
+        flush_interval_(std::max<uint32_t>(counter_flush_interval, 1)) {}
+
+  Status CreateTree(const std::string& name) { return db_->CreateTree(name); }
+
+  // Values are encrypted and MACed (over tree || key || value).
+  Status Put(const std::string& tree, ByteView key, ByteView value);
+  Result<Bytes> Get(const std::string& tree, ByteView key);
+  Status Delete(const std::string& tree, ByteView key);
+  // Scans decrypt and verify each visited record.
+  Status Scan(const std::string& tree, ByteView lo, ByteView hi,
+              const BTree::ScanFn& fn);
+
+  Status Commit();
+
+  Xdb* raw() { return db_; }
+
+ private:
+  Bytes MacInput(const std::string& tree, ByteView key, ByteView value) const;
+
+  Xdb* db_;
+  CryptoSuite suite_;
+  MonotonicCounter* counter_;
+  uint32_t flush_interval_;
+  uint64_t commit_count_ = 0;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_XDB_CRYPTO_LAYER_H_

@@ -1,0 +1,71 @@
+#include "src/xdb/wal.h"
+
+#include "src/common/pickle.h"
+#include "src/crypto/sha256.h"
+
+namespace tdb {
+
+namespace {
+constexpr uint32_t kCommitMarker = 0xC0FFEE01;
+}  // namespace
+
+Status Wal::LogCommit(const std::unordered_map<uint32_t, Bytes>& pages) {
+  PickleWriter w;
+  w.WriteU32(static_cast<uint32_t>(pages.size()));
+  Sha256 check;
+  for (const auto& [page_no, data] : pages) {
+    w.WriteU32(page_no);
+    w.WriteBytes(data);
+    Bytes no_bytes;
+    PutU32(no_bytes, page_no);
+    check.Update(no_bytes);
+    check.Update(data);
+  }
+  w.WriteU32(kCommitMarker);
+  w.WriteBytes(check.Finish());
+  TDB_RETURN_IF_ERROR(log_->Append(w.data()));
+  return log_->Flush();
+}
+
+Status Wal::Recover(
+    const std::function<Status(uint32_t page_no, ByteView data)>& apply) {
+  TDB_ASSIGN_OR_RETURN(Bytes log, log_->ReadAll());
+  PickleReader r(log);
+  while (r.remaining() > 0) {
+    uint32_t count = r.ReadU32();
+    if (!r.ok()) {
+      break;
+    }
+    std::vector<std::pair<uint32_t, Bytes>> pages;
+    Sha256 check;
+    bool truncated = false;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t page_no = r.ReadU32();
+      Bytes data = r.ReadBytes();
+      if (!r.ok()) {
+        truncated = true;
+        break;
+      }
+      Bytes no_bytes;
+      PutU32(no_bytes, page_no);
+      check.Update(no_bytes);
+      check.Update(data);
+      pages.emplace_back(page_no, std::move(data));
+    }
+    if (truncated) {
+      break;
+    }
+    uint32_t marker = r.ReadU32();
+    Bytes checksum = r.ReadBytes();
+    if (!r.ok() || marker != kCommitMarker ||
+        !ConstantTimeEqual(checksum, check.Finish())) {
+      break;  // incomplete last commit: ignore it
+    }
+    for (const auto& [page_no, data] : pages) {
+      TDB_RETURN_IF_ERROR(apply(page_no, data));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace tdb

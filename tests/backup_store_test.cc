@@ -1,0 +1,308 @@
+// Tests for the backup store: full and incremental backup creation,
+// restores onto the same and fresh stores, chain enforcement, set
+// completeness, tamper detection on archived bytes, and approval hooks.
+
+#include <gtest/gtest.h>
+
+#include "src/backup/backup_store.h"
+#include "src/chunk/chunk_store.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/archival_store.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+namespace {
+
+CryptoParams TestParams(uint8_t fill = 0x33) {
+  return CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, fill)};
+}
+
+class BackupTest : public ::testing::Test {
+ protected:
+  BackupTest()
+      : store_({.segment_size = 8192, .num_segments = 512}),
+        secret_(Bytes(32, 0xA5)) {
+    options_.validation.mode = ValidationMode::kCounter;
+    auto cs = ChunkStore::Create(&store_, Trusted(), options_);
+    EXPECT_TRUE(cs.ok());
+    chunks_ = std::move(*cs);
+    backup_ = std::make_unique<BackupStore>(chunks_.get());
+  }
+
+  TrustedServices Trusted() {
+    return TrustedServices{&secret_, nullptr, &counter_};
+  }
+
+  PartitionId MakePartition(uint8_t fill = 0x33) {
+    auto pid = chunks_->AllocatePartition();
+    EXPECT_TRUE(pid.ok());
+    ChunkStore::Batch batch;
+    batch.WritePartition(*pid, TestParams(fill));
+    EXPECT_TRUE(chunks_->Commit(std::move(batch)).ok());
+    return *pid;
+  }
+
+  ChunkId WriteNew(PartitionId p, const std::string& data) {
+    auto id = chunks_->AllocateChunk(p);
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(chunks_->WriteChunk(*id, BytesFromString(data)).ok());
+    return *id;
+  }
+
+  MemUntrustedStore store_;
+  MemSecretStore secret_;
+  MemMonotonicCounter counter_;
+  ChunkStoreOptions options_;
+  std::unique_ptr<ChunkStore> chunks_;
+  std::unique_ptr<BackupStore> backup_;
+  MemArchive archive_;
+};
+
+TEST_F(BackupTest, FullBackupAndRestoreToSameStore) {
+  PartitionId p = MakePartition();
+  ChunkId a = WriteNew(p, "alpha");
+  ChunkId b = WriteNew(p, "beta");
+
+  auto sink = archive_.OpenSink("full");
+  auto created = backup_->CreateBackupSet({{p, 0}}, /*set_id=*/42,
+                                          /*created_unix=*/1000, sink.get());
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE(sink->Close().ok());
+  EXPECT_EQ(created->chunks_written, 2u);
+
+  // Wreck the partition, then restore. Note: the extra chunk is written
+  // before b is deallocated so it gets a fresh rank rather than reusing b's.
+  ASSERT_TRUE(chunks_->WriteChunk(a, BytesFromString("corrupted")).ok());
+  ChunkId extra = WriteNew(p, "extra chunk not in backup");
+  ASSERT_TRUE(chunks_->DeallocateChunk(b).ok());
+
+  auto source = archive_.OpenSource("full");
+  ASSERT_TRUE(source.ok());
+  auto restored = backup_->RestoreStream(source->get());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->restored, std::vector<PartitionId>{p});
+
+  EXPECT_EQ(*chunks_->Read(a), BytesFromString("alpha"));
+  EXPECT_EQ(*chunks_->Read(b), BytesFromString("beta"));
+  // The extra chunk was not in the full backup: it must be gone.
+  EXPECT_EQ(chunks_->Read(extra).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BackupTest, RestoreOntoFreshStore) {
+  PartitionId p = MakePartition();
+  ChunkId a = WriteNew(p, "carried across stores");
+  auto sink = archive_.OpenSink("x");
+  ASSERT_TRUE(backup_->CreateBackupSet({{p, 0}}, 7, 0, sink.get()).ok());
+  ASSERT_TRUE(sink->Close().ok());
+
+  // A different machine: fresh untrusted store, same platform secret.
+  MemUntrustedStore store2({.segment_size = 8192, .num_segments = 512});
+  MemMonotonicCounter counter2;
+  auto cs2 = ChunkStore::Create(
+      &store2, TrustedServices{&secret_, nullptr, &counter2}, options_);
+  ASSERT_TRUE(cs2.ok());
+  BackupStore backup2(cs2->get());
+  auto source = archive_.OpenSource("x");
+  auto restored = backup2.RestoreStream(source->get());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(*(*cs2)->Read(a), BytesFromString("carried across stores"));
+}
+
+TEST_F(BackupTest, IncrementalBackupCarriesOnlyChanges) {
+  PartitionId p = MakePartition();
+  std::vector<ChunkId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(WriteNew(p, "base" + std::to_string(i)));
+  }
+  auto sink_full = archive_.OpenSink("full");
+  auto full = backup_->CreateBackupSet({{p, 0}}, 1, 0, sink_full.get());
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sink_full->Close().ok());
+
+  // Change little, then take an incremental backup against the snapshot.
+  ASSERT_TRUE(chunks_->WriteChunk(ids[2], BytesFromString("changed")).ok());
+  ASSERT_TRUE(chunks_->DeallocateChunk(ids[5]).ok());
+  auto sink_inc = archive_.OpenSink("inc");
+  auto inc = backup_->CreateBackupSet({{p, full->snapshots[0]}}, 2, 1, sink_inc.get());
+  ASSERT_TRUE(inc.ok());
+  ASSERT_TRUE(sink_inc->Close().ok());
+  EXPECT_EQ(inc->chunks_written, 2u);  // one update + one deallocation
+  EXPECT_LT(archive_.StreamSize("inc"), archive_.StreamSize("full"));
+
+  // Restore the chain onto a fresh store.
+  MemUntrustedStore store2({.segment_size = 8192, .num_segments = 512});
+  MemMonotonicCounter counter2;
+  auto cs2 = ChunkStore::Create(
+      &store2, TrustedServices{&secret_, nullptr, &counter2}, options_);
+  ASSERT_TRUE(cs2.ok());
+  BackupStore backup2(cs2->get());
+  // Concatenate full + incremental into one stream.
+  auto sink_chain = archive_.OpenSink("chain");
+  auto src_f = archive_.OpenSource("full");
+  auto src_i = archive_.OpenSource("inc");
+  ASSERT_TRUE(sink_chain->Write(*(*src_f)->Read(1 << 24)).ok());
+  ASSERT_TRUE(sink_chain->Write(*(*src_i)->Read(1 << 24)).ok());
+  ASSERT_TRUE(sink_chain->Close().ok());
+
+  auto source = archive_.OpenSource("chain");
+  auto restored = backup2.RestoreStream(source->get());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(*(*cs2)->Read(ids[2]), BytesFromString("changed"));
+  EXPECT_EQ((*cs2)->Read(ids[5]).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(*(*cs2)->Read(ids[0]), BytesFromString("base0"));
+}
+
+TEST_F(BackupTest, BrokenIncrementalChainRejected) {
+  PartitionId p = MakePartition();
+  WriteNew(p, "v1");
+  auto sink_full = archive_.OpenSink("full");
+  auto full = backup_->CreateBackupSet({{p, 0}}, 1, 0, sink_full.get());
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sink_full->Close().ok());
+
+  WriteNew(p, "v2");
+  auto sink_inc1 = archive_.OpenSink("inc1");
+  auto inc1 = backup_->CreateBackupSet({{p, full->snapshots[0]}}, 2, 1,
+                                       sink_inc1.get());
+  ASSERT_TRUE(inc1.ok());
+  ASSERT_TRUE(sink_inc1->Close().ok());
+
+  WriteNew(p, "v3");
+  auto sink_inc2 = archive_.OpenSink("inc2");
+  auto inc2 = backup_->CreateBackupSet({{p, inc1->snapshots[0]}}, 3, 2,
+                                       sink_inc2.get());
+  ASSERT_TRUE(inc2.ok());
+  ASSERT_TRUE(sink_inc2->Close().ok());
+
+  // full + inc2 (skipping inc1): the chain has a missing link.
+  auto sink_chain = archive_.OpenSink("bad_chain");
+  auto src_f = archive_.OpenSource("full");
+  auto src_2 = archive_.OpenSource("inc2");
+  ASSERT_TRUE(sink_chain->Write(*(*src_f)->Read(1 << 24)).ok());
+  ASSERT_TRUE(sink_chain->Write(*(*src_2)->Read(1 << 24)).ok());
+  ASSERT_TRUE(sink_chain->Close().ok());
+
+  MemUntrustedStore store2({.segment_size = 8192, .num_segments = 512});
+  MemMonotonicCounter counter2;
+  auto cs2 = ChunkStore::Create(
+      &store2, TrustedServices{&secret_, nullptr, &counter2}, options_);
+  BackupStore backup2(cs2->get());
+  auto source = archive_.OpenSource("bad_chain");
+  auto restored = backup2.RestoreStream(source->get());
+  EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BackupTest, MultiPartitionSetIsConsistentAndComplete) {
+  PartitionId p1 = MakePartition(0x31);
+  PartitionId p2 = MakePartition(0x32);
+  ChunkId a = WriteNew(p1, "one");
+  ChunkId b = WriteNew(p2, "two");
+  auto sink = archive_.OpenSink("set");
+  auto created = backup_->CreateBackupSet({{p1, 0}, {p2, 0}}, 9, 0, sink.get());
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE(sink->Close().ok());
+
+  MemUntrustedStore store2({.segment_size = 8192, .num_segments = 512});
+  MemMonotonicCounter counter2;
+  auto cs2 = ChunkStore::Create(
+      &store2, TrustedServices{&secret_, nullptr, &counter2}, options_);
+  BackupStore backup2(cs2->get());
+  auto source = archive_.OpenSource("set");
+  auto restored = backup2.RestoreStream(source->get());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->restored.size(), 2u);
+  EXPECT_EQ(*(*cs2)->Read(a), BytesFromString("one"));
+  EXPECT_EQ(*(*cs2)->Read(b), BytesFromString("two"));
+}
+
+TEST_F(BackupTest, PartialBackupSetRejected) {
+  PartitionId p1 = MakePartition(0x31);
+  PartitionId p2 = MakePartition(0x32);
+  WriteNew(p1, "one");
+  WriteNew(p2, "two");
+  auto sink = archive_.OpenSink("set");
+  ASSERT_TRUE(backup_->CreateBackupSet({{p1, 0}, {p2, 0}}, 9, 0, sink.get()).ok());
+  ASSERT_TRUE(sink->Close().ok());
+
+  // Truncate the stream to cut off the second partition backup: find the
+  // size of a single-partition backup by making one and measuring.
+  auto sink_single = archive_.OpenSink("single");
+  ASSERT_TRUE(backup_->CreateBackupSet({{p1, 0}}, 10, 0, sink_single.get()).ok());
+  ASSERT_TRUE(sink_single->Close().ok());
+  size_t single_size = archive_.StreamSize("single");
+
+  auto src = archive_.OpenSource("set");
+  Bytes full_stream = *(*src)->Read(1 << 24);
+  auto sink_cut = archive_.OpenSink("cut");
+  ASSERT_TRUE(
+      sink_cut->Write(ByteView(full_stream.data(), single_size)).ok());
+  ASSERT_TRUE(sink_cut->Close().ok());
+
+  MemUntrustedStore store2({.segment_size = 8192, .num_segments = 512});
+  MemMonotonicCounter counter2;
+  auto cs2 = ChunkStore::Create(
+      &store2, TrustedServices{&secret_, nullptr, &counter2}, options_);
+  BackupStore backup2(cs2->get());
+  auto source = archive_.OpenSource("cut");
+  auto restored = backup2.RestoreStream(source->get());
+  EXPECT_FALSE(restored.ok());
+}
+
+TEST_F(BackupTest, TamperedArchiveDetected) {
+  PartitionId p = MakePartition();
+  WriteNew(p, "sensitive payload that matters");
+  auto sink = archive_.OpenSink("b");
+  ASSERT_TRUE(backup_->CreateBackupSet({{p, 0}}, 4, 0, sink.get()).ok());
+  ASSERT_TRUE(sink->Close().ok());
+  // Flip a byte in the middle of the archived stream.
+  ASSERT_TRUE(archive_.Corrupt("b", archive_.StreamSize("b") / 2, 0x01).ok());
+
+  MemUntrustedStore store2({.segment_size = 8192, .num_segments = 512});
+  MemMonotonicCounter counter2;
+  auto cs2 = ChunkStore::Create(
+      &store2, TrustedServices{&secret_, nullptr, &counter2}, options_);
+  BackupStore backup2(cs2->get());
+  auto source = archive_.OpenSource("b");
+  auto restored = backup2.RestoreStream(source->get());
+  EXPECT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().code() == StatusCode::kTamperDetected ||
+              restored.status().code() == StatusCode::kCorruption)
+      << restored.status();
+}
+
+TEST_F(BackupTest, ApproverCanDenyRestore) {
+  PartitionId p = MakePartition();
+  WriteNew(p, "x");
+  auto sink = archive_.OpenSink("b");
+  ASSERT_TRUE(backup_->CreateBackupSet({{p, 0}}, 4, /*created_unix=*/50,
+                                       sink.get()).ok());
+  ASSERT_TRUE(sink->Close().ok());
+  auto source = archive_.OpenSource("b");
+  // A trusted program refusing old backups (§6.3).
+  auto restored = backup_->RestoreStream(
+      source->get(), [](const BackupDescriptor& d) -> Status {
+        if (d.created_unix < 100) {
+          return FailedPreconditionError("backup too old; restore denied");
+        }
+        return OkStatus();
+      });
+  EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BackupTest, RestoredStateSurvivesRestart) {
+  PartitionId p = MakePartition();
+  ChunkId a = WriteNew(p, "will be restored");
+  auto sink = archive_.OpenSink("b");
+  ASSERT_TRUE(backup_->CreateBackupSet({{p, 0}}, 4, 0, sink.get()).ok());
+  ASSERT_TRUE(sink->Close().ok());
+  ASSERT_TRUE(chunks_->WriteChunk(a, BytesFromString("overwritten")).ok());
+  auto source = archive_.OpenSource("b");
+  ASSERT_TRUE(backup_->RestoreStream(source->get()).ok());
+  chunks_.reset();
+  auto reopened = ChunkStore::Open(&store_, Trusted(), options_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(*(*reopened)->Read(a), BytesFromString("will be restored"));
+}
+
+}  // namespace
+}  // namespace tdb

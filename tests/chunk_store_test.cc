@@ -1,0 +1,737 @@
+// Integration-level tests for the chunk store: basic operations, atomic
+// commits, checkpointing, crash recovery, tamper detection (including replay
+// attacks), partitions, copy-on-write snapshots, diffs, and cleaning.
+//
+// Most tests are parameterized over both validation modes (§4.8.2).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/chunk/chunk_store.h"
+#include "src/common/rng.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+namespace {
+
+CryptoParams TestPartitionParams(uint8_t key_fill = 0x11) {
+  CryptoParams params;
+  params.cipher = CipherAlg::kAes128;
+  params.hash = HashAlg::kSha256;
+  params.key = Bytes(16, key_fill);
+  return params;
+}
+
+// A self-contained TDB "machine": untrusted store + trusted stores. Supports
+// crash-restart cycles: the trusted stores persist across Reopen, and Crash
+// drops unflushed untrusted writes.
+class TestRig {
+ public:
+  explicit TestRig(ValidationMode mode, UntrustedStoreOptions store_options =
+                                            {.segment_size = 8192,
+                                             .num_segments = 256}) {
+    store_ = std::make_unique<MemUntrustedStore>(store_options);
+    secret_ = std::make_unique<MemSecretStore>(Bytes(32, 0xA5));
+    reg_ = std::make_unique<MemTamperResistantRegister>();
+    counter_ = std::make_unique<MemMonotonicCounter>();
+    options_.validation.mode = mode;
+  }
+
+  TrustedServices trusted() {
+    return TrustedServices{secret_.get(), reg_.get(), counter_.get()};
+  }
+
+  Result<std::unique_ptr<ChunkStore>> Create() {
+    return ChunkStore::Create(store_.get(), trusted(), options_);
+  }
+  Result<std::unique_ptr<ChunkStore>> Open() {
+    return ChunkStore::Open(store_.get(), trusted(), options_);
+  }
+
+  MemUntrustedStore& store() { return *store_; }
+  ChunkStoreOptions& options() { return options_; }
+
+ private:
+  std::unique_ptr<MemUntrustedStore> store_;
+  std::unique_ptr<MemSecretStore> secret_;
+  std::unique_ptr<MemTamperResistantRegister> reg_;
+  std::unique_ptr<MemMonotonicCounter> counter_;
+  ChunkStoreOptions options_;
+};
+
+class ChunkStoreTest : public ::testing::TestWithParam<ValidationMode> {
+ protected:
+  TestRig rig_{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(BothModes, ChunkStoreTest,
+                         ::testing::Values(ValidationMode::kCounter,
+                                           ValidationMode::kDirectHash),
+                         [](const auto& info) {
+                           return info.param == ValidationMode::kCounter
+                                      ? "Counter"
+                                      : "DirectHash";
+                         });
+
+// Creates a partition through the standard allocate + commit protocol.
+PartitionId MakePartition(ChunkStore& cs, uint8_t key_fill = 0x11) {
+  auto pid = cs.AllocatePartition();
+  EXPECT_TRUE(pid.ok());
+  ChunkStore::Batch batch;
+  batch.WritePartition(*pid, TestPartitionParams(key_fill));
+  EXPECT_TRUE(cs.Commit(std::move(batch)).ok());
+  return *pid;
+}
+
+TEST_P(ChunkStoreTest, WriteAndReadBack) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  auto id = (*cs)->AllocateChunk(p);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*cs)->WriteChunk(*id, BytesFromString("hello, tdb")).ok());
+  auto back = (*cs)->Read(*id);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, BytesFromString("hello, tdb"));
+}
+
+TEST_P(ChunkStoreTest, RewriteChangesStateAndSize) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("short")).ok());
+  Bytes longer(3000, 'z');
+  ASSERT_TRUE((*cs)->WriteChunk(id, longer).ok());
+  EXPECT_EQ(*(*cs)->Read(id), longer);
+  ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("s")).ok());
+  EXPECT_EQ(*(*cs)->Read(id), BytesFromString("s"));
+}
+
+TEST_P(ChunkStoreTest, ReadOfUnwrittenChunkFails) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  EXPECT_EQ((*cs)->Read(id).status().code(), StatusCode::kNotFound);
+}
+
+TEST_P(ChunkStoreTest, WriteOfUnallocatedChunkFails) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId bogus(p, 0, 999);
+  EXPECT_EQ((*cs)->WriteChunk(bogus, BytesFromString("x")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_P(ChunkStoreTest, MultiChunkCommitIsVisibleTogether) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  std::vector<ChunkId> ids;
+  ChunkStore::Batch batch;
+  for (int i = 0; i < 10; ++i) {
+    ChunkId id = *(*cs)->AllocateChunk(p);
+    ids.push_back(id);
+    batch.WriteChunk(id, BytesFromString("chunk " + std::to_string(i)));
+  }
+  ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(*(*cs)->Read(ids[i]),
+              BytesFromString("chunk " + std::to_string(i)));
+  }
+}
+
+TEST_P(ChunkStoreTest, DeallocatedIdIsReused) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("v1")).ok());
+  ASSERT_TRUE((*cs)->DeallocateChunk(id).ok());
+  EXPECT_EQ((*cs)->Read(id).status().code(), StatusCode::kNotFound);
+  ChunkId again = *(*cs)->AllocateChunk(p);
+  EXPECT_EQ(again, id);  // the freed rank comes back
+  ASSERT_TRUE((*cs)->WriteChunk(again, BytesFromString("v2")).ok());
+  EXPECT_EQ(*(*cs)->Read(again), BytesFromString("v2"));
+}
+
+TEST_P(ChunkStoreTest, DeallocateOfUnwrittenFails) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  EXPECT_EQ((*cs)->DeallocateChunk(id).code(), StatusCode::kNotFound);
+}
+
+TEST_P(ChunkStoreTest, SurvivesCheckpointAndReopen) {
+  std::vector<ChunkId> ids;
+  {
+    auto cs = rig_.Create();
+    ASSERT_TRUE(cs.ok());
+    PartitionId p = MakePartition(**cs);
+    for (int i = 0; i < 20; ++i) {
+      ChunkId id = *(*cs)->AllocateChunk(p);
+      ids.push_back(id);
+      ASSERT_TRUE(
+          (*cs)->WriteChunk(id, BytesFromString("data" + std::to_string(i)))
+              .ok());
+    }
+    ASSERT_TRUE((*cs)->Checkpoint().ok());
+  }
+  auto cs = rig_.Open();
+  ASSERT_TRUE(cs.ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(*(*cs)->Read(ids[i]), BytesFromString("data" + std::to_string(i)));
+  }
+}
+
+TEST_P(ChunkStoreTest, RecoversResidualLogAfterRestart) {
+  std::vector<ChunkId> ids;
+  {
+    auto cs = rig_.Create();
+    ASSERT_TRUE(cs.ok());
+    PartitionId p = MakePartition(**cs);
+    ChunkId pre = *(*cs)->AllocateChunk(p);
+    ids.push_back(pre);
+    ASSERT_TRUE((*cs)->WriteChunk(pre, BytesFromString("pre-ckpt")).ok());
+    ASSERT_TRUE((*cs)->Checkpoint().ok());
+    // These commits live only in the residual log.
+    for (int i = 0; i < 15; ++i) {
+      ChunkId id = *(*cs)->AllocateChunk(p);
+      ids.push_back(id);
+      ASSERT_TRUE(
+          (*cs)->WriteChunk(id, BytesFromString("post" + std::to_string(i)))
+              .ok());
+    }
+    ASSERT_TRUE((*cs)->WriteChunk(pre, BytesFromString("rewritten")).ok());
+  }
+  auto cs = rig_.Open();
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(*(*cs)->Read(ids[0]), BytesFromString("rewritten"));
+  for (int i = 1; i <= 15; ++i) {
+    EXPECT_EQ(*(*cs)->Read(ids[i]),
+              BytesFromString("post" + std::to_string(i - 1)));
+  }
+}
+
+TEST_P(ChunkStoreTest, DeallocationSurvivesRestart) {
+  TestRig& rig = rig_;
+  ChunkId id;
+  PartitionId p;
+  {
+    auto cs = rig.Create();
+    ASSERT_TRUE(cs.ok());
+    p = MakePartition(**cs);
+    id = *(*cs)->AllocateChunk(p);
+    ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("doomed")).ok());
+    ASSERT_TRUE((*cs)->Checkpoint().ok());
+    ASSERT_TRUE((*cs)->DeallocateChunk(id).ok());
+  }
+  auto cs = rig.Open();
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ((*cs)->Read(id).status().code(), StatusCode::kNotFound);
+  // The freed id must be available again.
+  ChunkId again = *(*cs)->AllocateChunk(p);
+  EXPECT_EQ(again, id);
+}
+
+TEST_P(ChunkStoreTest, GrowsBeyondOneMapChunk) {
+  // More data chunks than the map fanout forces a two-level tree.
+  std::vector<ChunkId> ids;
+  {
+    auto cs = rig_.Create();
+    ASSERT_TRUE(cs.ok());
+    PartitionId p = MakePartition(**cs);
+    for (uint64_t i = 0; i < kMapFanout * 2 + 5; ++i) {
+      ChunkId id = *(*cs)->AllocateChunk(p);
+      ids.push_back(id);
+      ASSERT_TRUE(
+          (*cs)->WriteChunk(id, BytesFromString("v" + std::to_string(i))).ok());
+    }
+    ASSERT_TRUE((*cs)->Checkpoint().ok());
+  }
+  auto cs = rig_.Open();
+  ASSERT_TRUE(cs.ok());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(*(*cs)->Read(ids[i]), BytesFromString("v" + std::to_string(i)));
+  }
+}
+
+TEST_P(ChunkStoreTest, TamperWithChunkBodyIsDetected) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  ASSERT_TRUE((*cs)->WriteChunk(id, Bytes(500, 'd')).ok());
+  auto loc = (*cs)->DebugChunkLocation(id);
+  ASSERT_TRUE(loc.ok());
+  // Flip a byte in the middle of the stored version (inside the body).
+  rig_.store().CorruptByte(loc->first.segment,
+                           loc->first.offset + loc->second / 2, 0x01);
+  EXPECT_EQ((*cs)->Read(id).status().code(), StatusCode::kTamperDetected);
+}
+
+TEST_P(ChunkStoreTest, TamperWithHeaderIsDetected) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  ASSERT_TRUE((*cs)->WriteChunk(id, Bytes(100, 'h')).ok());
+  auto loc = (*cs)->DebugChunkLocation(id);
+  ASSERT_TRUE(loc.ok());
+  // Corrupt the last byte of the header ciphertext: CBC garbles the whole
+  // final plaintext block, so the decoded position/size cannot match.
+  // (Flipping an IV byte that only lands in the header's partition field is
+  // tolerated by design — copies share versions across partitions and the
+  // body hash is what binds content.)
+  uint32_t header_size =
+      static_cast<uint32_t>(HeaderCipherSize((*cs)->system_suite()));
+  rig_.store().CorruptByte(loc->first.segment,
+                           loc->first.offset + header_size - 1, 0x80);
+  EXPECT_EQ((*cs)->Read(id).status().code(), StatusCode::kTamperDetected);
+}
+
+TEST_P(ChunkStoreTest, TamperWithMapChunkIsDetectedAfterReopen) {
+  ChunkId id;
+  Location map_loc;
+  uint32_t map_size = 0;
+  {
+    auto cs = rig_.Create();
+    ASSERT_TRUE(cs.ok());
+    PartitionId p = MakePartition(**cs);
+    id = *(*cs)->AllocateChunk(p);
+    ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("payload")).ok());
+    ASSERT_TRUE((*cs)->Checkpoint().ok());
+    auto loc = (*cs)->DebugChunkLocation(ChunkId(p, 1, 0));
+    ASSERT_TRUE(loc.ok());
+    map_loc = loc->first;
+    map_size = loc->second;
+  }
+  // Attack the map chunk (metadata!) while the store is offline.
+  rig_.store().CorruptByte(map_loc.segment, map_loc.offset + map_size - 1,
+                           0xFF);
+  auto cs = rig_.Open();
+  // The map chunk is in the checkpointed log, so opening succeeds but the
+  // read through the tampered map must fail.
+  if (cs.ok()) {
+    EXPECT_EQ((*cs)->Read(id).status().code(), StatusCode::kTamperDetected);
+  } else {
+    EXPECT_EQ(cs.status().code(), StatusCode::kTamperDetected);
+  }
+}
+
+TEST_P(ChunkStoreTest, ReplayOfOldStoreStateIsDetected) {
+  // The headline attack (§1): save a copy of the database, make purchases,
+  // restore the copy to roll back the payments.
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("balance=100")).ok());
+
+  // Snapshot the *entire* untrusted store.
+  std::vector<Bytes> segments;
+  for (uint32_t s = 0; s < rig_.store().num_segments(); ++s) {
+    segments.push_back(rig_.store().DumpSegment(s));
+  }
+  Bytes superblock = rig_.store().DumpSuperblock();
+
+  ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("balance=0")).ok());
+  cs->reset();  // close
+
+  // Replay: restore the old store contents wholesale.
+  for (uint32_t s = 0; s < rig_.store().num_segments(); ++s) {
+    rig_.store().RestoreSegment(s, segments[s]);
+  }
+  rig_.store().RestoreSuperblock(superblock);
+
+  auto replayed = rig_.Open();
+  if (replayed.ok()) {
+    // If open somehow succeeded, the read must not reveal the stale balance
+    // as valid.
+    auto read = (*replayed)->Read(id);
+    ASSERT_FALSE(read.ok() && *read == BytesFromString("balance=100"))
+        << "replay attack succeeded!";
+  } else {
+    EXPECT_EQ(replayed.status().code(), StatusCode::kTamperDetected);
+  }
+}
+
+TEST_P(ChunkStoreTest, TruncatedResidualLogIsDetected) {
+  // Deleting committed data from the log tail must be caught (delta = 0).
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("v1")).ok());
+
+  std::vector<Bytes> segments;
+  for (uint32_t s = 0; s < rig_.store().num_segments(); ++s) {
+    segments.push_back(rig_.store().DumpSegment(s));
+  }
+
+  ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("v2")).ok());
+  cs->reset();
+
+  // Restore only the log segments (not the superblock): this erases the last
+  // commit set from the tail, keeping the same checkpoint.
+  for (uint32_t s = 0; s < rig_.store().num_segments(); ++s) {
+    rig_.store().RestoreSegment(s, segments[s]);
+  }
+  auto reopened = rig_.Open();
+  if (reopened.ok()) {
+    auto read = (*reopened)->Read(id);
+    ASSERT_FALSE(read.ok() && *read == BytesFromString("v1"))
+        << "tail deletion went unnoticed";
+  } else {
+    EXPECT_EQ(reopened.status().code(), StatusCode::kTamperDetected);
+  }
+}
+
+TEST_P(ChunkStoreTest, PartitionsAreIsolated) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p1 = MakePartition(**cs, 0x11);
+  PartitionId p2 = MakePartition(**cs, 0x22);
+  ChunkId a = *(*cs)->AllocateChunk(p1);
+  ChunkId b = *(*cs)->AllocateChunk(p2);
+  // Same position, different partitions.
+  EXPECT_EQ(a.position, b.position);
+  ASSERT_TRUE((*cs)->WriteChunk(a, BytesFromString("in p1")).ok());
+  ASSERT_TRUE((*cs)->WriteChunk(b, BytesFromString("in p2")).ok());
+  EXPECT_EQ(*(*cs)->Read(a), BytesFromString("in p1"));
+  EXPECT_EQ(*(*cs)->Read(b), BytesFromString("in p2"));
+}
+
+TEST_P(ChunkStoreTest, PartitionWithNullCipherAndSha1) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  auto pid = (*cs)->AllocatePartition();
+  ASSERT_TRUE(pid.ok());
+  CryptoParams params;
+  params.cipher = CipherAlg::kNone;
+  params.hash = HashAlg::kSha1;
+  ChunkStore::Batch batch;
+  batch.WritePartition(*pid, params);
+  ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  ChunkId id = *(*cs)->AllocateChunk(*pid);
+  ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("plain but hashed")).ok());
+  EXPECT_EQ(*(*cs)->Read(id), BytesFromString("plain but hashed"));
+  // Tamper detection still works without encryption.
+  auto loc = (*cs)->DebugChunkLocation(id);
+  ASSERT_TRUE(loc.ok());
+  rig_.store().CorruptByte(loc->first.segment, loc->first.offset + loc->second - 1,
+                           0x01);
+  EXPECT_EQ((*cs)->Read(id).status().code(), StatusCode::kTamperDetected);
+}
+
+TEST_P(ChunkStoreTest, CopyOnWriteSnapshot) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  std::vector<ChunkId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ChunkId id = *(*cs)->AllocateChunk(p);
+    ids.push_back(id);
+    ASSERT_TRUE(
+        (*cs)->WriteChunk(id, BytesFromString("orig" + std::to_string(i))).ok());
+  }
+  // Snapshot.
+  auto snap = (*cs)->AllocatePartition();
+  ASSERT_TRUE(snap.ok());
+  ChunkStore::Batch batch;
+  batch.CopyPartition(*snap, p);
+  ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+
+  // Mutate the original.
+  ASSERT_TRUE((*cs)->WriteChunk(ids[3], BytesFromString("mutated")).ok());
+  ASSERT_TRUE((*cs)->DeallocateChunk(ids[7]).ok());
+
+  // The snapshot still sees the old state.
+  EXPECT_EQ(*(*cs)->Read(ChunkId(*snap, ids[3].position)),
+            BytesFromString("orig3"));
+  EXPECT_EQ(*(*cs)->Read(ChunkId(*snap, ids[7].position)),
+            BytesFromString("orig7"));
+  // The original sees the new state.
+  EXPECT_EQ(*(*cs)->Read(ids[3]), BytesFromString("mutated"));
+  EXPECT_EQ((*cs)->Read(ids[7]).status().code(), StatusCode::kNotFound);
+}
+
+TEST_P(ChunkStoreTest, SnapshotSurvivesRestart) {
+  PartitionId p, snap;
+  ChunkId id;
+  {
+    auto cs = rig_.Create();
+    ASSERT_TRUE(cs.ok());
+    p = MakePartition(**cs);
+    id = *(*cs)->AllocateChunk(p);
+    ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("before")).ok());
+    snap = *(*cs)->AllocatePartition();
+    ChunkStore::Batch batch;
+    batch.CopyPartition(snap, p);
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+    ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("after")).ok());
+  }
+  auto cs = rig_.Open();
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(*(*cs)->Read(ChunkId(snap, id.position)), BytesFromString("before"));
+  EXPECT_EQ(*(*cs)->Read(id), BytesFromString("after"));
+}
+
+TEST_P(ChunkStoreTest, DiffBetweenSnapshots) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  std::vector<ChunkId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ChunkId id = *(*cs)->AllocateChunk(p);
+    ids.push_back(id);
+    ASSERT_TRUE(
+        (*cs)->WriteChunk(id, BytesFromString("base" + std::to_string(i))).ok());
+  }
+  PartitionId snap1 = *(*cs)->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.CopyPartition(snap1, p);
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  // Update 2, delete 1, add 1.
+  ASSERT_TRUE((*cs)->WriteChunk(ids[1], BytesFromString("changed")).ok());
+  ASSERT_TRUE((*cs)->WriteChunk(ids[4], BytesFromString("changed too")).ok());
+  ASSERT_TRUE((*cs)->DeallocateChunk(ids[6]).ok());
+  ChunkId added = *(*cs)->AllocateChunk(p);
+  ASSERT_TRUE((*cs)->WriteChunk(added, BytesFromString("new")).ok());
+  PartitionId snap2 = *(*cs)->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.CopyPartition(snap2, p);
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  auto diff = (*cs)->Diff(snap1, snap2);
+  ASSERT_TRUE(diff.ok());
+  std::set<uint64_t> changed_ranks;
+  for (const ChunkPosition& pos : *diff) {
+    changed_ranks.insert(pos.rank);
+  }
+  std::set<uint64_t> expected = {ids[1].position.rank, ids[4].position.rank,
+                                 ids[6].position.rank, added.position.rank};
+  EXPECT_EQ(changed_ranks, expected);
+}
+
+TEST_P(ChunkStoreTest, DeallocatePartitionCascadesToCopies) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("x")).ok());
+  PartitionId snap = *(*cs)->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.CopyPartition(snap, p);
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  {
+    ChunkStore::Batch batch;
+    batch.DeallocatePartition(p);
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  EXPECT_FALSE((*cs)->PartitionExists(p));
+  EXPECT_FALSE((*cs)->PartitionExists(snap));
+  EXPECT_FALSE((*cs)->Read(id).ok());
+  EXPECT_FALSE((*cs)->Read(ChunkId(snap, id.position)).ok());
+}
+
+TEST_P(ChunkStoreTest, CleanerReclaimsSpaceAndPreservesData) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  // Fill several segments with churn: write then repeatedly overwrite.
+  std::vector<ChunkId> ids;
+  Rng rng(99);
+  for (int i = 0; i < 30; ++i) {
+    ids.push_back(*(*cs)->AllocateChunk(p));
+  }
+  for (int round = 0; round < 10; ++round) {
+    ChunkStore::Batch batch;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      batch.WriteChunk(ids[i], rng.NextBytes(400));
+    }
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  // Final contents to verify later.
+  std::vector<Bytes> expected;
+  {
+    ChunkStore::Batch batch;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      expected.push_back(BytesFromString("final " + std::to_string(i)));
+      batch.WriteChunk(ids[i], expected.back());
+    }
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  ASSERT_TRUE((*cs)->Checkpoint().ok());
+  uint64_t free_before = (*cs)->GetStats().free_segments;
+  auto cleaned = (*cs)->Clean(1000);
+  ASSERT_TRUE(cleaned.ok());
+  EXPECT_GT(*cleaned, 0u);
+  EXPECT_GT((*cs)->GetStats().free_segments, free_before);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(*(*cs)->Read(ids[i]), expected[i]);
+  }
+  // And everything still reads after a restart.
+  cs->reset();
+  auto reopened = rig_.Open();
+  ASSERT_TRUE(reopened.ok());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(*(*reopened)->Read(ids[i]), expected[i]);
+  }
+}
+
+TEST_P(ChunkStoreTest, CleanerPreservesSnapshotSharing) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  std::vector<ChunkId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ChunkId id = *(*cs)->AllocateChunk(p);
+    ids.push_back(id);
+    ASSERT_TRUE(
+        (*cs)->WriteChunk(id, BytesFromString("shared" + std::to_string(i)))
+            .ok());
+  }
+  PartitionId snap = *(*cs)->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.CopyPartition(snap, p);
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  // Overwrite everything in the live partition so the old versions are only
+  // current in the snapshot, then churn to make segments cleanable.
+  Rng rng(5);
+  for (int round = 0; round < 8; ++round) {
+    ChunkStore::Batch batch;
+    for (const ChunkId& id : ids) {
+      batch.WriteChunk(id, rng.NextBytes(300));
+    }
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  ASSERT_TRUE((*cs)->Checkpoint().ok());
+  ASSERT_TRUE((*cs)->Clean(1000).ok());
+  // Snapshot data survived cleaning.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(*(*cs)->Read(ChunkId(snap, ids[i].position)),
+              BytesFromString("shared" + std::to_string(i)));
+  }
+}
+
+TEST_P(ChunkStoreTest, AutoCheckpointTriggersOnDirtyThreshold) {
+  rig_.options().checkpoint_dirty_threshold = 50;
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  uint64_t checkpoints_before = (*cs)->GetStats().checkpoints;
+  for (int i = 0; i < 120; ++i) {
+    ChunkId id = *(*cs)->AllocateChunk(p);
+    ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("x")).ok());
+  }
+  EXPECT_GT((*cs)->GetStats().checkpoints, checkpoints_before);
+}
+
+TEST_P(ChunkStoreTest, StatsReportActivity) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  ASSERT_TRUE((*cs)->WriteChunk(id, Bytes(100, 'a')).ok());
+  auto stats = (*cs)->GetStats();
+  EXPECT_GE(stats.commits, 2u);  // partition write + chunk write
+  EXPECT_EQ(stats.chunks_written, 1u);
+  EXPECT_GE(stats.bytes_committed, 100u);
+  EXPECT_GT(stats.live_log_bytes, 0u);
+}
+
+TEST(ChunkStoreCounterTest, UnflushedTailToleratedWithinDeltaTu) {
+  // Model a lazy untrusted store: commits don't flush, the counter runs
+  // ahead, and recovery accepts a log up to delta_tu commits behind.
+  TestRig rig(ValidationMode::kCounter);
+  rig.options().validation.flush_every_commit = false;
+  rig.options().validation.delta_tu = 8;
+  ChunkId id;
+  {
+    auto cs = rig.Create();
+    ASSERT_TRUE(cs.ok());
+    PartitionId p = MakePartition(**cs);
+    id = *(*cs)->AllocateChunk(p);
+    ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("v1")).ok());
+    ASSERT_TRUE((*cs)->Checkpoint().ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          (*cs)->WriteChunk(id, BytesFromString("v" + std::to_string(i + 2)))
+              .ok());
+    }
+    // Crash with the last commits unflushed.
+    rig.store().Crash();
+  }
+  auto cs = rig.Open();
+  ASSERT_TRUE(cs.ok()) << cs.status();
+  auto read = (*cs)->Read(id);
+  ASSERT_TRUE(read.ok());
+  // Some prefix of the history survived; it must be one of the versions.
+  std::string got = StringFromBytes(*read);
+  EXPECT_TRUE(got == "v1" || got == "v2" || got == "v3" || got == "v4") << got;
+}
+
+TEST(ChunkStoreCounterTest, DeltaUtBatchesCounterWrites) {
+  TestRig rig(ValidationMode::kCounter);
+  rig.options().validation.delta_ut = 5;
+  auto cs = rig.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  // 10 commits with delta_ut=5 should write the counter roughly twice, not
+  // ten times. We can't see the counter writes directly here, but recovery
+  // must still succeed mid-window.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        (*cs)->WriteChunk(id, BytesFromString("v" + std::to_string(i))).ok());
+  }
+  cs->reset();
+  auto reopened = rig.Open();
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(*(*reopened)->Read(id), BytesFromString("v9"));
+}
+
+TEST(ChunkStoreEdgeTest, OutOfSpaceSurfacesCleanly) {
+  TestRig rig(ValidationMode::kCounter,
+              {.segment_size = 4096, .num_segments = 4});
+  auto cs = rig.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  Status last = OkStatus();
+  for (int i = 0; i < 100 && last.ok(); ++i) {
+    auto id = (*cs)->AllocateChunk(p);
+    if (!id.ok()) {
+      last = id.status();
+      break;
+    }
+    last = (*cs)->WriteChunk(*id, Bytes(1500, 'f'));
+  }
+  EXPECT_EQ(last.code(), StatusCode::kOutOfSpace);
+}
+
+TEST(ChunkStoreEdgeTest, OversizedChunkRejected) {
+  TestRig rig(ValidationMode::kCounter,
+              {.segment_size = 4096, .num_segments = 16});
+  auto cs = rig.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  EXPECT_EQ((*cs)->WriteChunk(id, Bytes(8192, 'x')).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,329 @@
+// Tests for the collection store: collection lifecycle, functional indexes
+// (sorted and unsorted), automatic index maintenance on insert / update /
+// remove, dynamic index add/drop with backfill, and iterators.
+
+#include <gtest/gtest.h>
+
+#include "src/collect/collection_store.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+namespace {
+
+// A digital good with a price, the kind of object the vending workload uses.
+class Good final : public Pickled {
+ public:
+  static constexpr uint32_t kTypeTag = 200;
+
+  Good() = default;
+  Good(std::string title, uint64_t price) : title(std::move(title)), price(price) {}
+
+  std::string title;
+  uint64_t price = 0;
+
+  uint32_t type_tag() const override { return kTypeTag; }
+  void PickleFields(PickleWriter& w) const override {
+    w.WriteString(title);
+    w.WriteVarint(price);
+  }
+  static Result<ObjectPtr> UnpickleFields(PickleReader& r) {
+    auto good = std::make_shared<Good>();
+    good->title = r.ReadString();
+    good->price = r.ReadVarint();
+    return ObjectPtr(good);
+  }
+};
+
+const Good& AsGood(const ObjectPtr& object) {
+  return dynamic_cast<const Good&>(*object);
+}
+
+class CollectionStoreTest : public ::testing::Test {
+ protected:
+  CollectionStoreTest()
+      : store_({.segment_size = 8192, .num_segments = 512}),
+        secret_(Bytes(32, 0xA5)) {
+    options_.validation.mode = ValidationMode::kCounter;
+    auto cs = ChunkStore::Create(
+        &store_, TrustedServices{&secret_, nullptr, &counter_}, options_);
+    EXPECT_TRUE(cs.ok());
+    chunks_ = std::move(*cs);
+    EXPECT_TRUE(RegisterType<Good>(registry_).ok());
+    EXPECT_TRUE(CollectionStore::RegisterTypes(registry_).ok());
+    EXPECT_TRUE(key_fns_
+                    .Register("good.title",
+                              [](const Pickled& object) -> Result<Bytes> {
+                                return EncodeStringKey(
+                                    dynamic_cast<const Good&>(object).title);
+                              })
+                    .ok());
+    EXPECT_TRUE(key_fns_
+                    .Register("good.price",
+                              [](const Pickled& object) -> Result<Bytes> {
+                                return EncodeU64Key(
+                                    dynamic_cast<const Good&>(object).price);
+                              })
+                    .ok());
+
+    auto pid = chunks_->AllocatePartition();
+    ChunkStore::Batch batch;
+    batch.WritePartition(
+        *pid, CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, 1)});
+    EXPECT_TRUE(chunks_->Commit(std::move(batch)).ok());
+    objects_ = std::make_unique<ObjectStore>(chunks_.get(), *pid, &registry_);
+    auto txn = objects_->Begin();
+    auto dir = CollectionStore::Format(*txn);
+    EXPECT_TRUE(dir.ok());
+    EXPECT_TRUE(txn->Commit().ok());
+    collections_ = std::make_unique<CollectionStore>(objects_.get(), &key_fns_,
+                                                     *dir);
+  }
+
+  ObjectId MakeCatalog() {
+    auto txn = objects_->Begin();
+    auto id = collections_->CreateCollection(
+        *txn, "catalog",
+        {{"by_title", "good.title", /*sorted=*/false},
+         {"by_price", "good.price", /*sorted=*/true}});
+    EXPECT_TRUE(id.ok()) << id.status();
+    EXPECT_TRUE(txn->Commit().ok());
+    return *id;
+  }
+
+  MemUntrustedStore store_;
+  MemSecretStore secret_;
+  MemMonotonicCounter counter_;
+  ChunkStoreOptions options_;
+  TypeRegistry registry_;
+  KeyFunctionRegistry key_fns_;
+  std::unique_ptr<ChunkStore> chunks_;
+  std::unique_ptr<ObjectStore> objects_;
+  std::unique_ptr<CollectionStore> collections_;
+};
+
+TEST_F(CollectionStoreTest, CreateAndFindCollection) {
+  ObjectId catalog = MakeCatalog();
+  auto txn = objects_->Begin();
+  auto found = collections_->FindCollection(*txn, "catalog");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, catalog);
+  EXPECT_EQ(collections_->FindCollection(*txn, "nope").status().code(),
+            StatusCode::kNotFound);
+  auto names = collections_->ListCollections(*txn);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, std::vector<std::string>{"catalog"});
+}
+
+TEST_F(CollectionStoreTest, DuplicateCollectionRejected) {
+  MakeCatalog();
+  auto txn = objects_->Begin();
+  EXPECT_EQ(
+      collections_->CreateCollection(*txn, "catalog").status().code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST_F(CollectionStoreTest, InsertAndExactLookup) {
+  ObjectId catalog = MakeCatalog();
+  auto txn = objects_->Begin();
+  ASSERT_TRUE(collections_
+                  ->Insert(*txn, catalog, std::make_shared<Good>("sonata", 500))
+                  .ok());
+  ASSERT_TRUE(collections_
+                  ->Insert(*txn, catalog, std::make_shared<Good>("quartet", 300))
+                  .ok());
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto txn2 = objects_->Begin();
+  auto hits = collections_->LookupExact(*txn2, catalog, "by_title",
+                                        EncodeStringKey("sonata"));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(AsGood(*txn2->Get((*hits)[0])).price, 500u);
+}
+
+TEST_F(CollectionStoreTest, RangeLookupOnSortedIndex) {
+  ObjectId catalog = MakeCatalog();
+  auto txn = objects_->Begin();
+  for (uint64_t price : {100u, 250u, 400u, 550u, 700u}) {
+    ASSERT_TRUE(collections_
+                    ->Insert(*txn, catalog,
+                             std::make_shared<Good>(
+                                 "good" + std::to_string(price), price))
+                    .ok());
+  }
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto txn2 = objects_->Begin();
+  auto hits = collections_->LookupRange(*txn2, catalog, "by_price",
+                                        EncodeU64Key(200), EncodeU64Key(600));
+  ASSERT_TRUE(hits.ok());
+  std::vector<uint64_t> prices;
+  for (ObjectId id : *hits) {
+    prices.push_back(AsGood(*txn2->Get(id)).price);
+  }
+  EXPECT_EQ(prices, (std::vector<uint64_t>{250, 400, 550}));
+}
+
+TEST_F(CollectionStoreTest, RangeOnUnsortedIndexRejected) {
+  ObjectId catalog = MakeCatalog();
+  auto txn = objects_->Begin();
+  EXPECT_EQ(collections_
+                ->LookupRange(*txn, catalog, "by_title", EncodeStringKey("a"),
+                              EncodeStringKey("z"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CollectionStoreTest, UpdateMovesIndexEntries) {
+  ObjectId catalog = MakeCatalog();
+  ObjectId good_id;
+  {
+    auto txn = objects_->Begin();
+    good_id = *collections_->Insert(*txn, catalog,
+                                    std::make_shared<Good>("opus", 100));
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = objects_->Begin();
+    ASSERT_TRUE(collections_
+                    ->Update(*txn, catalog, good_id,
+                             std::make_shared<Good>("opus", 900))
+                    .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto txn = objects_->Begin();
+  EXPECT_TRUE(collections_
+                  ->LookupRange(*txn, catalog, "by_price", EncodeU64Key(0),
+                                EncodeU64Key(200))
+                  ->empty());
+  auto hits = collections_->LookupRange(*txn, catalog, "by_price",
+                                        EncodeU64Key(800), EncodeU64Key(1000));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST_F(CollectionStoreTest, RemoveDropsMemberAndIndexEntries) {
+  ObjectId catalog = MakeCatalog();
+  ObjectId good_id;
+  {
+    auto txn = objects_->Begin();
+    good_id = *collections_->Insert(*txn, catalog,
+                                    std::make_shared<Good>("temp", 42));
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = objects_->Begin();
+    ASSERT_TRUE(collections_->Remove(*txn, catalog, good_id).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto txn = objects_->Begin();
+  EXPECT_TRUE(collections_->Scan(*txn, catalog)->empty());
+  EXPECT_TRUE(collections_
+                  ->LookupExact(*txn, catalog, "by_title",
+                                EncodeStringKey("temp"))
+                  ->empty());
+  EXPECT_EQ(txn->Get(good_id).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CollectionStoreTest, AddIndexBackfillsExistingMembers) {
+  auto txn = objects_->Begin();
+  auto catalog = collections_->CreateCollection(*txn, "plain");
+  ASSERT_TRUE(catalog.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(collections_
+                    ->Insert(*txn, *catalog,
+                             std::make_shared<Good>("g" + std::to_string(i),
+                                                    i * 10))
+                    .ok());
+  }
+  ASSERT_TRUE(collections_
+                  ->AddIndex(*txn, *catalog, {"by_price", "good.price", true})
+                  .ok());
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto txn2 = objects_->Begin();
+  auto hits = collections_->LookupRange(*txn2, *catalog, "by_price",
+                                        EncodeU64Key(10), EncodeU64Key(30));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 3u);
+}
+
+TEST_F(CollectionStoreTest, DropIndexRemovesIt) {
+  ObjectId catalog = MakeCatalog();
+  auto txn = objects_->Begin();
+  ASSERT_TRUE(collections_->DropIndex(*txn, catalog, "by_price").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  auto txn2 = objects_->Begin();
+  EXPECT_EQ(collections_
+                ->LookupRange(*txn2, catalog, "by_price", EncodeU64Key(0),
+                              EncodeU64Key(10))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CollectionStoreTest, ScanReturnsAllMembers) {
+  ObjectId catalog = MakeCatalog();
+  auto txn = objects_->Begin();
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(collections_
+                    ->Insert(*txn, catalog,
+                             std::make_shared<Good>("g" + std::to_string(i), i))
+                    .ok());
+  }
+  ASSERT_TRUE(txn->Commit().ok());
+  auto txn2 = objects_->Begin();
+  EXPECT_EQ(collections_->Scan(*txn2, catalog)->size(), 7u);
+}
+
+TEST_F(CollectionStoreTest, EverythingSurvivesRestart) {
+  ObjectId catalog = MakeCatalog();
+  ObjectId dir_id = collections_->directory_id();
+  {
+    auto txn = objects_->Begin();
+    ASSERT_TRUE(collections_
+                    ->Insert(*txn, catalog, std::make_shared<Good>("durable", 5))
+                    .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  PartitionId pid = objects_->partition();
+  collections_.reset();
+  objects_.reset();
+  chunks_.reset();
+
+  auto reopened = ChunkStore::Open(
+      &store_, TrustedServices{&secret_, nullptr, &counter_}, options_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  ObjectStore objects2(reopened->get(), pid, &registry_);
+  CollectionStore collections2(&objects2, &key_fns_, dir_id);
+  auto txn = objects2.Begin();
+  auto found = collections2.FindCollection(*txn, "catalog");
+  ASSERT_TRUE(found.ok());
+  auto hits = collections2.LookupExact(*txn, *found, "by_title",
+                                       EncodeStringKey("durable"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST_F(CollectionStoreTest, IndexUpdatesRollBackWithTransaction) {
+  ObjectId catalog = MakeCatalog();
+  {
+    auto txn = objects_->Begin();
+    ASSERT_TRUE(collections_
+                    ->Insert(*txn, catalog,
+                             std::make_shared<Good>("phantom", 666))
+                    .ok());
+    txn->Abort();
+  }
+  auto txn = objects_->Begin();
+  EXPECT_TRUE(collections_
+                  ->LookupExact(*txn, catalog, "by_title",
+                                EncodeStringKey("phantom"))
+                  ->empty());
+  EXPECT_TRUE(collections_->Scan(*txn, catalog)->empty());
+}
+
+}  // namespace
+}  // namespace tdb

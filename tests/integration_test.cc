@@ -1,0 +1,275 @@
+// End-to-end integration tests: the full stack on file-backed stores (real
+// fdatasync durability), system-tree growth past one map chunk of
+// partitions, concurrent transactions preserving an invariant, and cleaning
+// under multi-partition churn with snapshots.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "src/chunk/chunk_store.h"
+#include "src/common/rng.h"
+#include "src/object/object_store.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+namespace {
+
+CryptoParams Params(uint8_t fill) {
+  return CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, fill)};
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(FileBackedIntegrationTest, FullLifecycleOnRealFiles) {
+  std::string store_path = TempPath("tdb_integration.db");
+  std::string counter_path = TempPath("tdb_integration.ctr");
+  std::remove(store_path.c_str());
+  std::remove((counter_path + ".slot0").c_str());
+  std::remove((counter_path + ".slot1").c_str());
+
+  MemSecretStore secret(Bytes(32, 0xA5));
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kCounter;
+  UntrustedStoreOptions store_options{.segment_size = 64 * 1024,
+                                      .num_segments = 128};
+  std::vector<ChunkId> ids;
+  PartitionId partition;
+  {
+    auto file_store = FileUntrustedStore::Open(store_path, store_options);
+    ASSERT_TRUE(file_store.ok());
+    auto counter = FileMonotonicCounter::Open(counter_path);
+    ASSERT_TRUE(counter.ok());
+    auto cs = ChunkStore::Create(
+        file_store->get(),
+        TrustedServices{&secret, nullptr, counter->get()}, options);
+    ASSERT_TRUE(cs.ok()) << cs.status();
+    auto pid = (*cs)->AllocatePartition();
+    ChunkStore::Batch batch;
+    batch.WritePartition(*pid, Params(1));
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+    partition = *pid;
+    for (int i = 0; i < 50; ++i) {
+      ChunkId id = *(*cs)->AllocateChunk(partition);
+      ids.push_back(id);
+      ASSERT_TRUE(
+          (*cs)->WriteChunk(id, BytesFromString("file " + std::to_string(i)))
+              .ok());
+    }
+    ASSERT_TRUE((*cs)->Checkpoint().ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*cs)->WriteChunk(ids[i], BytesFromString("updated")).ok());
+    }
+    // Destructors close the files: simulating a clean shutdown mid-residual.
+  }
+  {
+    auto file_store = FileUntrustedStore::Open(store_path, store_options);
+    auto counter = FileMonotonicCounter::Open(counter_path);
+    auto cs = ChunkStore::Open(
+        file_store->get(),
+        TrustedServices{&secret, nullptr, counter->get()}, options);
+    ASSERT_TRUE(cs.ok()) << cs.status();
+    EXPECT_EQ(*(*cs)->Read(ids[5]), BytesFromString("updated"));
+    EXPECT_EQ(*(*cs)->Read(ids[30]), BytesFromString("file 30"));
+  }
+  std::remove(store_path.c_str());
+  std::remove((counter_path + ".slot0").c_str());
+  std::remove((counter_path + ".slot1").c_str());
+}
+
+TEST(SystemTreeGrowthTest, ManyPartitionsGrowTheParitionMap) {
+  // More partitions than one map chunk's fanout (64) forces the system
+  // partition's own tree to two levels.
+  MemUntrustedStore mem({.segment_size = 64 * 1024, .num_segments = 1024});
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemMonotonicCounter counter;
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kCounter;
+  TrustedServices trusted{&secret, nullptr, &counter};
+  std::vector<std::pair<PartitionId, ChunkId>> data;
+  {
+    auto cs = ChunkStore::Create(&mem, trusted, options);
+    ASSERT_TRUE(cs.ok());
+    for (int p = 0; p < 100; ++p) {
+      auto pid = (*cs)->AllocatePartition();
+      ASSERT_TRUE(pid.ok());
+      ChunkStore::Batch batch;
+      batch.WritePartition(*pid, Params(static_cast<uint8_t>(p)));
+      ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+      ChunkId id = *(*cs)->AllocateChunk(*pid);
+      ASSERT_TRUE(
+          (*cs)->WriteChunk(id, BytesFromString("p" + std::to_string(p))).ok());
+      data.emplace_back(*pid, id);
+    }
+    ASSERT_TRUE((*cs)->Checkpoint().ok());
+  }
+  auto cs = ChunkStore::Open(&mem, trusted, options);
+  ASSERT_TRUE(cs.ok()) << cs.status();
+  EXPECT_EQ((*cs)->ListPartitions().size(), 100u);
+  for (int p = 0; p < 100; ++p) {
+    EXPECT_EQ(*(*cs)->Read(data[p].second),
+              BytesFromString("p" + std::to_string(p)));
+  }
+}
+
+// A bank: concurrent transfers must conserve the total balance
+// (serializability under 2PL with timeout retries).
+class BankAccount final : public Pickled {
+ public:
+  static constexpr uint32_t kTypeTag = 500;
+  BankAccount() = default;
+  explicit BankAccount(int64_t balance) : balance(balance) {}
+  int64_t balance = 0;
+  uint32_t type_tag() const override { return kTypeTag; }
+  void PickleFields(PickleWriter& w) const override { w.WriteI64(balance); }
+  static Result<ObjectPtr> UnpickleFields(PickleReader& r) {
+    auto account = std::make_shared<BankAccount>();
+    account->balance = r.ReadI64();
+    return ObjectPtr(account);
+  }
+};
+
+TEST(ConcurrencyIntegrationTest, ConcurrentTransfersConserveTotal) {
+  MemUntrustedStore mem({.segment_size = 64 * 1024, .num_segments = 1024});
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemMonotonicCounter counter;
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kCounter;
+  auto cs = ChunkStore::Create(
+      &mem, TrustedServices{&secret, nullptr, &counter}, options);
+  ASSERT_TRUE(cs.ok());
+  TypeRegistry registry;
+  ASSERT_TRUE(RegisterType<BankAccount>(registry).ok());
+  auto pid = (*cs)->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.WritePartition(*pid, Params(1));
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  ObjectStore objects(cs->get(), *pid, &registry,
+                      {.lock_timeout = std::chrono::milliseconds(200)});
+
+  constexpr int kAccounts = 8;
+  constexpr int64_t kInitial = 1000;
+  std::vector<ObjectId> accounts;
+  {
+    auto txn = objects.Begin();
+    for (int i = 0; i < kAccounts; ++i) {
+      accounts.push_back(*txn->Insert(std::make_shared<BankAccount>(kInitial)));
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kTransfersPerThread = 40;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kTransfersPerThread; ++i) {
+        size_t from = rng.NextBelow(kAccounts);
+        size_t to = rng.NextBelow(kAccounts);
+        if (from == to) {
+          continue;
+        }
+        // Acquire in id order to avoid deadlock; retry on timeout anyway.
+        if (accounts[to] < accounts[from]) {
+          std::swap(from, to);
+        }
+        for (int attempt = 0; attempt < 5; ++attempt) {
+          auto txn = objects.Begin();
+          auto a = txn->GetForUpdate(accounts[from]);
+          auto b = txn->GetForUpdate(accounts[to]);
+          if (!a.ok() || !b.ok()) {
+            txn->Abort();
+            continue;
+          }
+          int64_t amount = static_cast<int64_t>(rng.NextBelow(50));
+          auto from_account = std::dynamic_pointer_cast<const BankAccount>(*a);
+          auto to_account = std::dynamic_pointer_cast<const BankAccount>(*b);
+          (void)txn->Put(accounts[from], std::make_shared<BankAccount>(
+                                             from_account->balance - amount));
+          (void)txn->Put(accounts[to], std::make_shared<BankAccount>(
+                                           to_account->balance + amount));
+          if (txn->Commit().ok()) {
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  int64_t total = 0;
+  auto txn = objects.Begin();
+  for (ObjectId id : accounts) {
+    auto account = std::dynamic_pointer_cast<const BankAccount>(*txn->Get(id));
+    total += account->balance;
+  }
+  EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+TEST(ChurnIntegrationTest, SnapshotsSurviveHeavyChurnAndCleaning) {
+  MemUntrustedStore mem({.segment_size = 32 * 1024, .num_segments = 256});
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemMonotonicCounter counter;
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kCounter;
+  options.checkpoint_dirty_threshold = 128;
+  TrustedServices trusted{&secret, nullptr, &counter};
+  auto cs = ChunkStore::Create(&mem, trusted, options);
+  ASSERT_TRUE(cs.ok());
+  auto pid = (*cs)->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.WritePartition(*pid, Params(1));
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  Rng rng(31337);
+  std::vector<ChunkId> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(*(*cs)->AllocateChunk(*pid));
+  }
+  // Take snapshots at several points during heavy churn; auto-checkpoint and
+  // auto-clean kick in along the way (the store is deliberately small).
+  std::vector<std::pair<PartitionId, std::vector<Bytes>>> snapshots;
+  for (int round = 0; round < 30; ++round) {
+    ChunkStore::Batch batch;
+    std::vector<Bytes> contents;
+    for (ChunkId id : ids) {
+      Bytes data = rng.NextBytes(200 + rng.NextBelow(400));
+      contents.push_back(data);
+      batch.WriteChunk(id, std::move(data));
+    }
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok()) << "round " << round;
+    if (round % 10 == 4) {
+      auto snap = (*cs)->AllocatePartition();
+      ChunkStore::Batch copy;
+      copy.CopyPartition(*snap, *pid);
+      ASSERT_TRUE((*cs)->Commit(std::move(copy)).ok());
+      snapshots.emplace_back(*snap, contents);
+    }
+  }
+  ASSERT_TRUE((*cs)->Checkpoint().ok());
+  ASSERT_TRUE((*cs)->Clean(1000).ok());
+  // All snapshots still validate after cleaning and a restart.
+  cs->reset();
+  auto reopened = ChunkStore::Open(&mem, trusted, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  for (const auto& [snap, contents] : snapshots) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto data = (*reopened)->Read(ChunkId(snap, ids[i].position));
+      ASSERT_TRUE(data.ok()) << data.status();
+      EXPECT_EQ(*data, contents[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,174 @@
+// Unit tests for the log manager: append layout, segment chaining via
+// next-segment chunks, scanning, live-byte accounting, residual tracking,
+// and cleanable-segment selection.
+
+#include <gtest/gtest.h>
+
+#include "src/chunk/log_manager.h"
+#include "src/common/rng.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+namespace {
+
+class LogManagerTest : public ::testing::Test {
+ protected:
+  LogManagerTest()
+      : store_({.segment_size = 4096, .num_segments = 16}),
+        suite_(*CryptoSuite::Create(
+            CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, 1)})),
+        log_(&store_, &suite_) {
+    EXPECT_TRUE(log_.InitFresh().ok());
+  }
+
+  // Builds a valid named version blob for scanning tests.
+  Bytes MakeBlob(uint64_t rank, size_t body_size) {
+    Rng rng(rank);
+    Bytes body_ct = suite_.Encrypt(rng.NextBytes(body_size));
+    VersionHeader header = VersionHeader::Named(
+        ChunkId(1, 0, rank), static_cast<uint32_t>(body_ct.size()));
+    Bytes blob = EncodeHeader(suite_, header);
+    Append(blob, body_ct);
+    return blob;
+  }
+
+  MemUntrustedStore store_;
+  CryptoSuite suite_;
+  LogManager log_;
+};
+
+TEST_F(LogManagerTest, AppendAssignsSequentialLocations) {
+  std::vector<LogManager::Blob> blobs;
+  blobs.push_back({MakeBlob(1, 100), true});
+  blobs.push_back({MakeBlob(2, 100), true});
+  auto locations = log_.Append(blobs, nullptr);
+  ASSERT_TRUE(locations.ok());
+  ASSERT_EQ(locations->size(), 2u);
+  EXPECT_EQ((*locations)[0], (Location{0, 0}));
+  EXPECT_EQ((*locations)[1].segment, 0u);
+  EXPECT_EQ((*locations)[1].offset, blobs[0].bytes.size());
+  EXPECT_EQ(log_.tail().offset,
+            blobs[0].bytes.size() + blobs[1].bytes.size());
+}
+
+TEST_F(LogManagerTest, CrossesSegmentsWithNextSegmentChunks) {
+  // Fill beyond one 4 KiB segment.
+  std::vector<LogManager::Blob> blobs;
+  for (int i = 0; i < 8; ++i) {
+    blobs.push_back({MakeBlob(i, 900), true});
+  }
+  int links_seen = 0;
+  auto locations = log_.Append(blobs, [&](ByteView, bool is_link) {
+    if (is_link) {
+      ++links_seen;
+    }
+  });
+  ASSERT_TRUE(locations.ok());
+  EXPECT_GE(links_seen, 1);
+  // The scanner follows the chain and returns every version in order.
+  LogManager::Scanner scanner = log_.MakeScanner({0, 0});
+  std::vector<uint64_t> ranks;
+  while (true) {
+    auto item = scanner.Next();
+    ASSERT_TRUE(item.ok());
+    if (!item->has_value()) {
+      break;
+    }
+    if (!(*item)->header.unnamed) {
+      ranks.push_back((*item)->header.id.position.rank);
+    }
+  }
+  EXPECT_EQ(ranks, (std::vector<uint64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_GE(scanner.visited_segments().size(), 2u);
+}
+
+TEST_F(LogManagerTest, OversizedBlobRejected) {
+  std::vector<LogManager::Blob> blobs;
+  blobs.push_back({Bytes(5000, 1), true});
+  EXPECT_EQ(log_.Append(blobs, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(LogManagerTest, LiveByteAccounting) {
+  std::vector<LogManager::Blob> blobs;
+  Bytes blob = MakeBlob(1, 200);
+  size_t blob_size = blob.size();
+  blobs.push_back({blob, true});
+  blobs.push_back({MakeBlob(2, 200), false});  // unnamed: used but not live
+  auto locations = log_.Append(blobs, nullptr);
+  ASSERT_TRUE(locations.ok());
+  EXPECT_EQ(log_.segments()[0].live_bytes, blob_size);
+  EXPECT_GT(log_.segments()[0].bytes_used, blob_size);
+  log_.ReleaseLive((*locations)[0], static_cast<uint32_t>(blob_size));
+  EXPECT_EQ(log_.segments()[0].live_bytes, 0u);
+}
+
+TEST_F(LogManagerTest, ScannerStopsAtGarbage) {
+  std::vector<LogManager::Blob> blobs;
+  blobs.push_back({MakeBlob(1, 100), true});
+  ASSERT_TRUE(log_.Append(blobs, nullptr).ok());
+  // Bytes after the tail are zero; the scanner must stop, not crash.
+  LogManager::Scanner scanner = log_.MakeScanner({0, 0});
+  auto first = scanner.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  auto end = scanner.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+}
+
+TEST_F(LogManagerTest, CleanableExcludesResidualAndOrdersByLiveness) {
+  // Residual chain = {0}; put data in segments 1 and 2 by hand.
+  log_.SetResidualChain({0});
+  log_.NoteScanned(1, 1000);
+  log_.NoteScanned(2, 1000);
+  log_.AddLive({1, 0}, 900);
+  log_.AddLive({2, 0}, 100);
+  std::vector<uint32_t> cleanable = log_.CleanableSegments();
+  ASSERT_EQ(cleanable.size(), 2u);
+  EXPECT_EQ(cleanable[0], 2u);  // least live first
+  EXPECT_EQ(cleanable[1], 1u);
+  log_.MarkCleaned(2);
+  EXPECT_EQ(log_.CleanableSegments(), std::vector<uint32_t>{1});
+  // Cleaned segments become free only at the next checkpoint.
+  uint32_t free_before = log_.free_segment_count();
+  log_.OnCheckpointComplete({0, 0});
+  EXPECT_EQ(log_.free_segment_count(), free_before + 1);
+}
+
+TEST_F(LogManagerTest, CheckpointRotatesResidual) {
+  log_.SetResidualChain({3, 4, 5});
+  EXPECT_TRUE(log_.InResidual(3));
+  log_.OnCheckpointComplete({4, 128});
+  EXPECT_FALSE(log_.InResidual(3));
+  EXPECT_TRUE(log_.InResidual(4));
+  EXPECT_TRUE(log_.InResidual(5));
+}
+
+TEST_F(LogManagerTest, OutOfSegmentsSurfaces) {
+  MemUntrustedStore tiny({.segment_size = 4096, .num_segments = 2});
+  LogManager log(&tiny, &suite_);
+  ASSERT_TRUE(log.InitFresh().ok());
+  Status last = OkStatus();
+  for (int i = 0; i < 100 && last.ok(); ++i) {
+    std::vector<LogManager::Blob> blobs;
+    blobs.push_back({MakeBlob(i, 900), true});
+    last = log.Append(blobs, nullptr).status();
+  }
+  EXPECT_EQ(last.code(), StatusCode::kOutOfSpace);
+}
+
+TEST_F(LogManagerTest, LoadFromCheckpointFixesLeaderBytes) {
+  std::vector<SegmentInfo> table(16);
+  table[3].state = SegmentInfo::State::kLive;
+  table[3].bytes_used = 500;
+  table[3].live_bytes = 300;
+  ASSERT_TRUE(log_.LoadFromCheckpoint(table, {3, 500}, 120).ok());
+  EXPECT_EQ(log_.tail(), (Location{3, 620}));
+  EXPECT_EQ(log_.segments()[3].bytes_used, 620u);
+  EXPECT_EQ(log_.segments()[3].live_bytes, 420u);
+  EXPECT_TRUE(log_.InResidual(3));
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,249 @@
+// Tests for the object-backed B-tree index and its integration with the
+// collection store's scalable indexes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/collect/collection_store.h"
+#include "src/collect/object_btree.h"
+#include "src/common/rng.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+namespace {
+
+class ObjectBTreeTest : public ::testing::Test {
+ protected:
+  ObjectBTreeTest()
+      : store_({.segment_size = 64 * 1024, .num_segments = 1024}),
+        secret_(Bytes(32, 0xA5)) {
+    options_.validation.mode = ValidationMode::kCounter;
+    auto cs = ChunkStore::Create(
+        &store_, TrustedServices{&secret_, nullptr, &counter_}, options_);
+    EXPECT_TRUE(cs.ok());
+    chunks_ = std::move(*cs);
+    // Registers collection, index, directory, AND b-tree node types.
+    EXPECT_TRUE(CollectionStore::RegisterTypes(registry_).ok());
+    auto pid = chunks_->AllocatePartition();
+    ChunkStore::Batch batch;
+    batch.WritePartition(
+        *pid, CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, 6)});
+    EXPECT_TRUE(chunks_->Commit(std::move(batch)).ok());
+    objects_ = std::make_unique<ObjectStore>(chunks_.get(), *pid, &registry_);
+  }
+
+  MemUntrustedStore store_;
+  MemSecretStore secret_;
+  MemMonotonicCounter counter_;
+  ChunkStoreOptions options_;
+  TypeRegistry registry_;
+  std::unique_ptr<ChunkStore> chunks_;
+  std::unique_ptr<ObjectStore> objects_;
+};
+
+TEST_F(ObjectBTreeTest, InsertAndExact) {
+  auto txn = objects_->Begin();
+  ObjectId root = *ObjectBTree::Create(*txn);
+  ObjectBTree tree(txn.get(), root);
+  ASSERT_TRUE(tree.Insert(EncodeU64Key(5), 500).ok());
+  ASSERT_TRUE(tree.Insert(EncodeU64Key(5), 501).ok());  // duplicate key
+  ASSERT_TRUE(tree.Insert(EncodeU64Key(7), 700).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto txn2 = objects_->Begin();
+  ObjectBTree tree2(txn2.get(), root);
+  EXPECT_EQ(*tree2.Exact(EncodeU64Key(5)), (std::vector<uint64_t>{500, 501}));
+  EXPECT_EQ(*tree2.Exact(EncodeU64Key(7)), std::vector<uint64_t>{700});
+  EXPECT_TRUE(tree2.Exact(EncodeU64Key(6))->empty());
+}
+
+TEST_F(ObjectBTreeTest, DuplicatePairIsIdempotent) {
+  auto txn = objects_->Begin();
+  ObjectId root = *ObjectBTree::Create(*txn);
+  ObjectBTree tree(txn.get(), root);
+  ASSERT_TRUE(tree.Insert(EncodeU64Key(1), 10).ok());
+  ASSERT_TRUE(tree.Insert(EncodeU64Key(1), 10).ok());
+  EXPECT_EQ(*tree.Count(), 1u);
+}
+
+TEST_F(ObjectBTreeTest, SplitsKeepRootIdStable) {
+  auto txn = objects_->Begin();
+  ObjectId root = *ObjectBTree::Create(*txn);
+  ObjectBTree tree(txn.get(), root);
+  // Far more entries than one node holds: multiple levels of splits.
+  const int kEntries = 2000;
+  for (int i = 0; i < kEntries; ++i) {
+    ASSERT_TRUE(tree.Insert(EncodeU64Key(i * 7 % kEntries), i).ok());
+  }
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto txn2 = objects_->Begin();
+  ObjectBTree tree2(txn2.get(), root);  // the same root id still works
+  EXPECT_EQ(*tree2.Count(), static_cast<uint64_t>(kEntries));
+  auto all = tree2.Range(EncodeU64Key(0), EncodeU64Key(kEntries));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), static_cast<size_t>(kEntries));
+}
+
+TEST_F(ObjectBTreeTest, RandomOpsMatchReferenceMultimap) {
+  Rng rng(99);
+  auto txn = objects_->Begin();
+  ObjectId root = *ObjectBTree::Create(*txn);
+  ObjectBTree tree(txn.get(), root);
+  std::set<std::pair<uint64_t, uint64_t>> model;  // (key, value)
+  for (int step = 0; step < 2500; ++step) {
+    uint64_t key = rng.NextBelow(200);
+    uint64_t value = rng.NextBelow(50);
+    if (rng.NextBelow(10) < 6) {
+      ASSERT_TRUE(tree.Insert(EncodeU64Key(key), value).ok());
+      model.insert({key, value});
+    } else {
+      Status removed = tree.Remove(EncodeU64Key(key), value);
+      EXPECT_EQ(removed.ok(), model.erase({key, value}) > 0);
+    }
+  }
+  // Verify every key's posting list.
+  for (uint64_t key = 0; key < 200; ++key) {
+    std::vector<uint64_t> expected;
+    for (auto it = model.lower_bound({key, 0});
+         it != model.end() && it->first == key; ++it) {
+      expected.push_back(it->second);
+    }
+    EXPECT_EQ(*tree.Exact(EncodeU64Key(key)), expected) << "key " << key;
+  }
+  // Range check.
+  std::vector<uint64_t> expected_range;
+  for (const auto& [key, value] : model) {
+    if (key >= 50 && key <= 150) {
+      expected_range.push_back(value);
+    }
+  }
+  EXPECT_EQ(*tree.Range(EncodeU64Key(50), EncodeU64Key(150)), expected_range);
+}
+
+TEST_F(ObjectBTreeTest, AbortRollsBackInserts) {
+  ObjectId root;
+  {
+    auto txn = objects_->Begin();
+    root = *ObjectBTree::Create(*txn);
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = objects_->Begin();
+    ObjectBTree tree(txn.get(), root);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(tree.Insert(EncodeU64Key(i), i).ok());
+    }
+    txn->Abort();
+  }
+  auto txn = objects_->Begin();
+  ObjectBTree tree(txn.get(), root);
+  EXPECT_EQ(*tree.Count(), 0u);
+}
+
+// --- integration with the collection store ---
+
+class Item final : public Pickled {
+ public:
+  static constexpr uint32_t kTypeTag = 600;
+  Item() = default;
+  explicit Item(uint64_t score) : score(score) {}
+  uint64_t score = 0;
+  uint32_t type_tag() const override { return kTypeTag; }
+  void PickleFields(PickleWriter& w) const override { w.WriteVarint(score); }
+  static Result<ObjectPtr> UnpickleFields(PickleReader& r) {
+    auto item = std::make_shared<Item>();
+    item->score = r.ReadVarint();
+    return ObjectPtr(item);
+  }
+};
+
+TEST_F(ObjectBTreeTest, ScalableCollectionIndexEndToEnd) {
+  ASSERT_TRUE(RegisterType<Item>(registry_).ok());
+  KeyFunctionRegistry key_fns;
+  ASSERT_TRUE(key_fns
+                  .Register("item.score",
+                            [](const Pickled& object) -> Result<Bytes> {
+                              return EncodeU64Key(
+                                  dynamic_cast<const Item&>(object).score);
+                            })
+                  .ok());
+  ObjectId directory;
+  {
+    auto txn = objects_->Begin();
+    directory = *CollectionStore::Format(*txn);
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  CollectionStore collections(objects_.get(), &key_fns, directory);
+
+  ObjectId coll;
+  {
+    auto txn = objects_->Begin();
+    coll = *collections.CreateCollection(
+        *txn, "items", {{"by_score", "item.score", true, /*scalable=*/true}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  // Enough members to force the index B-tree to split several times.
+  std::map<uint64_t, ObjectId> by_score;
+  {
+    auto txn = objects_->Begin();
+    for (uint64_t score = 0; score < 500; ++score) {
+      by_score[score] =
+          *collections.Insert(*txn, coll, std::make_shared<Item>(score));
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = objects_->Begin();
+    auto hits = collections.LookupRange(*txn, coll, "by_score",
+                                        EncodeU64Key(100), EncodeU64Key(109));
+    ASSERT_TRUE(hits.ok());
+    EXPECT_EQ(hits->size(), 10u);
+    auto exact = collections.LookupExact(*txn, coll, "by_score",
+                                         EncodeU64Key(250));
+    ASSERT_TRUE(exact.ok());
+    ASSERT_EQ(exact->size(), 1u);
+    EXPECT_EQ((*exact)[0], by_score[250]);
+  }
+  // Update moves entries; remove drops them — through the B-tree.
+  {
+    auto txn = objects_->Begin();
+    ASSERT_TRUE(collections
+                    .Update(*txn, coll, by_score[250],
+                            std::make_shared<Item>(9999))
+                    .ok());
+    ASSERT_TRUE(collections.Remove(*txn, coll, by_score[251]).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto txn = objects_->Begin();
+  EXPECT_TRUE(collections
+                  .LookupExact(*txn, coll, "by_score", EncodeU64Key(250))
+                  ->empty());
+  EXPECT_TRUE(collections
+                  .LookupExact(*txn, coll, "by_score", EncodeU64Key(251))
+                  ->empty());
+  EXPECT_EQ(collections.LookupExact(*txn, coll, "by_score", EncodeU64Key(9999))
+                ->size(),
+            1u);
+  // Everything survives a restart.
+  PartitionId pid = objects_->partition();
+  txn.reset();
+  objects_.reset();
+  chunks_.reset();
+  auto reopened = ChunkStore::Open(
+      &store_, TrustedServices{&secret_, nullptr, &counter_}, options_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  ObjectStore objects2(reopened->get(), pid, &registry_);
+  CollectionStore collections2(&objects2, &key_fns, directory);
+  auto txn2 = objects2.Begin();
+  auto hits = collections2.LookupRange(*txn2, coll, "by_score",
+                                       EncodeU64Key(0), EncodeU64Key(49));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 50u);
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,306 @@
+// Randomized property tests: the chunk store against an in-memory reference
+// model, the B+-tree against std::map, pickle-reader robustness on corrupted
+// inputs, and backup chains against the folded final state.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "src/backup/backup_store.h"
+#include "src/chunk/chunk_store.h"
+#include "src/common/rng.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/untrusted_store.h"
+#include "src/xdb/xdb.h"
+
+namespace tdb {
+namespace {
+
+CryptoParams Params(uint8_t fill) {
+  return CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, fill)};
+}
+
+// --- chunk store vs reference model, with periodic checkpoint/clean/crash --
+
+class ChunkStoreModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkStoreModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST_P(ChunkStoreModelTest, RandomOpsMatchReferenceModel) {
+  Rng rng(GetParam());
+  MemUntrustedStore mem({.segment_size = 32 * 1024, .num_segments = 512});
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemMonotonicCounter counter;
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kCounter;
+  options.checkpoint_dirty_threshold = 64;  // force frequent checkpoints
+  TrustedServices trusted{&secret, nullptr, &counter};
+  auto cs = ChunkStore::Create(&mem, trusted, options);
+  ASSERT_TRUE(cs.ok());
+
+  auto pid = (*cs)->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.WritePartition(*pid, Params(1));
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+
+  std::map<uint64_t, Bytes> model;  // rank -> expected contents
+  std::map<uint64_t, ChunkId> live_ids;
+
+  for (int step = 0; step < 400; ++step) {
+    uint64_t dice = rng.NextBelow(100);
+    if (dice < 45 || live_ids.empty()) {
+      // Write (new or existing).
+      ChunkId id;
+      if (live_ids.empty() || rng.NextBool()) {
+        auto allocated = (*cs)->AllocateChunk(*pid);
+        ASSERT_TRUE(allocated.ok());
+        id = *allocated;
+      } else {
+        auto it = live_ids.begin();
+        std::advance(it, rng.NextBelow(live_ids.size()));
+        id = it->second;
+      }
+      Bytes data = rng.NextBytes(1 + rng.NextBelow(600));
+      ASSERT_TRUE((*cs)->WriteChunk(id, data).ok());
+      model[id.position.rank] = data;
+      live_ids[id.position.rank] = id;
+    } else if (dice < 60) {
+      // Deallocate.
+      auto it = live_ids.begin();
+      std::advance(it, rng.NextBelow(live_ids.size()));
+      ASSERT_TRUE((*cs)->DeallocateChunk(it->second).ok());
+      model.erase(it->first);
+      live_ids.erase(it);
+    } else if (dice < 75) {
+      // Read-verify a random chunk.
+      auto it = live_ids.begin();
+      std::advance(it, rng.NextBelow(live_ids.size()));
+      auto data = (*cs)->Read(it->second);
+      ASSERT_TRUE(data.ok()) << it->second.ToString();
+      ASSERT_EQ(*data, model[it->first]);
+    } else if (dice < 85) {
+      ASSERT_TRUE((*cs)->Checkpoint().ok());
+    } else if (dice < 92) {
+      ASSERT_TRUE((*cs)->Clean(2).ok());
+    } else {
+      // Crash + recover; every committed op must survive (flushed every
+      // commit, delta_ut = 0).
+      cs->reset();
+      mem.Crash();
+      cs = ChunkStore::Open(&mem, trusted, options);
+      ASSERT_TRUE(cs.ok()) << "step " << step << ": " << cs.status();
+    }
+  }
+  // Full final audit.
+  for (const auto& [rank, expected] : model) {
+    auto data = (*cs)->Read(live_ids[rank]);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, expected);
+  }
+  uint64_t positions = *(*cs)->PartitionNumPositions(*pid);
+  for (uint64_t rank = 0; rank < positions; ++rank) {
+    if (model.count(rank) == 0) {
+      EXPECT_FALSE((*cs)->Read(ChunkId(*pid, 0, rank)).ok());
+    }
+  }
+}
+
+// --- B+-tree vs std::map ---
+
+class BTreeModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeModelTest, ::testing::Values(11, 22, 33));
+
+TEST_P(BTreeModelTest, RandomOpsMatchStdMap) {
+  Rng rng(GetParam());
+  MemPageFile data(4096);
+  MemAppendFile log;
+  auto db = Xdb::Create(&data, &log);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->CreateTree("t").ok());
+  std::map<std::string, std::string> model;
+
+  for (int step = 0; step < 3000; ++step) {
+    uint64_t dice = rng.NextBelow(100);
+    std::string key = "k" + std::to_string(rng.NextBelow(500));
+    if (dice < 55) {
+      std::string value =
+          "v" + std::to_string(step) + std::string(rng.NextBelow(100), 'p');
+      ASSERT_TRUE((*db)->Put("t", BytesFromString(key), BytesFromString(value))
+                      .ok());
+      model[key] = value;
+    } else if (dice < 70) {
+      Status deleted = (*db)->Delete("t", BytesFromString(key));
+      EXPECT_EQ(deleted.ok(), model.erase(key) > 0);
+    } else if (dice < 95) {
+      auto got = (*db)->Get("t", BytesFromString(key));
+      auto want = model.find(key);
+      if (want == model.end()) {
+        EXPECT_FALSE(got.ok());
+      } else {
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(StringFromBytes(*got), want->second);
+      }
+    } else {
+      ASSERT_TRUE((*db)->Commit().ok());
+    }
+  }
+  ASSERT_TRUE((*db)->Commit().ok());
+  // Ordered full scan equals the model.
+  std::vector<std::pair<std::string, std::string>> scanned;
+  ASSERT_TRUE((*db)->ScanAll("t", [&](ByteView key, ByteView value) {
+    scanned.emplace_back(StringFromBytes(key), StringFromBytes(value));
+    return true;
+  }).ok());
+  ASSERT_EQ(scanned.size(), model.size());
+  size_t i = 0;
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(scanned[i].first, key);
+    EXPECT_EQ(scanned[i].second, value);
+    ++i;
+  }
+}
+
+// --- pickle robustness under random corruption ---
+
+TEST(PickleFuzzTest, CorruptedLeadersNeverCrash) {
+  Rng rng(77);
+  PartitionLeader leader;
+  leader.params = Params(1);
+  leader.num_positions = 100;
+  leader.free_ranks = {1, 2, 3};
+  Bytes pickled = leader.PickleToBytes();
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes corrupted = pickled;
+    int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int m = 0; m < mutations; ++m) {
+      corrupted[rng.NextBelow(corrupted.size())] ^=
+          static_cast<uint8_t>(1 + rng.NextBelow(255));
+    }
+    // Must either parse (harmlessly) or fail cleanly — never crash or hang.
+    (void)PartitionLeader::UnpickleFromBytes(corrupted);
+  }
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes truncated(pickled.begin(),
+                    pickled.begin() + rng.NextBelow(pickled.size()));
+    (void)PartitionLeader::UnpickleFromBytes(truncated);
+  }
+}
+
+TEST(PickleFuzzTest, RandomBytesNeverCrashRecordParsers) {
+  Rng rng(78);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk = rng.NextBytes(rng.NextBelow(200));
+    (void)DeallocateRecord::Unpickle(junk);
+    (void)CommitRecord::Unpickle(junk);
+    (void)NextSegmentRecord::Unpickle(junk);
+    (void)CleanerRecord::Unpickle(junk);
+    (void)MapChunk::Unpickle(junk);
+    (void)SystemLeaderRecord::Unpickle(junk);
+  }
+}
+
+// --- backup chains fold to the final state ---
+
+class BackupChainTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackupChainTest, ::testing::Values(5, 6));
+
+TEST_P(BackupChainTest, RandomChainRestoresFinalState) {
+  Rng rng(GetParam());
+  MemUntrustedStore mem({.segment_size = 32 * 1024, .num_segments = 512});
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemMonotonicCounter counter;
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kCounter;
+  TrustedServices trusted{&secret, nullptr, &counter};
+  auto cs = ChunkStore::Create(&mem, trusted, options);
+  ASSERT_TRUE(cs.ok());
+  BackupStore backup(cs->get());
+  auto pid = (*cs)->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.WritePartition(*pid, Params(2));
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+
+  std::map<uint64_t, Bytes> model;
+  std::map<uint64_t, ChunkId> ids;
+  MemArchive archive;
+  std::vector<std::string> chain;
+  PartitionId base_snapshot = 0;
+
+  auto mutate = [&](int ops) {
+    for (int i = 0; i < ops; ++i) {
+      if (model.empty() || rng.NextBelow(10) < 7) {
+        ChunkId id = ids.count(rng.NextBelow(30)) > 0 &&
+                             rng.NextBool() && !ids.empty()
+                         ? ids.begin()->second
+                         : *(*cs)->AllocateChunk(*pid);
+        Bytes data = rng.NextBytes(1 + rng.NextBelow(300));
+        ASSERT_TRUE((*cs)->WriteChunk(id, data).ok());
+        model[id.position.rank] = data;
+        ids[id.position.rank] = id;
+      } else {
+        auto it = ids.begin();
+        std::advance(it, rng.NextBelow(ids.size()));
+        ASSERT_TRUE((*cs)->DeallocateChunk(it->second).ok());
+        model.erase(it->first);
+        ids.erase(it);
+      }
+    }
+  };
+
+  // Full backup then three incrementals with random mutation between.
+  mutate(20);
+  for (int round = 0; round < 4; ++round) {
+    std::string name = "backup" + std::to_string(round);
+    auto sink = archive.OpenSink(name);
+    auto result = backup.CreateBackupSet(
+        {{*pid, round == 0 ? static_cast<PartitionId>(0) : base_snapshot}},
+        100 + round, round, sink.get());
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(sink->Close().ok());
+    base_snapshot = result->snapshots[0];
+    chain.push_back(name);
+    mutate(10);
+  }
+
+  // Restore the chain (excluding post-final mutations) on a fresh machine.
+  MemUntrustedStore mem2({.segment_size = 32 * 1024, .num_segments = 512});
+  MemMonotonicCounter counter2;
+  auto cs2 = ChunkStore::Create(
+      &mem2, TrustedServices{&secret, nullptr, &counter2}, options);
+  ASSERT_TRUE(cs2.ok());
+  BackupStore backup2(cs2->get());
+  auto sink = archive.OpenSink("chain");
+  for (const std::string& name : chain) {
+    auto src = archive.OpenSource(name);
+    ASSERT_TRUE(sink->Write(*(*src)->Read(1 << 24)).ok());
+  }
+  ASSERT_TRUE(sink->Close().ok());
+  auto src = archive.OpenSource("chain");
+  auto restored = backup2.RestoreStream(src->get());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  // The restored state equals the state at the LAST backup's snapshot, which
+  // is the model just before the final mutate(10). Rebuild that by replaying
+  // the same seed... instead, simply verify against the live store's last
+  // snapshot partition.
+  uint64_t positions = *(*cs)->PartitionNumPositions(base_snapshot);
+  for (uint64_t rank = 0; rank < positions; ++rank) {
+    auto expected = (*cs)->Read(ChunkId(base_snapshot, 0, rank));
+    auto actual = (*cs2)->Read(ChunkId(*pid, 0, rank));
+    ASSERT_EQ(expected.ok(), actual.ok()) << "rank " << rank;
+    if (expected.ok()) {
+      EXPECT_EQ(*expected, *actual);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdb

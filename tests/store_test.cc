@@ -1,0 +1,236 @@
+// Unit tests for the storage substrates: untrusted store (memory and file),
+// crash semantics, fault injection, trusted stores, and archival streams.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/platform/trusted_store.h"
+#include "src/store/archival_store.h"
+#include "src/store/faulty_store.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(MemUntrustedStoreTest, WriteReadRoundTrip) {
+  MemUntrustedStore store({.segment_size = 1024, .num_segments = 4});
+  Bytes data = BytesFromString("hello");
+  ASSERT_TRUE(store.Write(1, 100, data).ok());
+  auto back = store.Read(1, 100, 5);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(MemUntrustedStoreTest, BoundsChecked) {
+  MemUntrustedStore store({.segment_size = 128, .num_segments = 2});
+  EXPECT_FALSE(store.Write(2, 0, BytesFromString("x")).ok());
+  EXPECT_FALSE(store.Write(0, 127, BytesFromString("xy")).ok());
+  EXPECT_FALSE(store.Read(0, 120, 9).ok());
+  EXPECT_TRUE(store.Write(0, 127, BytesFromString("x")).ok());
+}
+
+TEST(MemUntrustedStoreTest, CrashDiscardsUnflushedWrites) {
+  MemUntrustedStore store({.segment_size = 128, .num_segments = 2});
+  ASSERT_TRUE(store.Write(0, 0, BytesFromString("durable")).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_TRUE(store.Write(0, 0, BytesFromString("gone!!!")).ok());
+  // Before the crash, the store sees its own writes.
+  EXPECT_EQ(*store.Read(0, 0, 7), BytesFromString("gone!!!"));
+  store.Crash();
+  EXPECT_EQ(*store.Read(0, 0, 7), BytesFromString("durable"));
+}
+
+TEST(MemUntrustedStoreTest, CorruptionPrimitives) {
+  MemUntrustedStore store({.segment_size = 128, .num_segments = 2});
+  ASSERT_TRUE(store.Write(0, 10, BytesFromString("abc")).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  store.CorruptByte(0, 10, 0xff);
+  EXPECT_EQ((*store.Read(0, 10, 1))[0], 'a' ^ 0xff);
+  Bytes snapshot = store.DumpSegment(0);
+  ASSERT_TRUE(store.Write(0, 10, BytesFromString("xyz")).ok());
+  store.RestoreSegment(0, snapshot);
+  EXPECT_EQ((*store.Read(0, 11, 2)), BytesFromString("bc"));
+}
+
+TEST(MemUntrustedStoreTest, SuperblockRoundTrip) {
+  MemUntrustedStore store({.segment_size = 128, .num_segments = 2});
+  EXPECT_TRUE(store.ReadSuperblock()->empty());
+  ASSERT_TRUE(store.WriteSuperblock(BytesFromString("sb")).ok());
+  EXPECT_EQ(*store.ReadSuperblock(), BytesFromString("sb"));
+}
+
+TEST(FileUntrustedStoreTest, PersistsAcrossReopen) {
+  std::string path = TempPath("tdb_store_test.bin");
+  std::remove(path.c_str());
+  {
+    auto store =
+        FileUntrustedStore::Open(path, {.segment_size = 512, .num_segments = 4});
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Write(2, 7, BytesFromString("persisted")).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_TRUE((*store)->WriteSuperblock(BytesFromString("super")).ok());
+  }
+  {
+    auto store =
+        FileUntrustedStore::Open(path, {.segment_size = 512, .num_segments = 4});
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(*(*store)->Read(2, 7, 9), BytesFromString("persisted"));
+    EXPECT_EQ(*(*store)->ReadSuperblock(), BytesFromString("super"));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultyStoreTest, FailsAfterCountdown) {
+  MemUntrustedStore base({.segment_size = 128, .num_segments = 2});
+  FaultyStore store(&base);
+  store.FailAfterWrites(2);
+  EXPECT_TRUE(store.Write(0, 0, BytesFromString("a")).ok());
+  EXPECT_TRUE(store.Write(0, 1, BytesFromString("b")).ok());
+  EXPECT_EQ(store.Write(0, 2, BytesFromString("c")).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(store.Flush().code(), StatusCode::kIoError);
+  store.ClearFault();
+  EXPECT_TRUE(store.Write(0, 2, BytesFromString("c")).ok());
+}
+
+TEST(FaultyStoreTest, TornWritePersistsPrefix) {
+  MemUntrustedStore base({.segment_size = 128, .num_segments = 2});
+  FaultyStore store(&base);
+  store.FailAfterWrites(0, /*tear=*/true);
+  EXPECT_FALSE(store.Write(0, 0, BytesFromString("abcdef")).ok());
+  // The first half landed in the base store.
+  EXPECT_EQ(*base.Read(0, 0, 3), BytesFromString("abc"));
+  EXPECT_EQ(*base.Read(0, 3, 3), Bytes(3, 0));
+}
+
+TEST(TrustedStoreTest, MemRegisterRoundTrip) {
+  MemTamperResistantRegister reg;
+  EXPECT_TRUE(reg.Read()->empty());
+  ASSERT_TRUE(reg.Write(BytesFromString("state")).ok());
+  EXPECT_EQ(*reg.Read(), BytesFromString("state"));
+}
+
+TEST(TrustedStoreTest, MemCounterIsMonotonic) {
+  MemMonotonicCounter counter;
+  EXPECT_EQ(*counter.Read(), 0u);
+  ASSERT_TRUE(counter.AdvanceTo(5).ok());
+  EXPECT_EQ(*counter.Read(), 5u);
+  EXPECT_TRUE(counter.AdvanceTo(5).ok());  // no-op advance allowed
+  EXPECT_FALSE(counter.AdvanceTo(4).ok());
+  EXPECT_EQ(*counter.Read(), 5u);
+}
+
+TEST(TrustedStoreTest, FileRegisterSurvivesReopen) {
+  std::string path = TempPath("tdb_reg_test");
+  std::remove((path + ".slot0").c_str());
+  std::remove((path + ".slot1").c_str());
+  {
+    auto reg = FileTamperResistantRegister::Open(path);
+    ASSERT_TRUE(reg.ok());
+    ASSERT_TRUE((*reg)->Write(BytesFromString("v1")).ok());
+    ASSERT_TRUE((*reg)->Write(BytesFromString("v2")).ok());
+  }
+  {
+    auto reg = FileTamperResistantRegister::Open(path);
+    ASSERT_TRUE(reg.ok());
+    EXPECT_EQ(*(*reg)->Read(), BytesFromString("v2"));
+  }
+  std::remove((path + ".slot0").c_str());
+  std::remove((path + ".slot1").c_str());
+}
+
+TEST(TrustedStoreTest, FileRegisterSurvivesTornSlot) {
+  std::string path = TempPath("tdb_reg_torn");
+  std::remove((path + ".slot0").c_str());
+  std::remove((path + ".slot1").c_str());
+  {
+    auto reg = FileTamperResistantRegister::Open(path);
+    ASSERT_TRUE(reg.ok());
+    ASSERT_TRUE((*reg)->Write(BytesFromString("v1")).ok());  // slot 1
+    ASSERT_TRUE((*reg)->Write(BytesFromString("v2")).ok());  // slot 0
+  }
+  // Corrupt the newer slot; the older value must be recovered.
+  {
+    std::FILE* f = std::fopen((path + ".slot0").c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fputc(0xFF, f);
+    std::fclose(f);
+  }
+  {
+    auto reg = FileTamperResistantRegister::Open(path);
+    ASSERT_TRUE(reg.ok());
+    EXPECT_EQ(*(*reg)->Read(), BytesFromString("v1"));
+  }
+  std::remove((path + ".slot0").c_str());
+  std::remove((path + ".slot1").c_str());
+}
+
+TEST(TrustedStoreTest, FileCounterMonotonicAcrossReopen) {
+  std::string path = TempPath("tdb_ctr_test");
+  std::remove((path + ".slot0").c_str());
+  std::remove((path + ".slot1").c_str());
+  {
+    auto counter = FileMonotonicCounter::Open(path);
+    ASSERT_TRUE(counter.ok());
+    ASSERT_TRUE((*counter)->AdvanceTo(9).ok());
+  }
+  {
+    auto counter = FileMonotonicCounter::Open(path);
+    ASSERT_TRUE(counter.ok());
+    EXPECT_EQ(*(*counter)->Read(), 9u);
+    EXPECT_FALSE((*counter)->AdvanceTo(3).ok());
+  }
+  std::remove((path + ".slot0").c_str());
+  std::remove((path + ".slot1").c_str());
+}
+
+TEST(ArchivalStoreTest, MemStreamRoundTrip) {
+  MemArchive archive;
+  {
+    auto sink = archive.OpenSink("backup1");
+    ASSERT_TRUE(sink->Write(BytesFromString("part1-")).ok());
+    ASSERT_TRUE(sink->Write(BytesFromString("part2")).ok());
+    ASSERT_TRUE(sink->Close().ok());
+  }
+  EXPECT_TRUE(archive.Contains("backup1"));
+  EXPECT_FALSE(archive.Contains("backup2"));
+  auto source = archive.OpenSource("backup1");
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(*(*source)->Read(6), BytesFromString("part1-"));
+  EXPECT_EQ(*(*source)->Read(100), BytesFromString("part2"));
+  EXPECT_TRUE((*source)->Read(10)->empty());
+}
+
+TEST(ArchivalStoreTest, CorruptFlipsByte) {
+  MemArchive archive;
+  auto sink = archive.OpenSink("s");
+  ASSERT_TRUE(sink->Write(BytesFromString("abc")).ok());
+  ASSERT_TRUE(sink->Close().ok());
+  ASSERT_TRUE(archive.Corrupt("s", 1, 0x01).ok());
+  auto source = archive.OpenSource("s");
+  EXPECT_EQ((*(*source)->Read(3))[1], 'b' ^ 0x01);
+}
+
+TEST(ArchivalStoreTest, FileStreamRoundTrip) {
+  std::string path = TempPath("tdb_archive_test.bak");
+  std::remove(path.c_str());
+  {
+    auto sink = OpenFileSink(path);
+    ASSERT_TRUE(sink.ok());
+    ASSERT_TRUE((*sink)->Write(BytesFromString("archived bytes")).ok());
+    ASSERT_TRUE((*sink)->Close().ok());
+  }
+  auto source = OpenFileSource(path);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(*(*source)->Read(1000), BytesFromString("archived bytes"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,153 @@
+// Integration test for the vending workload (§9.5.1) on both backends:
+// the operation profile should resemble Figure 10, both systems should
+// produce consistent results, and the TDB side should survive a restart.
+
+#include <gtest/gtest.h>
+
+#include "src/platform/trusted_store.h"
+#include "src/store/untrusted_store.h"
+#include "src/workload/tdb_backend.h"
+#include "src/workload/vending.h"
+#include "src/workload/xdb_backend.h"
+
+namespace tdb {
+namespace {
+
+VendingConfig SmallConfig() {
+  VendingConfig config;
+  config.num_goods = 10;
+  config.num_consumers = 5;
+  config.filler_per_collection = 10;
+  config.initial_receipts = 60;
+  config.payload_size = 120;
+  return config;
+}
+
+struct TdbRig {
+  TdbRig()
+      : store({.segment_size = 64 * 1024, .num_segments = 1024}),
+        secret(Bytes(32, 0xA5)) {
+    options.validation.mode = ValidationMode::kCounter;
+    options.validation.delta_ut = 5;  // the paper's configuration (§9.1)
+    auto cs = ChunkStore::Create(
+        &store, TrustedServices{&secret, nullptr, &counter}, options);
+    EXPECT_TRUE(cs.ok());
+    chunks = std::move(*cs);
+    auto ws = TdbWorkloadStore::Create(chunks.get());
+    EXPECT_TRUE(ws.ok()) << ws.status();
+    workload_store = std::move(*ws);
+  }
+
+  MemUntrustedStore store;
+  MemSecretStore secret;
+  MemMonotonicCounter counter;
+  ChunkStoreOptions options;
+  std::unique_ptr<ChunkStore> chunks;
+  std::unique_ptr<TdbWorkloadStore> workload_store;
+};
+
+struct XdbRig {
+  XdbRig() : data(8192) {
+    auto x = Xdb::Create(&data, &log);
+    EXPECT_TRUE(x.ok());
+    db = std::move(*x);
+    auto ws = XdbWorkloadStore::Create(db.get(), &counter, 5);
+    EXPECT_TRUE(ws.ok());
+    workload_store = std::move(*ws);
+  }
+
+  MemPageFile data;
+  MemAppendFile log;
+  MemMonotonicCounter counter;
+  std::unique_ptr<Xdb> db;
+  std::unique_ptr<XdbWorkloadStore> workload_store;
+};
+
+TEST(VendingWorkloadTest, TdbBackendRunsBothExperiments) {
+  TdbRig rig;
+  VendingWorkload workload(rig.workload_store.get(), SmallConfig());
+  ASSERT_TRUE(workload.Setup().ok());
+
+  Status release = workload.RunReleaseExperiment(10);
+  ASSERT_TRUE(release.ok()) << release;
+  WorkloadCounts counts = rig.workload_store->counts();
+  // Figure 10 shape for release: reads dominate, ~10 deletes, few adds,
+  // 10 commits.
+  EXPECT_EQ(counts.commits, 10u);
+  EXPECT_EQ(counts.deletes, 10u);
+  EXPECT_GT(counts.reads, 500u);
+  EXPECT_LT(counts.reads, 1200u);
+  EXPECT_GT(counts.updates, 100u);
+  EXPECT_LT(counts.updates, 300u);
+  EXPECT_LT(counts.adds, 10u);
+
+  rig.workload_store->ResetCounts();
+  Status bind = workload.RunBindExperiment(10);
+  ASSERT_TRUE(bind.ok()) << bind;
+  counts = rig.workload_store->counts();
+  // Figure 10 shape for bind: heavy updates and adds, 20 commits.
+  EXPECT_EQ(counts.commits, 20u);
+  EXPECT_GT(counts.adds, 150u);
+  EXPECT_GT(counts.updates, 500u);
+  EXPECT_GT(counts.reads, 500u);
+}
+
+TEST(VendingWorkloadTest, XdbBackendRunsBothExperiments) {
+  XdbRig rig;
+  VendingWorkload workload(rig.workload_store.get(), SmallConfig());
+  ASSERT_TRUE(workload.Setup().ok());
+  Status release = workload.RunReleaseExperiment(10);
+  ASSERT_TRUE(release.ok()) << release;
+  WorkloadCounts counts = rig.workload_store->counts();
+  EXPECT_EQ(counts.commits, 10u);
+  EXPECT_EQ(counts.deletes, 10u);
+  rig.workload_store->ResetCounts();
+  Status bind = workload.RunBindExperiment(10);
+  ASSERT_TRUE(bind.ok()) << bind;
+  EXPECT_EQ(rig.workload_store->counts().commits, 20u);
+}
+
+TEST(VendingWorkloadTest, BothBackendsCountTheSameFacadeOps) {
+  // Identical seeds must produce identical facade operation counts — the
+  // fairness property behind the Figure 11 comparison.
+  TdbRig tdb_rig;
+  XdbRig xdb_rig;
+  VendingWorkload tdb_workload(tdb_rig.workload_store.get(), SmallConfig());
+  VendingWorkload xdb_workload(xdb_rig.workload_store.get(), SmallConfig());
+  ASSERT_TRUE(tdb_workload.Setup().ok());
+  ASSERT_TRUE(xdb_workload.Setup().ok());
+  ASSERT_TRUE(tdb_workload.RunReleaseExperiment(10).ok());
+  ASSERT_TRUE(xdb_workload.RunReleaseExperiment(10).ok());
+  WorkloadCounts a = tdb_rig.workload_store->counts();
+  WorkloadCounts b = xdb_rig.workload_store->counts();
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.deletes, b.deletes);
+  EXPECT_EQ(a.adds, b.adds);
+  EXPECT_EQ(a.commits, b.commits);
+}
+
+TEST(VendingWorkloadTest, TdbStateSurvivesRestart) {
+  MemUntrustedStore store({.segment_size = 64 * 1024, .num_segments = 1024});
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemMonotonicCounter counter;
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kCounter;
+  {
+    auto cs = ChunkStore::Create(
+        &store, TrustedServices{&secret, nullptr, &counter}, options);
+    ASSERT_TRUE(cs.ok());
+    auto ws = TdbWorkloadStore::Create(cs->get());
+    ASSERT_TRUE(ws.ok());
+    VendingWorkload workload(ws->get(), SmallConfig());
+    ASSERT_TRUE(workload.Setup().ok());
+    ASSERT_TRUE(workload.RunReleaseExperiment(5).ok());
+  }
+  // Recovery after the run must succeed and the database must validate.
+  auto reopened = ChunkStore::Open(
+      &store, TrustedServices{&secret, nullptr, &counter}, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,233 @@
+// Tests for the XDB baseline: pager, WAL recovery, B+-tree behaviour across
+// splits and scans, transactions, and the crypto layer's record protection.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/platform/trusted_store.h"
+#include "src/xdb/crypto_layer.h"
+#include "src/xdb/xdb.h"
+
+namespace tdb {
+namespace {
+
+Bytes Key(const std::string& s) { return BytesFromString(s); }
+
+class XdbTest : public ::testing::Test {
+ protected:
+  XdbTest() : data_(4096) {
+    auto db = Xdb::Create(&data_, &log_);
+    EXPECT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+
+  MemPageFile data_;
+  MemAppendFile log_;
+  std::unique_ptr<Xdb> db_;
+};
+
+TEST_F(XdbTest, PutGetRoundTrip) {
+  ASSERT_TRUE(db_->CreateTree("t").ok());
+  ASSERT_TRUE(db_->Put("t", Key("hello"), Key("world")).ok());
+  ASSERT_TRUE(db_->Commit().ok());
+  EXPECT_EQ(*db_->Get("t", Key("hello")), Key("world"));
+  EXPECT_EQ(db_->Get("t", Key("missing")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(XdbTest, OverwriteReplacesValue) {
+  ASSERT_TRUE(db_->CreateTree("t").ok());
+  ASSERT_TRUE(db_->Put("t", Key("k"), Key("v1")).ok());
+  ASSERT_TRUE(db_->Put("t", Key("k"), Key("v2 longer value")).ok());
+  ASSERT_TRUE(db_->Commit().ok());
+  EXPECT_EQ(*db_->Get("t", Key("k")), Key("v2 longer value"));
+}
+
+TEST_F(XdbTest, ManyKeysForceSplitsAndStaySorted) {
+  ASSERT_TRUE(db_->CreateTree("t").ok());
+  Rng rng(11);
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "key" + std::to_string(rng.NextBelow(100000));
+    std::string value = "value" + std::to_string(i) +
+                        std::string(rng.NextBelow(200), 'x');
+    expected[key] = value;
+    ASSERT_TRUE(db_->Put("t", Key(key), Key(value)).ok());
+  }
+  ASSERT_TRUE(db_->Commit().ok());
+  // Every key retrievable.
+  for (const auto& [key, value] : expected) {
+    auto got = db_->Get("t", Key(key));
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, Key(value));
+  }
+  // Full scan yields keys in sorted order with no extras.
+  std::vector<std::string> scanned;
+  ASSERT_TRUE(db_->ScanAll("t", [&](ByteView key, ByteView) {
+    scanned.push_back(StringFromBytes(key));
+    return true;
+  }).ok());
+  ASSERT_EQ(scanned.size(), expected.size());
+  size_t i = 0;
+  for (const auto& [key, _] : expected) {
+    EXPECT_EQ(scanned[i++], key);
+  }
+}
+
+TEST_F(XdbTest, RangeScanRespectsBounds) {
+  ASSERT_TRUE(db_->CreateTree("t").ok());
+  for (int i = 0; i < 100; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    ASSERT_TRUE(db_->Put("t", Key(buf), Key(std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(db_->Commit().ok());
+  std::vector<std::string> hits;
+  ASSERT_TRUE(db_->Scan("t", Key("k010"), Key("k015"),
+                        [&](ByteView key, ByteView) {
+                          hits.push_back(StringFromBytes(key));
+                          return true;
+                        })
+                  .ok());
+  EXPECT_EQ(hits, (std::vector<std::string>{"k010", "k011", "k012", "k013",
+                                            "k014", "k015"}));
+}
+
+TEST_F(XdbTest, DeleteRemovesKey) {
+  ASSERT_TRUE(db_->CreateTree("t").ok());
+  ASSERT_TRUE(db_->Put("t", Key("a"), Key("1")).ok());
+  ASSERT_TRUE(db_->Put("t", Key("b"), Key("2")).ok());
+  ASSERT_TRUE(db_->Delete("t", Key("a")).ok());
+  ASSERT_TRUE(db_->Commit().ok());
+  EXPECT_EQ(db_->Get("t", Key("a")).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(*db_->Get("t", Key("b")), Key("2"));
+  EXPECT_EQ(db_->Delete("t", Key("a")).code(), StatusCode::kNotFound);
+}
+
+TEST_F(XdbTest, MultipleTreesAreIndependent) {
+  ASSERT_TRUE(db_->CreateTree("t1").ok());
+  ASSERT_TRUE(db_->CreateTree("t2").ok());
+  ASSERT_TRUE(db_->Put("t1", Key("k"), Key("in t1")).ok());
+  ASSERT_TRUE(db_->Put("t2", Key("k"), Key("in t2")).ok());
+  ASSERT_TRUE(db_->Commit().ok());
+  EXPECT_EQ(*db_->Get("t1", Key("k")), Key("in t1"));
+  EXPECT_EQ(*db_->Get("t2", Key("k")), Key("in t2"));
+  EXPECT_EQ(db_->CreateTree("t1").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(XdbTest, AbortDiscardsBufferedWrites) {
+  ASSERT_TRUE(db_->CreateTree("t").ok());
+  ASSERT_TRUE(db_->Put("t", Key("persisted"), Key("yes")).ok());
+  ASSERT_TRUE(db_->Commit().ok());
+  ASSERT_TRUE(db_->Put("t", Key("doomed"), Key("no")).ok());
+  db_->Abort();
+  EXPECT_EQ(*db_->Get("t", Key("persisted")), Key("yes"));
+  EXPECT_EQ(db_->Get("t", Key("doomed")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(XdbTest, SurvivesReopen) {
+  ASSERT_TRUE(db_->CreateTree("t").ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(db_->Put("t", Key("k" + std::to_string(i)),
+                         Key("v" + std::to_string(i)))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Commit().ok());
+  db_.reset();
+  auto reopened = Xdb::Open(&data_, &log_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*(*reopened)->Get("t", Key("k42")), Key("v42"));
+  EXPECT_TRUE((*reopened)->HasTree("t"));
+}
+
+TEST_F(XdbTest, WalRecoversCrashAfterLogFlush) {
+  ASSERT_TRUE(db_->CreateTree("t").ok());
+  ASSERT_TRUE(db_->Put("t", Key("before"), Key("crash")).ok());
+  ASSERT_TRUE(db_->Commit().ok());
+  // The next commit reaches the log but never the data pages.
+  ASSERT_TRUE(db_->Put("t", Key("after"), Key("log-only")).ok());
+  db_->set_simulate_crash_after_log(true);
+  ASSERT_TRUE(db_->Commit().ok());
+  db_.reset();
+  auto reopened = Xdb::Open(&data_, &log_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*(*reopened)->Get("t", Key("before")), Key("crash"));
+  EXPECT_EQ(*(*reopened)->Get("t", Key("after")), Key("log-only"));
+}
+
+TEST_F(XdbTest, CommitFlushesLogAndData) {
+  ASSERT_TRUE(db_->CreateTree("t").ok());
+  uint64_t data_flushes_before = data_.flush_count();
+  uint64_t log_flushes_before = log_.flush_count();
+  ASSERT_TRUE(db_->Put("t", Key("k"), Key("v")).ok());
+  ASSERT_TRUE(db_->Commit().ok());
+  // The conventional commit path: at least one log flush AND one data flush
+  // (TDB by contrast flushes only its log-structured store once).
+  EXPECT_GT(log_.flush_count(), log_flushes_before);
+  EXPECT_GT(data_.flush_count(), data_flushes_before);
+}
+
+TEST(SecureXdbTest, EncryptsAndValidatesRecords) {
+  MemPageFile data(4096);
+  MemAppendFile log;
+  MemMonotonicCounter counter;
+  auto db = Xdb::Create(&data, &log);
+  ASSERT_TRUE(db.ok());
+  auto suite = CryptoSuite::Create(
+      CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, 9)});
+  ASSERT_TRUE(suite.ok());
+  SecureXdb secure(db->get(), *suite, &counter);
+  ASSERT_TRUE(secure.CreateTree("t").ok());
+  ASSERT_TRUE(secure.Put("t", Key("k"), Key("secret value")).ok());
+  ASSERT_TRUE(secure.Commit().ok());
+  EXPECT_EQ(*secure.Get("t", Key("k")), Key("secret value"));
+
+  // The raw record must not contain the plaintext.
+  Bytes raw = *(*db)->Get("t", Key("k"));
+  std::string raw_str = StringFromBytes(raw);
+  EXPECT_EQ(raw_str.find("secret value"), std::string::npos);
+
+  // Swapping a record between keys is detected (MAC binds the key) ...
+  ASSERT_TRUE(secure.Put("t", Key("k2"), Key("other")).ok());
+  ASSERT_TRUE(secure.Commit().ok());
+  Bytes other_raw = *(*db)->Get("t", Key("k2"));
+  ASSERT_TRUE((*db)->Put("t", Key("k"), other_raw).ok());
+  ASSERT_TRUE((*db)->Commit().ok());
+  EXPECT_EQ(secure.Get("t", Key("k")).status().code(),
+            StatusCode::kTamperDetected);
+}
+
+TEST(SecureXdbTest, MetadataIsUnprotected) {
+  // The architectural weakness the paper calls out (§1.2): deleting a record
+  // through the raw XDB interface is NOT detected by the crypto layer.
+  MemPageFile data(4096);
+  MemAppendFile log;
+  MemMonotonicCounter counter;
+  auto db = Xdb::Create(&data, &log);
+  auto suite = CryptoSuite::Create(
+      CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, 9)});
+  SecureXdb secure(db->get(), *suite, &counter);
+  ASSERT_TRUE(secure.CreateTree("t").ok());
+  ASSERT_TRUE(secure.Put("t", Key("k"), Key("v")).ok());
+  ASSERT_TRUE(secure.Commit().ok());
+  // Attack at the storage level.
+  ASSERT_TRUE((*db)->Delete("t", Key("k")).ok());
+  ASSERT_TRUE((*db)->Commit().ok());
+  // The layered system reports "not found" — silent data deletion, where TDB
+  // would signal tamper detection.
+  EXPECT_EQ(secure.Get("t", Key("k")).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BTreeDirectTest, LargeValuesRejected) {
+  MemPageFile data(4096);
+  MemAppendFile log;
+  auto db = Xdb::Create(&data, &log);
+  ASSERT_TRUE((*db)->CreateTree("t").ok());
+  Bytes huge(5000, 'x');
+  EXPECT_EQ((*db)->Put("t", Key("k"), huge).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tdb
