@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_backup.cc" "bench/CMakeFiles/bench_backup.dir/bench_backup.cc.o" "gcc" "bench/CMakeFiles/bench_backup.dir/bench_backup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_xdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chunk_commit.dir/bench_chunk_commit.cc.o"
+  "CMakeFiles/bench_chunk_commit.dir/bench_chunk_commit.cc.o.d"
+  "bench_chunk_commit"
+  "bench_chunk_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chunk_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vending.dir/bench_vending.cc.o"
+  "CMakeFiles/bench_vending.dir/bench_vending.cc.o.d"
+  "bench_vending"
+  "bench_vending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_tool.dir/backup_tool.cpp.o"
+  "CMakeFiles/backup_tool.dir/backup_tool.cpp.o.d"
+  "backup_tool"
+  "backup_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vending_demo.dir/vending_demo.cpp.o"
+  "CMakeFiles/vending_demo.dir/vending_demo.cpp.o.d"
+  "vending_demo"
+  "vending_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vending_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

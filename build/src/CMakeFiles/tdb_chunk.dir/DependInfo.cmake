@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunk/chunk_id.cc" "src/CMakeFiles/tdb_chunk.dir/chunk/chunk_id.cc.o" "gcc" "src/CMakeFiles/tdb_chunk.dir/chunk/chunk_id.cc.o.d"
+  "/root/repo/src/chunk/chunk_map.cc" "src/CMakeFiles/tdb_chunk.dir/chunk/chunk_map.cc.o" "gcc" "src/CMakeFiles/tdb_chunk.dir/chunk/chunk_map.cc.o.d"
+  "/root/repo/src/chunk/chunk_store.cc" "src/CMakeFiles/tdb_chunk.dir/chunk/chunk_store.cc.o" "gcc" "src/CMakeFiles/tdb_chunk.dir/chunk/chunk_store.cc.o.d"
+  "/root/repo/src/chunk/cleaner.cc" "src/CMakeFiles/tdb_chunk.dir/chunk/cleaner.cc.o" "gcc" "src/CMakeFiles/tdb_chunk.dir/chunk/cleaner.cc.o.d"
+  "/root/repo/src/chunk/descriptor.cc" "src/CMakeFiles/tdb_chunk.dir/chunk/descriptor.cc.o" "gcc" "src/CMakeFiles/tdb_chunk.dir/chunk/descriptor.cc.o.d"
+  "/root/repo/src/chunk/log_format.cc" "src/CMakeFiles/tdb_chunk.dir/chunk/log_format.cc.o" "gcc" "src/CMakeFiles/tdb_chunk.dir/chunk/log_format.cc.o.d"
+  "/root/repo/src/chunk/log_manager.cc" "src/CMakeFiles/tdb_chunk.dir/chunk/log_manager.cc.o" "gcc" "src/CMakeFiles/tdb_chunk.dir/chunk/log_manager.cc.o.d"
+  "/root/repo/src/chunk/validator.cc" "src/CMakeFiles/tdb_chunk.dir/chunk/validator.cc.o" "gcc" "src/CMakeFiles/tdb_chunk.dir/chunk/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

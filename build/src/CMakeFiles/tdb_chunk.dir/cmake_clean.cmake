@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_chunk.dir/chunk/chunk_id.cc.o"
+  "CMakeFiles/tdb_chunk.dir/chunk/chunk_id.cc.o.d"
+  "CMakeFiles/tdb_chunk.dir/chunk/chunk_map.cc.o"
+  "CMakeFiles/tdb_chunk.dir/chunk/chunk_map.cc.o.d"
+  "CMakeFiles/tdb_chunk.dir/chunk/chunk_store.cc.o"
+  "CMakeFiles/tdb_chunk.dir/chunk/chunk_store.cc.o.d"
+  "CMakeFiles/tdb_chunk.dir/chunk/cleaner.cc.o"
+  "CMakeFiles/tdb_chunk.dir/chunk/cleaner.cc.o.d"
+  "CMakeFiles/tdb_chunk.dir/chunk/descriptor.cc.o"
+  "CMakeFiles/tdb_chunk.dir/chunk/descriptor.cc.o.d"
+  "CMakeFiles/tdb_chunk.dir/chunk/log_format.cc.o"
+  "CMakeFiles/tdb_chunk.dir/chunk/log_format.cc.o.d"
+  "CMakeFiles/tdb_chunk.dir/chunk/log_manager.cc.o"
+  "CMakeFiles/tdb_chunk.dir/chunk/log_manager.cc.o.d"
+  "CMakeFiles/tdb_chunk.dir/chunk/validator.cc.o"
+  "CMakeFiles/tdb_chunk.dir/chunk/validator.cc.o.d"
+  "libtdb_chunk.a"
+  "libtdb_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_collect.dir/collect/collection_store.cc.o"
+  "CMakeFiles/tdb_collect.dir/collect/collection_store.cc.o.d"
+  "CMakeFiles/tdb_collect.dir/collect/index.cc.o"
+  "CMakeFiles/tdb_collect.dir/collect/index.cc.o.d"
+  "CMakeFiles/tdb_collect.dir/collect/object_btree.cc.o"
+  "CMakeFiles/tdb_collect.dir/collect/object_btree.cc.o.d"
+  "libtdb_collect.a"
+  "libtdb_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/tdb_common.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/pickle.cc" "src/CMakeFiles/tdb_common.dir/common/pickle.cc.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/pickle.cc.o.d"
+  "/root/repo/src/common/profiler.cc" "src/CMakeFiles/tdb_common.dir/common/profiler.cc.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/profiler.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/tdb_common.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/tdb_common.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tdb_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_common.dir/common/bytes.cc.o"
+  "CMakeFiles/tdb_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/tdb_common.dir/common/pickle.cc.o"
+  "CMakeFiles/tdb_common.dir/common/pickle.cc.o.d"
+  "CMakeFiles/tdb_common.dir/common/profiler.cc.o"
+  "CMakeFiles/tdb_common.dir/common/profiler.cc.o.d"
+  "CMakeFiles/tdb_common.dir/common/rng.cc.o"
+  "CMakeFiles/tdb_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/tdb_common.dir/common/stats.cc.o"
+  "CMakeFiles/tdb_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/tdb_common.dir/common/status.cc.o"
+  "CMakeFiles/tdb_common.dir/common/status.cc.o.d"
+  "libtdb_common.a"
+  "libtdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

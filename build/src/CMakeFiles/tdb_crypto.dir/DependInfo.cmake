@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/CMakeFiles/tdb_crypto.dir/crypto/aes.cc.o" "gcc" "src/CMakeFiles/tdb_crypto.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/crypto/cbc.cc" "src/CMakeFiles/tdb_crypto.dir/crypto/cbc.cc.o" "gcc" "src/CMakeFiles/tdb_crypto.dir/crypto/cbc.cc.o.d"
+  "/root/repo/src/crypto/des.cc" "src/CMakeFiles/tdb_crypto.dir/crypto/des.cc.o" "gcc" "src/CMakeFiles/tdb_crypto.dir/crypto/des.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/tdb_crypto.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/tdb_crypto.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/CMakeFiles/tdb_crypto.dir/crypto/sha1.cc.o" "gcc" "src/CMakeFiles/tdb_crypto.dir/crypto/sha1.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/tdb_crypto.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/tdb_crypto.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/suite.cc" "src/CMakeFiles/tdb_crypto.dir/crypto/suite.cc.o" "gcc" "src/CMakeFiles/tdb_crypto.dir/crypto/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

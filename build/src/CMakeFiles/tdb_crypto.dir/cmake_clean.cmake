@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_crypto.dir/crypto/aes.cc.o"
+  "CMakeFiles/tdb_crypto.dir/crypto/aes.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/crypto/cbc.cc.o"
+  "CMakeFiles/tdb_crypto.dir/crypto/cbc.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/crypto/des.cc.o"
+  "CMakeFiles/tdb_crypto.dir/crypto/des.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/crypto/hmac.cc.o"
+  "CMakeFiles/tdb_crypto.dir/crypto/hmac.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/crypto/sha1.cc.o"
+  "CMakeFiles/tdb_crypto.dir/crypto/sha1.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/tdb_crypto.dir/crypto/sha256.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/crypto/suite.cc.o"
+  "CMakeFiles/tdb_crypto.dir/crypto/suite.cc.o.d"
+  "libtdb_crypto.a"
+  "libtdb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

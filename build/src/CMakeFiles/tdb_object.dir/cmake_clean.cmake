@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_object.dir/object/lock_manager.cc.o"
+  "CMakeFiles/tdb_object.dir/object/lock_manager.cc.o.d"
+  "CMakeFiles/tdb_object.dir/object/object_store.cc.o"
+  "CMakeFiles/tdb_object.dir/object/object_store.cc.o.d"
+  "CMakeFiles/tdb_object.dir/object/pickler.cc.o"
+  "CMakeFiles/tdb_object.dir/object/pickler.cc.o.d"
+  "libtdb_object.a"
+  "libtdb_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

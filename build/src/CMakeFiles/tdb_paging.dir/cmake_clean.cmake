@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_paging.dir/paging/trusted_pager.cc.o"
+  "CMakeFiles/tdb_paging.dir/paging/trusted_pager.cc.o.d"
+  "libtdb_paging.a"
+  "libtdb_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_platform.dir/platform/trusted_store.cc.o"
+  "CMakeFiles/tdb_platform.dir/platform/trusted_store.cc.o.d"
+  "libtdb_platform.a"
+  "libtdb_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

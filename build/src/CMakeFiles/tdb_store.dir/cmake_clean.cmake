@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_store.dir/store/archival_store.cc.o"
+  "CMakeFiles/tdb_store.dir/store/archival_store.cc.o.d"
+  "CMakeFiles/tdb_store.dir/store/faulty_store.cc.o"
+  "CMakeFiles/tdb_store.dir/store/faulty_store.cc.o.d"
+  "CMakeFiles/tdb_store.dir/store/untrusted_store.cc.o"
+  "CMakeFiles/tdb_store.dir/store/untrusted_store.cc.o.d"
+  "libtdb_store.a"
+  "libtdb_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_workload.dir/workload/tdb_backend.cc.o"
+  "CMakeFiles/tdb_workload.dir/workload/tdb_backend.cc.o.d"
+  "CMakeFiles/tdb_workload.dir/workload/vending.cc.o"
+  "CMakeFiles/tdb_workload.dir/workload/vending.cc.o.d"
+  "CMakeFiles/tdb_workload.dir/workload/xdb_backend.cc.o"
+  "CMakeFiles/tdb_workload.dir/workload/xdb_backend.cc.o.d"
+  "libtdb_workload.a"
+  "libtdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

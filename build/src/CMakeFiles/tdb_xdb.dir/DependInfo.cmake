@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xdb/btree.cc" "src/CMakeFiles/tdb_xdb.dir/xdb/btree.cc.o" "gcc" "src/CMakeFiles/tdb_xdb.dir/xdb/btree.cc.o.d"
+  "/root/repo/src/xdb/crypto_layer.cc" "src/CMakeFiles/tdb_xdb.dir/xdb/crypto_layer.cc.o" "gcc" "src/CMakeFiles/tdb_xdb.dir/xdb/crypto_layer.cc.o.d"
+  "/root/repo/src/xdb/pager.cc" "src/CMakeFiles/tdb_xdb.dir/xdb/pager.cc.o" "gcc" "src/CMakeFiles/tdb_xdb.dir/xdb/pager.cc.o.d"
+  "/root/repo/src/xdb/wal.cc" "src/CMakeFiles/tdb_xdb.dir/xdb/wal.cc.o" "gcc" "src/CMakeFiles/tdb_xdb.dir/xdb/wal.cc.o.d"
+  "/root/repo/src/xdb/xdb.cc" "src/CMakeFiles/tdb_xdb.dir/xdb/xdb.cc.o" "gcc" "src/CMakeFiles/tdb_xdb.dir/xdb/xdb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

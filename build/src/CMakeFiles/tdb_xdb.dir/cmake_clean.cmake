@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_xdb.dir/xdb/btree.cc.o"
+  "CMakeFiles/tdb_xdb.dir/xdb/btree.cc.o.d"
+  "CMakeFiles/tdb_xdb.dir/xdb/crypto_layer.cc.o"
+  "CMakeFiles/tdb_xdb.dir/xdb/crypto_layer.cc.o.d"
+  "CMakeFiles/tdb_xdb.dir/xdb/pager.cc.o"
+  "CMakeFiles/tdb_xdb.dir/xdb/pager.cc.o.d"
+  "CMakeFiles/tdb_xdb.dir/xdb/wal.cc.o"
+  "CMakeFiles/tdb_xdb.dir/xdb/wal.cc.o.d"
+  "CMakeFiles/tdb_xdb.dir/xdb/xdb.cc.o"
+  "CMakeFiles/tdb_xdb.dir/xdb/xdb.cc.o.d"
+  "libtdb_xdb.a"
+  "libtdb_xdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_xdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_format_test.dir/chunk_format_test.cc.o"
+  "CMakeFiles/chunk_format_test.dir/chunk_format_test.cc.o.d"
+  "chunk_format_test"
+  "chunk_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_btree_test.dir/object_btree_test.cc.o"
+  "CMakeFiles/object_btree_test.dir/object_btree_test.cc.o.d"
+  "object_btree_test"
+  "object_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

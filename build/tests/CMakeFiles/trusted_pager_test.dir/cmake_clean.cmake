@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trusted_pager_test.dir/trusted_pager_test.cc.o"
+  "CMakeFiles/trusted_pager_test.dir/trusted_pager_test.cc.o.d"
+  "trusted_pager_test"
+  "trusted_pager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trusted_pager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vending_test.dir/vending_test.cc.o"
+  "CMakeFiles/vending_test.dir/vending_test.cc.o.d"
+  "vending_test"
+  "vending_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vending_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
