@@ -171,13 +171,17 @@ Result<std::pair<Location, uint32_t>> ChunkStore::ReadSuperblock() {
   if (raw.empty()) {
     return NotFoundError("superblock is empty: not a TDB store");
   }
+  // A non-empty but malformed superblock is adversarial, not a torn write:
+  // the UntrustedStore contract makes superblock writes atomic and durable.
   PickleReader r(raw);
   if (r.ReadU32() != kSuperblockMagic) {
-    return CorruptionError("bad superblock magic");
+    return TamperDetectedError("bad superblock magic");
   }
   Location loc = Location::Unpack(r.ReadU64());
   uint32_t size = r.ReadU32();
-  TDB_RETURN_IF_ERROR(r.Done());
+  if (!r.Done().ok()) {
+    return TamperDetectedError("superblock is truncated or oversized");
+  }
   return std::make_pair(loc, size);
 }
 
@@ -1135,14 +1139,25 @@ Status ChunkStore::RecoverLocked() {
   }
   (void)leader_size_hint;
 
-  // Bootstrap: read and parse the leader version.
+  // Bootstrap: read and parse the leader version. A head location that falls
+  // outside the store, or a leader that does not fit in its segment, can
+  // only come from a forged superblock/register — treat reads that miss the
+  // device as tampering, not I/O misuse.
   size_t header_size = HeaderCipherSize(*system_suite_);
+  if (head.segment >= store_->num_segments() ||
+      static_cast<size_t>(head.offset) + header_size > store_->segment_size()) {
+    return TamperDetectedError("stored head location is outside the store");
+  }
   TDB_ASSIGN_OR_RETURN(Bytes header_ct,
                        store_->Read(head.segment, head.offset, header_size));
   Result<VersionHeader> header = DecodeHeader(*system_suite_, header_ct);
   if (!header.ok() || header->unnamed ||
       header->id.position.height != kLeaderHeight) {
     return TamperDetectedError("no leader chunk at the stored head location");
+  }
+  if (static_cast<size_t>(head.offset) + header_size + header->body_size >
+      store_->segment_size()) {
+    return TamperDetectedError("leader chunk extends past its segment");
   }
   TDB_ASSIGN_OR_RETURN(
       Bytes body_ct,

@@ -73,6 +73,12 @@ Result<PartitionLeader> PartitionLeader::Unpickle(PickleReader& r) {
   if (num_free > leader.num_positions) {
     return CorruptionError("free list larger than position space");
   }
+  // Each free rank occupies at least one input byte; a count beyond the
+  // remaining data is forged. Checking it bounds the reserve() below, which
+  // would otherwise throw on an adversarial 2^60-entry count.
+  if (!r.ok() || num_free > r.remaining()) {
+    return CorruptionError("free list larger than input");
+  }
   leader.free_ranks.reserve(num_free);
   for (uint64_t i = 0; i < num_free; ++i) {
     leader.free_ranks.push_back(r.ReadVarint());

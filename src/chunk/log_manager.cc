@@ -39,7 +39,9 @@ Result<SystemLeaderRecord> SystemLeaderRecord::Unpickle(ByteView data) {
   SystemLeaderRecord rec;
   TDB_ASSIGN_OR_RETURN(rec.system_tree, PartitionLeader::Unpickle(r));
   uint64_t num_segments = r.ReadVarint();
-  if (!r.ok() || num_segments > (1u << 24)) {
+  // Each SegmentInfo occupies at least one input byte, so a count beyond the
+  // remaining data is forged — reject it before reserving memory for it.
+  if (!r.ok() || num_segments > (1u << 24) || num_segments > r.remaining()) {
     return CorruptionError("bad segment table");
   }
   rec.segments.reserve(num_segments);
@@ -85,6 +87,10 @@ Status LogManager::LoadFromCheckpoint(std::vector<SegmentInfo> table,
                                       uint32_t leader_size) {
   if (table.size() != segments_.size()) {
     return CorruptionError("segment table size mismatch");
+  }
+  if (leader_loc.segment >= table.size() ||
+      static_cast<size_t>(leader_loc.offset) + leader_size > segment_size()) {
+    return TamperDetectedError("checkpoint leader location out of range");
   }
   segments_ = std::move(table);
   SegmentInfo& leader_seg = segments_[leader_loc.segment];
@@ -293,6 +299,13 @@ Result<std::optional<LogManager::Scanned>> LogManager::Scanner::Next() {
                          NextSegmentRecord::Unpickle(plain));
     if (rec.next_segment >= log_->segments_.size()) {
       return CorruptionError("next-segment link outside store");
+    }
+    // A legitimate residual chain never revisits a segment; a cycle here
+    // means spliced (replayed) link records and would otherwise make the
+    // scan loop forever.
+    if (std::find(visited_.begin(), visited_.end(), rec.next_segment) !=
+        visited_.end()) {
+      return TamperDetectedError("next-segment link cycle: log was spliced");
     }
     pos_ = Location{rec.next_segment, 0};
     visited_.push_back(rec.next_segment);

@@ -63,6 +63,9 @@ void Sha1::ProcessBlock(const uint8_t* block) {
 }
 
 void Sha1::Update(ByteView data) {
+  if (data.empty()) {
+    return;  // an empty view may carry a null pointer, which memcpy forbids
+  }
   total_len_ += data.size();
   size_t pos = 0;
   if (buffer_len_ > 0) {

@@ -1,0 +1,110 @@
+#include "src/store/tamper_store.h"
+
+namespace tdb {
+
+Status TamperStore::WriteDurable(uint32_t segment, uint32_t offset,
+                                 ByteView data) {
+  TDB_RETURN_IF_ERROR(base_->Write(segment, offset, data));
+  ++tamper_count_;
+  return base_->Flush();
+}
+
+Status TamperStore::FlipBits(uint32_t segment, uint32_t offset,
+                             uint8_t xor_mask) {
+  if (xor_mask == 0) {
+    return InvalidArgumentError("xor mask must flip at least one bit");
+  }
+  TDB_ASSIGN_OR_RETURN(Bytes byte, base_->Read(segment, offset, 1));
+  byte[0] ^= xor_mask;
+  return WriteDurable(segment, offset, byte);
+}
+
+Status TamperStore::Overwrite(uint32_t segment, uint32_t offset,
+                              ByteView data) {
+  return WriteDurable(segment, offset, data);
+}
+
+Status TamperStore::OverwriteRandom(uint32_t segment, uint32_t offset,
+                                    size_t len, Rng& rng) {
+  if (len == 0) {
+    return InvalidArgumentError("cannot overwrite an empty region");
+  }
+  TDB_ASSIGN_OR_RETURN(Bytes old, base_->Read(segment, offset, len));
+  Bytes junk = rng.NextBytes(len);
+  if (junk == old) {
+    junk[0] ^= 0xFF;  // a no-op overwrite would make the test vacuous
+  }
+  return WriteDurable(segment, offset, junk);
+}
+
+Status TamperStore::SwapSegments(uint32_t a, uint32_t b) {
+  if (a == b) {
+    return InvalidArgumentError("cannot swap a segment with itself");
+  }
+  TDB_ASSIGN_OR_RETURN(Bytes seg_a, base_->Read(a, 0, segment_size()));
+  TDB_ASSIGN_OR_RETURN(Bytes seg_b, base_->Read(b, 0, segment_size()));
+  TDB_RETURN_IF_ERROR(base_->Write(a, 0, seg_b));
+  TDB_RETURN_IF_ERROR(WriteDurable(b, 0, seg_a));
+  return OkStatus();
+}
+
+Status TamperStore::TruncateSegment(uint32_t segment, uint32_t from_offset) {
+  if (from_offset >= segment_size()) {
+    return InvalidArgumentError("truncation offset past end of segment");
+  }
+  Bytes zeros(segment_size() - from_offset, 0);
+  return WriteDurable(segment, from_offset, zeros);
+}
+
+Status TamperStore::GrowSegment(uint32_t segment, uint32_t from_offset,
+                                Rng& rng) {
+  if (from_offset >= segment_size()) {
+    return InvalidArgumentError("grow offset past end of segment");
+  }
+  Bytes junk = rng.NextBytes(segment_size() - from_offset);
+  return WriteDurable(segment, from_offset, junk);
+}
+
+Result<Bytes> TamperStore::CaptureSegment(uint32_t segment) const {
+  return base_->Read(segment, 0, segment_size());
+}
+
+Status TamperStore::ReplaySegment(uint32_t segment, ByteView captured) {
+  if (captured.size() != segment_size()) {
+    return InvalidArgumentError("captured segment has the wrong size");
+  }
+  return WriteDurable(segment, 0, captured);
+}
+
+Result<Bytes> TamperStore::CaptureSuperblock() const {
+  return base_->ReadSuperblock();
+}
+
+Status TamperStore::ReplaySuperblock(ByteView captured) {
+  TDB_RETURN_IF_ERROR(base_->WriteSuperblock(captured));
+  ++tamper_count_;
+  return OkStatus();
+}
+
+Result<TamperStore::StoreImage> TamperStore::CaptureStore() const {
+  StoreImage image;
+  image.segments.reserve(num_segments());
+  for (uint32_t s = 0; s < num_segments(); ++s) {
+    TDB_ASSIGN_OR_RETURN(Bytes seg, CaptureSegment(s));
+    image.segments.push_back(std::move(seg));
+  }
+  TDB_ASSIGN_OR_RETURN(image.superblock, CaptureSuperblock());
+  return image;
+}
+
+Status TamperStore::ReplayStore(const StoreImage& image) {
+  if (image.segments.size() != num_segments()) {
+    return InvalidArgumentError("captured image has the wrong segment count");
+  }
+  for (uint32_t s = 0; s < num_segments(); ++s) {
+    TDB_RETURN_IF_ERROR(ReplaySegment(s, image.segments[s]));
+  }
+  return ReplaySuperblock(image.superblock);
+}
+
+}  // namespace tdb

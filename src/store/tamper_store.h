@@ -1,0 +1,98 @@
+// Adversarial wrapper around an UntrustedStore. The paper's threat model
+// (§2) lets *any* program — the adversary included — read and write the
+// untrusted store. Where FaultyStore models a benign device that crashes,
+// TamperStore models a malicious device: every primitive mutates durable
+// state through the base store's own Write/Flush, so it works against any
+// UntrustedStore implementation (memory- or file-backed).
+//
+// Tamper kinds:
+//  - FlipBits / Overwrite / OverwriteRandom: corrupt bytes in place.
+//  - CaptureSegment/ReplaySegment, CaptureSuperblock/ReplaySuperblock,
+//    CaptureStore/ReplayStore: snapshot authentic state and replay it later —
+//    the rollback attack with stale-but-authentic ciphertext (§4.6, §4.8).
+//  - SwapSegments: splice authentic bytes into the wrong place.
+//  - TruncateSegment: zero a segment tail (appends silently lost).
+//  - GrowSegment: random bytes past the log tail (forged appends).
+
+#ifndef SRC_STORE_TAMPER_STORE_H_
+#define SRC_STORE_TAMPER_STORE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+
+class TamperStore final : public UntrustedStore {
+ public:
+  explicit TamperStore(UntrustedStore* base) : base_(base) {}
+
+  size_t segment_size() const override { return base_->segment_size(); }
+  uint32_t num_segments() const override { return base_->num_segments(); }
+
+  Result<Bytes> Read(uint32_t segment, uint32_t offset,
+                     size_t len) const override {
+    return base_->Read(segment, offset, len);
+  }
+  Status Write(uint32_t segment, uint32_t offset, ByteView data) override {
+    return base_->Write(segment, offset, data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Result<Bytes> ReadSuperblock() const override {
+    return base_->ReadSuperblock();
+  }
+  Status WriteSuperblock(ByteView data) override {
+    return base_->WriteSuperblock(data);
+  }
+
+  // A consistent snapshot of the whole untrusted store, for wholesale
+  // rollback: every segment plus the superblock.
+  struct StoreImage {
+    std::vector<Bytes> segments;
+    Bytes superblock;
+  };
+
+  // --- in-place corruption ---
+
+  // XORs `xor_mask` into the byte at (segment, offset).
+  Status FlipBits(uint32_t segment, uint32_t offset, uint8_t xor_mask);
+  // Replaces a region with chosen bytes.
+  Status Overwrite(uint32_t segment, uint32_t offset, ByteView data);
+  // Replaces `len` bytes with bytes drawn from `rng`; guarantees the stored
+  // region actually changed (never a no-op).
+  Status OverwriteRandom(uint32_t segment, uint32_t offset, size_t len,
+                         Rng& rng);
+
+  // --- structural attacks ---
+
+  // Exchanges the full contents of two segments.
+  Status SwapSegments(uint32_t a, uint32_t b);
+  // Zeroes the segment from `from_offset` to its end.
+  Status TruncateSegment(uint32_t segment, uint32_t from_offset);
+  // Fills the segment from `from_offset` to its end with random bytes.
+  Status GrowSegment(uint32_t segment, uint32_t from_offset, Rng& rng);
+
+  // --- capture & replay (the rollback attack) ---
+
+  Result<Bytes> CaptureSegment(uint32_t segment) const;
+  Status ReplaySegment(uint32_t segment, ByteView captured);
+  Result<Bytes> CaptureSuperblock() const;
+  Status ReplaySuperblock(ByteView captured);
+  Result<StoreImage> CaptureStore() const;
+  Status ReplayStore(const StoreImage& image);
+
+  uint64_t tamper_count() const { return tamper_count_; }
+
+ private:
+  // Writes directly to the base store and flushes, as an attacker with raw
+  // device access would — no volatile cache shields the mutation.
+  Status WriteDurable(uint32_t segment, uint32_t offset, ByteView data);
+
+  UntrustedStore* base_;
+  uint64_t tamper_count_ = 0;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_STORE_TAMPER_STORE_H_

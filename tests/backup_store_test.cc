@@ -289,6 +289,102 @@ TEST_F(BackupTest, ApproverCanDenyRestore) {
   EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
 }
 
+// Rollback attack on the archive: the adversary presents an authentic but
+// stale backup stream. The stream itself validates (it is genuine), so
+// freshness must come from the trusted approver (§6.3) — and a denied
+// restore must not leave any stale state behind.
+TEST_F(BackupTest, RolledBackArchiveRejectedAndStateUntouched) {
+  PartitionId p = MakePartition();
+  ChunkId a = WriteNew(p, "v1 secret");
+  auto sink_old = archive_.OpenSink("old");
+  ASSERT_TRUE(backup_->CreateBackupSet({{p, 0}}, 1, /*created_unix=*/100,
+                                       sink_old.get()).ok());
+  ASSERT_TRUE(sink_old->Close().ok());
+
+  ASSERT_TRUE(chunks_->WriteChunk(a, BytesFromString("v2 secret")).ok());
+  auto sink_new = archive_.OpenSink("new");
+  ASSERT_TRUE(backup_->CreateBackupSet({{p, 0}}, 2, /*created_unix=*/200,
+                                       sink_new.get()).ok());
+  ASSERT_TRUE(sink_new->Close().ok());
+
+  // The trusted program knows the latest backup time and refuses anything
+  // older: replaying the old archive is a rollback attempt.
+  auto source = archive_.OpenSource("old");
+  auto restored = backup_->RestoreStream(
+      source->get(), [](const BackupDescriptor& d) -> Status {
+        if (d.created_unix < 200) {
+          return TamperDetectedError("stale backup stream: rollback denied");
+        }
+        return OkStatus();
+      });
+  EXPECT_EQ(restored.status().code(), StatusCode::kTamperDetected)
+      << restored.status();
+  // The stale state must not have been restored.
+  EXPECT_EQ(*chunks_->Read(a), BytesFromString("v2 secret"));
+}
+
+// Splicing an authentic descriptor from one backup onto authentic chunks
+// from another: every frame is genuine, but the signature binds descriptor
+// and chunk contents together, so the splice is detected as tampering.
+TEST_F(BackupTest, SplicedDescriptorAndChunksDetected) {
+  PartitionId p = MakePartition();
+  ChunkId a = WriteNew(p, "original state");
+  auto sink1 = archive_.OpenSink("b1");
+  ASSERT_TRUE(backup_->CreateBackupSet({{p, 0}}, 1, 100, sink1.get()).ok());
+  ASSERT_TRUE(sink1->Close().ok());
+
+  ASSERT_TRUE(chunks_->WriteChunk(a, BytesFromString("newer state")).ok());
+  auto sink2 = archive_.OpenSink("b2");
+  ASSERT_TRUE(backup_->CreateBackupSet({{p, 0}}, 2, 200, sink2.get()).ok());
+  ASSERT_TRUE(sink2->Close().ok());
+
+  // Frames carry a u32 length prefix; the descriptor is the first frame.
+  // Graft b2's descriptor onto b1's chunks/signature/checksum.
+  Bytes s1 = *(*archive_.OpenSource("b1"))->Read(1 << 24);
+  Bytes s2 = *(*archive_.OpenSource("b2"))->Read(1 << 24);
+  size_t desc1_end = 4 + GetU32(s1.data());
+  size_t desc2_end = 4 + GetU32(s2.data());
+  Bytes spliced(s2.begin(), s2.begin() + desc2_end);
+  spliced.insert(spliced.end(), s1.begin() + desc1_end, s1.end());
+
+  auto sink = archive_.OpenSink("spliced");
+  ASSERT_TRUE(sink->Write(spliced).ok());
+  ASSERT_TRUE(sink->Close().ok());
+
+  auto source = archive_.OpenSource("spliced");
+  auto restored = backup_->RestoreStream(source->get());
+  EXPECT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().code() == StatusCode::kTamperDetected ||
+              restored.status().code() == StatusCode::kCorruption)
+      << restored.status();
+  // The spliced stream must not have changed any state.
+  EXPECT_EQ(*chunks_->Read(a), BytesFromString("newer state"));
+}
+
+// A stream cut off in the middle of a frame is structural damage, not a key
+// failure: it must come back as corruption and restore nothing.
+TEST_F(BackupTest, MidFrameTruncationIsCorruption) {
+  PartitionId p = MakePartition();
+  ChunkId a = WriteNew(p, "payload");
+  auto sink = archive_.OpenSink("b");
+  ASSERT_TRUE(backup_->CreateBackupSet({{p, 0}}, 4, 0, sink.get()).ok());
+  ASSERT_TRUE(sink->Close().ok());
+
+  Bytes stream = *(*archive_.OpenSource("b"))->Read(1 << 24);
+  ASSERT_GT(stream.size(), 3u);
+  stream.resize(stream.size() - 3);  // cut inside the final frame
+  auto sink_cut = archive_.OpenSink("cut");
+  ASSERT_TRUE(sink_cut->Write(stream).ok());
+  ASSERT_TRUE(sink_cut->Close().ok());
+
+  ASSERT_TRUE(chunks_->WriteChunk(a, BytesFromString("current")).ok());
+  auto source = archive_.OpenSource("cut");
+  auto restored = backup_->RestoreStream(source->get());
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption)
+      << restored.status();
+  EXPECT_EQ(*chunks_->Read(a), BytesFromString("current"));
+}
+
 TEST_F(BackupTest, RestoredStateSurvivesRestart) {
   PartitionId p = MakePartition();
   ChunkId a = WriteNew(p, "will be restored");

@@ -6,9 +6,11 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "src/common/rng.h"
 #include "src/platform/trusted_store.h"
 #include "src/store/archival_store.h"
 #include "src/store/faulty_store.h"
+#include "src/store/tamper_store.h"
 #include "src/store/untrusted_store.h"
 
 namespace tdb {
@@ -102,11 +104,134 @@ TEST(FaultyStoreTest, FailsAfterCountdown) {
 TEST(FaultyStoreTest, TornWritePersistsPrefix) {
   MemUntrustedStore base({.segment_size = 128, .num_segments = 2});
   FaultyStore store(&base);
-  store.FailAfterWrites(0, /*tear=*/true);
+  store.SetTearFraction(0.5);
+  store.FailAfterWrites(0);
   EXPECT_FALSE(store.Write(0, 0, BytesFromString("abcdef")).ok());
   // The first half landed in the base store.
   EXPECT_EQ(*base.Read(0, 0, 3), BytesFromString("abc"));
   EXPECT_EQ(*base.Read(0, 3, 3), Bytes(3, 0));
+}
+
+TEST(FaultyStoreTest, TearFractionControlsPersistedPrefix) {
+  MemUntrustedStore base({.segment_size = 128, .num_segments = 2});
+  FaultyStore store(&base);
+  // A quarter of an 8-byte write: 2 bytes survive.
+  store.SetTearFraction(0.25);
+  store.FailAfterWrites(0);
+  EXPECT_FALSE(store.Write(0, 0, BytesFromString("abcdefgh")).ok());
+  EXPECT_EQ(*base.Read(0, 0, 2), BytesFromString("ab"));
+  EXPECT_EQ(*base.Read(0, 2, 6), Bytes(6, 0));
+
+  // Fraction 1.0: the device persisted everything but the ack was lost.
+  store.ClearFault();
+  store.SetTearFraction(1.0);
+  store.FailAfterWrites(0);
+  EXPECT_FALSE(store.Write(0, 16, BytesFromString("whole")).ok());
+  EXPECT_EQ(*base.Read(0, 16, 5), BytesFromString("whole"));
+
+  // Fraction 0: a clean failure, nothing persisted.
+  store.ClearFault();
+  store.SetTearFraction(0.0);
+  store.FailAfterWrites(0);
+  EXPECT_FALSE(store.Write(0, 32, BytesFromString("none")).ok());
+  EXPECT_EQ(*base.Read(0, 32, 4), Bytes(4, 0));
+}
+
+TEST(FaultyStoreTest, FailsReadsAfterCountdown) {
+  MemUntrustedStore base({.segment_size = 128, .num_segments = 2});
+  ASSERT_TRUE(base.Write(0, 0, BytesFromString("abc")).ok());
+  ASSERT_TRUE(base.Flush().ok());
+  FaultyStore store(&base);
+  store.FailAfterReads(2);
+  EXPECT_TRUE(store.Read(0, 0, 3).ok());
+  EXPECT_TRUE(store.Read(0, 1, 1).ok());
+  EXPECT_EQ(store.Read(0, 0, 3).status().code(), StatusCode::kIoError);
+  // Reads keep failing until the fault is cleared; writes are unaffected.
+  EXPECT_EQ(store.ReadSuperblock().status().code(), StatusCode::kIoError);
+  EXPECT_TRUE(store.Write(0, 8, BytesFromString("w")).ok());
+  EXPECT_TRUE(store.faulted());
+  store.ClearFault();
+  EXPECT_EQ(*store.Read(0, 0, 3), BytesFromString("abc"));
+  EXPECT_EQ(store.read_count(), 3u);
+}
+
+TEST(FaultyStoreTest, ReadFaultCoversSuperblock) {
+  MemUntrustedStore base({.segment_size = 128, .num_segments = 2});
+  ASSERT_TRUE(base.WriteSuperblock(BytesFromString("sb")).ok());
+  FaultyStore store(&base);
+  store.FailAfterReads(0);
+  EXPECT_EQ(store.ReadSuperblock().status().code(), StatusCode::kIoError);
+  store.ClearFault();
+  EXPECT_EQ(*store.ReadSuperblock(), BytesFromString("sb"));
+}
+
+TEST(TamperStoreTest, FlipBitsAndOverwrite) {
+  MemUntrustedStore base({.segment_size = 128, .num_segments = 4});
+  ASSERT_TRUE(base.Write(1, 10, BytesFromString("abcdef")).ok());
+  ASSERT_TRUE(base.Flush().ok());
+  TamperStore tamper(&base);
+  ASSERT_TRUE(tamper.FlipBits(1, 10, 0x01).ok());
+  EXPECT_EQ((*base.Read(1, 10, 1))[0], 'a' ^ 0x01);
+  EXPECT_FALSE(tamper.FlipBits(1, 10, 0x00).ok());  // must flip something
+
+  Rng rng(7);
+  ASSERT_TRUE(tamper.OverwriteRandom(1, 10, 6, rng).ok());
+  EXPECT_NE(*base.Read(1, 10, 6), BytesFromString("abcdef"));
+  ASSERT_TRUE(tamper.Overwrite(1, 10, BytesFromString("zz")).ok());
+  EXPECT_EQ(*base.Read(1, 10, 2), BytesFromString("zz"));
+  EXPECT_EQ(tamper.tamper_count(), 3u);
+}
+
+TEST(TamperStoreTest, CaptureAndReplaySegment) {
+  MemUntrustedStore base({.segment_size = 128, .num_segments = 4});
+  ASSERT_TRUE(base.Write(0, 0, BytesFromString("old state")).ok());
+  ASSERT_TRUE(base.Flush().ok());
+  TamperStore tamper(&base);
+  auto captured = tamper.CaptureSegment(0);
+  ASSERT_TRUE(captured.ok());
+  ASSERT_TRUE(base.Write(0, 0, BytesFromString("new state")).ok());
+  ASSERT_TRUE(base.Flush().ok());
+  ASSERT_TRUE(tamper.ReplaySegment(0, *captured).ok());
+  EXPECT_EQ(*base.Read(0, 0, 9), BytesFromString("old state"));
+  // Replay is durable: it survives a device crash.
+  base.Crash();
+  EXPECT_EQ(*base.Read(0, 0, 9), BytesFromString("old state"));
+}
+
+TEST(TamperStoreTest, SwapTruncateGrow) {
+  MemUntrustedStore base({.segment_size = 64, .num_segments = 4});
+  ASSERT_TRUE(base.Write(0, 0, BytesFromString("seg-zero")).ok());
+  ASSERT_TRUE(base.Write(1, 0, BytesFromString("seg-one!")).ok());
+  ASSERT_TRUE(base.Flush().ok());
+  TamperStore tamper(&base);
+  ASSERT_TRUE(tamper.SwapSegments(0, 1).ok());
+  EXPECT_EQ(*base.Read(0, 0, 8), BytesFromString("seg-one!"));
+  EXPECT_EQ(*base.Read(1, 0, 8), BytesFromString("seg-zero"));
+
+  ASSERT_TRUE(tamper.TruncateSegment(0, 4).ok());
+  EXPECT_EQ(*base.Read(0, 0, 4), BytesFromString("seg-"));
+  EXPECT_EQ(*base.Read(0, 4, 60), Bytes(60, 0));
+
+  Rng rng(11);
+  ASSERT_TRUE(tamper.GrowSegment(1, 8, rng).ok());
+  EXPECT_EQ(*base.Read(1, 0, 8), BytesFromString("seg-zero"));
+  EXPECT_NE(*base.Read(1, 8, 56), Bytes(56, 0));
+}
+
+TEST(TamperStoreTest, FullStoreRollback) {
+  MemUntrustedStore base({.segment_size = 64, .num_segments = 2});
+  ASSERT_TRUE(base.Write(0, 0, BytesFromString("v1")).ok());
+  ASSERT_TRUE(base.Flush().ok());
+  ASSERT_TRUE(base.WriteSuperblock(BytesFromString("sb1")).ok());
+  TamperStore tamper(&base);
+  auto image = tamper.CaptureStore();
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(base.Write(0, 0, BytesFromString("v2")).ok());
+  ASSERT_TRUE(base.Flush().ok());
+  ASSERT_TRUE(base.WriteSuperblock(BytesFromString("sb2")).ok());
+  ASSERT_TRUE(tamper.ReplayStore(*image).ok());
+  EXPECT_EQ(*base.Read(0, 0, 2), BytesFromString("v1"));
+  EXPECT_EQ(*base.ReadSuperblock(), BytesFromString("sb1"));
 }
 
 TEST(TrustedStoreTest, MemRegisterRoundTrip) {

@@ -1,0 +1,635 @@
+// The adversarial tamper matrix (§2, §4.6, §4.8): a known workload is
+// committed, then every tamper kind is applied at every structurally
+// interesting location of the untrusted store, for both validation modes and
+// both hash suites. Every cell must end in detection — reopen, read, or
+// recovery returns kTamperDetected/kCorruption/kIoError — never a crash and
+// never silently wrong data.
+//
+// Tamper kinds: bit flip, random overwrite, replay of a captured authentic
+// segment (rollback), segment swap, truncation. Locations: the checkpoint
+// root (leader chunk), a position-map chunk, a data chunk, the final log
+// record's header and body, and (counter mode) the superblock. Separate
+// tests cover wholesale store rollback, superblock rollback, spliced
+// next-segment link cycles, and the two tampers that are *neutralized* by
+// design rather than detected (grow-past-tail, and superblock tampering in
+// direct-hash mode, where the register — not the superblock — names the
+// head).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/chunk/chunk_store.h"
+#include "src/chunk/log_format.h"
+#include "src/common/pickle.h"
+#include "src/common/rng.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/tamper_store.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+namespace {
+
+CryptoParams PartitionParams(HashAlg hash) {
+  return CryptoParams{CipherAlg::kAes128, hash, Bytes(16, 0x21)};
+}
+
+// A byte region of the untrusted store holding one interesting structure.
+struct Region {
+  uint32_t segment = 0;
+  uint32_t offset = 0;
+  uint32_t size = 0;
+};
+
+enum class Kind {
+  kBitFlip,
+  kRandomOverwrite,
+  kReplayOld,  // replay a captured authentic segment: the rollback attack
+  kSwapSegments,
+  kTruncate,
+};
+
+enum class Target {
+  kCheckpointRoot,
+  kMapChunk,
+  kDataChunk,
+  kLogRecordHeader,
+  kLogRecordBody,
+  kSuperblock,
+};
+
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kBitFlip: return "BitFlip";
+    case Kind::kRandomOverwrite: return "RandomOverwrite";
+    case Kind::kReplayOld: return "ReplayOld";
+    case Kind::kSwapSegments: return "SwapSegments";
+    case Kind::kTruncate: return "Truncate";
+  }
+  return "?";
+}
+
+const char* TargetName(Target t) {
+  switch (t) {
+    case Target::kCheckpointRoot: return "CheckpointRoot";
+    case Target::kMapChunk: return "MapChunk";
+    case Target::kDataChunk: return "DataChunk";
+    case Target::kLogRecordHeader: return "LogRecordHeader";
+    case Target::kLogRecordBody: return "LogRecordBody";
+    case Target::kSuperblock: return "Superblock";
+  }
+  return "?";
+}
+
+// Everything the tamper cells need to know about the committed store: chunk
+// ids and expected values, the interesting regions, the log tail, and a
+// consistent midpoint snapshot for replay attacks.
+struct Layout {
+  std::map<int, ChunkId> ids;
+  std::map<int, std::string> expected;
+  Region checkpoint_root;
+  Region map_chunk;
+  Region data_chunk;
+  Region log_header;
+  Region log_body;
+  Location tail;  // first byte past the final log record
+  TamperStore::StoreImage midpoint;
+};
+
+const Region& RegionFor(Target target, const Layout& lay) {
+  switch (target) {
+    case Target::kCheckpointRoot: return lay.checkpoint_root;
+    case Target::kMapChunk: return lay.map_chunk;
+    case Target::kDataChunk: return lay.data_chunk;
+    case Target::kLogRecordHeader: return lay.log_header;
+    case Target::kLogRecordBody: return lay.log_body;
+    case Target::kSuperblock: return lay.checkpoint_root;  // unused
+  }
+  return lay.checkpoint_root;
+}
+
+// Commits the known workload and records the layout:
+//   commit chunks 0..9, checkpoint #1, <midpoint capture>,
+//   update chunk 0 + commit chunk 10, checkpoint #2,
+//   update chunk 1, commit chunk 11.
+// The trusted state (register/counter) reflects the final commit, so any
+// regression of the log must be caught on reopen.
+bool BuildWorkload(TamperStore& store, TrustedServices trusted,
+                   const ChunkStoreOptions& options, HashAlg hash,
+                   Layout* lay) {
+  auto cs = ChunkStore::Create(&store, trusted, options);
+  if (!cs.ok()) {
+    ADD_FAILURE() << "Create: " << cs.status();
+    return false;
+  }
+  ChunkStore& chunks = **cs;
+  auto pid = chunks.AllocatePartition();
+  if (!pid.ok()) {
+    ADD_FAILURE() << "AllocatePartition: " << pid.status();
+    return false;
+  }
+  {
+    ChunkStore::Batch batch;
+    batch.WritePartition(*pid, PartitionParams(hash));
+    if (!chunks.Commit(std::move(batch)).ok()) return false;
+  }
+  {
+    ChunkStore::Batch batch;
+    for (int i = 0; i < 10; ++i) {
+      auto id = chunks.AllocateChunk(*pid);
+      if (!id.ok()) return false;
+      lay->ids[i] = *id;
+      lay->expected[i] = "payload-" + std::to_string(i);
+      batch.WriteChunk(*id, BytesFromString(lay->expected[i]));
+    }
+    if (!chunks.Commit(std::move(batch)).ok()) return false;
+  }
+  if (!chunks.Checkpoint().ok()) return false;
+
+  // Midpoint: a fully consistent, authentic snapshot the adversary captures.
+  auto image = store.CaptureStore();
+  if (!image.ok()) {
+    ADD_FAILURE() << "CaptureStore: " << image.status();
+    return false;
+  }
+  lay->midpoint = std::move(*image);
+
+  {
+    ChunkStore::Batch batch;
+    lay->expected[0] = "updated-0";
+    batch.WriteChunk(lay->ids[0], BytesFromString(lay->expected[0]));
+    auto id = chunks.AllocateChunk(*pid);
+    if (!id.ok()) return false;
+    lay->ids[10] = *id;
+    lay->expected[10] = "payload-10";
+    batch.WriteChunk(*id, BytesFromString(lay->expected[10]));
+    if (!chunks.Commit(std::move(batch)).ok()) return false;
+  }
+  if (!chunks.Checkpoint().ok()) return false;
+  {
+    ChunkStore::Batch batch;
+    lay->expected[1] = "updated-1";
+    batch.WriteChunk(lay->ids[1], BytesFromString(lay->expected[1]));
+    if (!chunks.Commit(std::move(batch)).ok()) return false;
+  }
+  {
+    ChunkStore::Batch batch;
+    auto id = chunks.AllocateChunk(*pid);
+    if (!id.ok()) return false;
+    lay->ids[11] = *id;
+    lay->expected[11] = "payload-11";
+    batch.WriteChunk(*id, BytesFromString(lay->expected[11]));
+    if (!chunks.Commit(std::move(batch)).ok()) return false;
+  }
+
+  // Locate the structures. The checkpoint leader comes from the superblock
+  // (written in both modes): magic u32, packed location u64, size u32.
+  auto raw = store.ReadSuperblock();
+  if (!raw.ok() || raw->empty()) {
+    ADD_FAILURE() << "superblock unreadable";
+    return false;
+  }
+  PickleReader r(*raw);
+  (void)r.ReadU32();  // magic
+  Location leader_loc = Location::Unpack(r.ReadU64());
+  uint32_t leader_size = r.ReadU32();
+  if (!r.Done().ok()) {
+    ADD_FAILURE() << "superblock malformed";
+    return false;
+  }
+  lay->checkpoint_root = Region{leader_loc.segment, leader_loc.offset,
+                                leader_size};
+
+  auto map_loc = chunks.DebugChunkLocation(ChunkId(*pid, 1, 0));
+  if (!map_loc.ok()) {
+    ADD_FAILURE() << "map chunk location: " << map_loc.status();
+    return false;
+  }
+  lay->map_chunk = Region{map_loc->first.segment, map_loc->first.offset,
+                          map_loc->second};
+
+  auto data_loc = chunks.DebugChunkLocation(lay->ids[3]);
+  if (!data_loc.ok()) return false;
+  lay->data_chunk = Region{data_loc->first.segment, data_loc->first.offset,
+                           data_loc->second};
+
+  auto rec_loc = chunks.DebugChunkLocation(lay->ids[11]);
+  if (!rec_loc.ok()) return false;
+  uint32_t header_size =
+      static_cast<uint32_t>(HeaderCipherSize(chunks.system_suite()));
+  lay->log_header = Region{rec_loc->first.segment, rec_loc->first.offset,
+                           header_size};
+  lay->log_body = Region{rec_loc->first.segment,
+                         rec_loc->first.offset + header_size,
+                         rec_loc->second - header_size};
+  lay->tail = Location{rec_loc->first.segment,
+                       rec_loc->first.offset + rec_loc->second};
+  // The last chunk version is not necessarily the last log record (counter
+  // mode appends a commit record after it). Advance the tail past every
+  // parseable record, the same probe recovery uses to find the log end.
+  while (true) {
+    auto header_ct =
+        store.Read(lay->tail.segment, lay->tail.offset, header_size);
+    if (!header_ct.ok()) break;
+    auto header = DecodeHeader(chunks.system_suite(), *header_ct);
+    if (!header.ok()) break;
+    lay->tail.offset += header_size + header->body_size;
+  }
+  return true;
+}
+
+bool ApplyTamper(TamperStore& store, Kind kind, const Region& r,
+                 const Layout& lay, Rng& rng) {
+  switch (kind) {
+    case Kind::kBitFlip:
+      // offset+2 sits in the header's IV block for version regions, which
+      // deterministically flips a plaintext header byte after CBC decryption.
+      return store.FlipBits(r.segment, r.offset + 2, 0x01).ok();
+    case Kind::kRandomOverwrite:
+      return store.OverwriteRandom(r.segment, r.offset, r.size, rng).ok();
+    case Kind::kReplayOld: {
+      auto current = store.CaptureSegment(r.segment);
+      if (!current.ok() ||
+          *current == lay.midpoint.segments[r.segment]) {
+        ADD_FAILURE() << "segment replay would be a no-op";
+        return false;
+      }
+      return store.ReplaySegment(r.segment, lay.midpoint.segments[r.segment])
+          .ok();
+    }
+    case Kind::kSwapSegments:
+      return store.SwapSegments(r.segment, store.num_segments() - 1).ok();
+    case Kind::kTruncate:
+      return store.TruncateSegment(r.segment, r.offset).ok();
+  }
+  return false;
+}
+
+// The superblock is not segment-addressed; its tamper kinds go through
+// capture + rewrite.
+bool ApplySuperblockTamper(TamperStore& store, Kind kind, const Layout& lay,
+                           Rng& rng) {
+  auto current = store.CaptureSuperblock();
+  if (!current.ok() || current->empty()) return false;
+  Bytes sb = *current;
+  switch (kind) {
+    case Kind::kBitFlip:
+      // Byte 8 is the low byte of the packed leader segment: the head now
+      // points at a different (empty) segment.
+      sb[8] ^= 0x01;
+      break;
+    case Kind::kRandomOverwrite:
+      sb = rng.NextBytes(sb.size());
+      if (sb == *current) sb[0] ^= 0xFF;
+      break;
+    case Kind::kReplayOld:
+      if (lay.midpoint.superblock == sb) {
+        ADD_FAILURE() << "superblock replay would be a no-op";
+        return false;
+      }
+      sb = lay.midpoint.superblock;
+      break;
+    case Kind::kSwapSegments: {
+      // Authentic bytes from the wrong place: the start of segment 0.
+      auto seg = store.Read(0, 0, sb.size());
+      if (!seg.ok()) return false;
+      sb = *seg;
+      break;
+    }
+    case Kind::kTruncate:
+      sb.resize(sb.size() / 2);
+      break;
+  }
+  return store.ReplaySuperblock(sb).ok();
+}
+
+bool IsDetectionCode(StatusCode c) {
+  return c == StatusCode::kTamperDetected || c == StatusCode::kCorruption ||
+         c == StatusCode::kIoError;
+}
+
+// Reopens the tampered store and checks the cell's outcome: no crash (by
+// construction), no silently wrong data ever, and — when `require_detection`
+// — at least one of open/read fails with a detection code.
+void CheckCell(UntrustedStore* store, TrustedServices trusted,
+               const ChunkStoreOptions& options, const Layout& lay,
+               bool require_detection, const std::string& cell) {
+  auto reopened = ChunkStore::Open(store, trusted, options);
+  bool detected = false;
+  if (!reopened.ok()) {
+    EXPECT_TRUE(IsDetectionCode(reopened.status().code()))
+        << cell << ": open failed with unexpected code: " << reopened.status();
+    detected = true;
+  } else {
+    for (const auto& [slot, id] : lay.ids) {
+      auto data = (*reopened)->Read(id);
+      if (data.ok()) {
+        EXPECT_EQ(StringFromBytes(*data), lay.expected.at(slot))
+            << cell << " slot " << slot << ": SILENTLY WRONG DATA";
+      } else {
+        EXPECT_TRUE(IsDetectionCode(data.status().code()))
+            << cell << " slot " << slot
+            << ": read failed with unexpected code: " << data.status();
+        detected = true;
+      }
+    }
+  }
+  if (require_detection) {
+    EXPECT_TRUE(detected) << cell << ": tampering went UNDETECTED";
+  }
+}
+
+struct MatrixConfig {
+  ValidationMode mode;
+  HashAlg hash;
+};
+
+std::string ConfigName(const MatrixConfig& cfg) {
+  std::string name =
+      cfg.mode == ValidationMode::kCounter ? "Counter" : "DirectHash";
+  name += cfg.hash == HashAlg::kSha1 ? "_Sha1" : "_Sha256";
+  return name;
+}
+
+class TamperMatrixTest : public ::testing::TestWithParam<MatrixConfig> {
+ protected:
+  // One cell = a fresh store, the fixed workload, one tamper, one check.
+  void RunCell(Kind kind, Target target, uint64_t seed) {
+    MemUntrustedStore mem({.segment_size = 32 * 1024, .num_segments = 16});
+    TamperStore store(&mem);
+    MemSecretStore secret(Bytes(32, 0xA5));
+    MemTamperResistantRegister reg;
+    MemMonotonicCounter counter;
+    TrustedServices trusted{&secret, &reg, &counter};
+    ChunkStoreOptions options;
+    options.validation.mode = GetParam().mode;
+    options.system_hash = GetParam().hash;
+    Layout lay;
+    ASSERT_TRUE(BuildWorkload(store, trusted, options, GetParam().hash, &lay));
+    std::string cell = std::string(KindName(kind)) + "@" + TargetName(target) +
+                       "/" + ConfigName(GetParam());
+    Rng rng(seed);
+    if (target == Target::kSuperblock) {
+      ASSERT_TRUE(ApplySuperblockTamper(store, kind, lay, rng)) << cell;
+    } else {
+      ASSERT_TRUE(ApplyTamper(store, kind, RegionFor(target, lay), lay, rng))
+          << cell;
+    }
+    CheckCell(&store, trusted, options, lay, /*require_detection=*/true, cell);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, TamperMatrixTest,
+    ::testing::Values(MatrixConfig{ValidationMode::kCounter, HashAlg::kSha1},
+                      MatrixConfig{ValidationMode::kCounter, HashAlg::kSha256},
+                      MatrixConfig{ValidationMode::kDirectHash, HashAlg::kSha1},
+                      MatrixConfig{ValidationMode::kDirectHash,
+                                   HashAlg::kSha256}),
+    [](const auto& info) { return ConfigName(info.param); });
+
+// The core matrix: 5 tamper kinds x 5 locations, per (mode, hash) config.
+// Every cell must detect.
+TEST_P(TamperMatrixTest, EveryKindAtEveryLocationIsDetected) {
+  const Kind kinds[] = {Kind::kBitFlip, Kind::kRandomOverwrite,
+                        Kind::kReplayOld, Kind::kSwapSegments,
+                        Kind::kTruncate};
+  const Target targets[] = {Target::kCheckpointRoot, Target::kMapChunk,
+                            Target::kDataChunk, Target::kLogRecordHeader,
+                            Target::kLogRecordBody};
+  uint64_t seed = 1000;
+  for (Kind kind : kinds) {
+    for (Target target : targets) {
+      RunCell(kind, target, ++seed);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// In counter mode the superblock names the recovery head, so it is a sixth
+// fully-detected location — including the superblock rollback attack
+// (ReplayOld: an authentic but stale superblock).
+TEST_P(TamperMatrixTest, SuperblockTamperingIsDetectedInCounterMode) {
+  if (GetParam().mode != ValidationMode::kCounter) {
+    GTEST_SKIP() << "direct-hash mode ignores the superblock";
+  }
+  const Kind kinds[] = {Kind::kBitFlip, Kind::kRandomOverwrite,
+                        Kind::kReplayOld, Kind::kSwapSegments,
+                        Kind::kTruncate};
+  uint64_t seed = 2000;
+  for (Kind kind : kinds) {
+    RunCell(kind, Target::kSuperblock, ++seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// Wholesale rollback: the adversary replays a bit-for-bit authentic image of
+// the entire untrusted store (all segments + superblock) captured at the
+// midpoint. Counter mode catches the regressed commit count; direct-hash
+// mode catches the stale bytes at the register's head. Both must refuse to
+// open with kTamperDetected.
+TEST_P(TamperMatrixTest, FullStoreRollbackIsDetected) {
+  MemUntrustedStore mem({.segment_size = 32 * 1024, .num_segments = 16});
+  TamperStore store(&mem);
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemTamperResistantRegister reg;
+  MemMonotonicCounter counter;
+  TrustedServices trusted{&secret, &reg, &counter};
+  ChunkStoreOptions options;
+  options.validation.mode = GetParam().mode;
+  options.system_hash = GetParam().hash;
+  Layout lay;
+  ASSERT_TRUE(BuildWorkload(store, trusted, options, GetParam().hash, &lay));
+
+  ASSERT_TRUE(store.ReplayStore(lay.midpoint).ok());
+  auto reopened = ChunkStore::Open(&store, trusted, options);
+  ASSERT_FALSE(reopened.ok()) << "rolled-back store opened successfully";
+  EXPECT_EQ(reopened.status().code(), StatusCode::kTamperDetected)
+      << reopened.status();
+}
+
+// Growing a segment past the log tail is neutralized by design: garbage
+// past the tail is indistinguishable from a torn final write, so recovery
+// must stop cleanly at the tail and serve the full committed state.
+TEST_P(TamperMatrixTest, GrowPastTailIsNeutralized) {
+  MemUntrustedStore mem({.segment_size = 32 * 1024, .num_segments = 16});
+  TamperStore store(&mem);
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemTamperResistantRegister reg;
+  MemMonotonicCounter counter;
+  TrustedServices trusted{&secret, &reg, &counter};
+  ChunkStoreOptions options;
+  options.validation.mode = GetParam().mode;
+  options.system_hash = GetParam().hash;
+  Layout lay;
+  ASSERT_TRUE(BuildWorkload(store, trusted, options, GetParam().hash, &lay));
+
+  Rng rng(42);
+  ASSERT_TRUE(store.GrowSegment(lay.tail.segment, lay.tail.offset, rng).ok());
+  auto reopened = ChunkStore::Open(&store, trusted, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  for (const auto& [slot, id] : lay.ids) {
+    auto data = (*reopened)->Read(id);
+    ASSERT_TRUE(data.ok()) << "slot " << slot << ": " << data.status();
+    EXPECT_EQ(StringFromBytes(*data), lay.expected.at(slot));
+  }
+}
+
+// In direct-hash mode the register, not the superblock, names the head; a
+// forged superblock must be ignored outright (flagging it would raise false
+// alarms after a crash between the register write and the superblock write).
+TEST(TamperNeutralizedTest, DirectHashModeIgnoresSuperblockForgery) {
+  MemUntrustedStore mem({.segment_size = 32 * 1024, .num_segments = 16});
+  TamperStore store(&mem);
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemTamperResistantRegister reg;
+  MemMonotonicCounter counter;
+  TrustedServices trusted{&secret, &reg, &counter};
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kDirectHash;
+  Layout lay;
+  ASSERT_TRUE(BuildWorkload(store, trusted, options, HashAlg::kSha256, &lay));
+
+  Rng rng(43);
+  ASSERT_TRUE(ApplySuperblockTamper(store, Kind::kRandomOverwrite, lay, rng));
+  auto reopened = ChunkStore::Open(&store, trusted, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  for (const auto& [slot, id] : lay.ids) {
+    auto data = (*reopened)->Read(id);
+    ASSERT_TRUE(data.ok()) << "slot " << slot << ": " << data.status();
+    EXPECT_EQ(StringFromBytes(*data), lay.expected.at(slot));
+  }
+}
+
+// Targeted checks of the hardened superblock/head parsing: a head location
+// pointing outside the store, a truncated superblock, and a bad magic must
+// all report tampering (not crash, not misuse errors).
+TEST(SuperblockForgeryTest, ForgedSuperblockFieldsReportTampering) {
+  MemUntrustedStore mem({.segment_size = 32 * 1024, .num_segments = 16});
+  TamperStore store(&mem);
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemTamperResistantRegister reg;
+  MemMonotonicCounter counter;
+  TrustedServices trusted{&secret, &reg, &counter};
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kCounter;
+  Layout lay;
+  ASSERT_TRUE(BuildWorkload(store, trusted, options, HashAlg::kSha256, &lay));
+  Bytes good = *store.CaptureSuperblock();
+
+  // Head segment far outside the store.
+  {
+    PickleWriter w;
+    w.WriteU32(0x54444201);  // superblock magic
+    w.WriteU64(Location{9999, 0}.Pack());
+    w.WriteU32(64);
+    ASSERT_TRUE(store.ReplaySuperblock(w.data()).ok());
+    auto reopened = ChunkStore::Open(&store, trusted, options);
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(reopened.status().code(), StatusCode::kTamperDetected)
+        << reopened.status();
+  }
+  // Head offset so large the leader cannot fit in its segment.
+  {
+    PickleWriter w;
+    w.WriteU32(0x54444201);
+    w.WriteU64(Location{0, 0xFFFFFF00}.Pack());
+    w.WriteU32(64);
+    ASSERT_TRUE(store.ReplaySuperblock(w.data()).ok());
+    auto reopened = ChunkStore::Open(&store, trusted, options);
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(reopened.status().code(), StatusCode::kTamperDetected)
+        << reopened.status();
+  }
+  // Truncated superblock.
+  {
+    Bytes half(good.begin(), good.begin() + good.size() / 2);
+    ASSERT_TRUE(store.ReplaySuperblock(half).ok());
+    auto reopened = ChunkStore::Open(&store, trusted, options);
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(reopened.status().code(), StatusCode::kTamperDetected)
+        << reopened.status();
+  }
+  // Bad magic.
+  {
+    Bytes bad = good;
+    bad[0] ^= 0xFF;
+    ASSERT_TRUE(store.ReplaySuperblock(bad).ok());
+    auto reopened = ChunkStore::Open(&store, trusted, options);
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(reopened.status().code(), StatusCode::kTamperDetected)
+        << reopened.status();
+  }
+  // Sanity: restoring the authentic superblock opens cleanly again.
+  ASSERT_TRUE(store.ReplaySuperblock(good).ok());
+  auto reopened = ChunkStore::Open(&store, trusted, options);
+  EXPECT_TRUE(reopened.ok()) << reopened.status();
+}
+
+// Splicing authentic segments so that next-segment links form a cycle must
+// fail cleanly, not scan forever. Small segments force the residual log to
+// span several segments; copying the chain's first segment over a later one
+// turns the chain back on itself.
+class LinkCycleTest : public ::testing::TestWithParam<MatrixConfig> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothModes, LinkCycleTest,
+    ::testing::Values(MatrixConfig{ValidationMode::kCounter, HashAlg::kSha256},
+                      MatrixConfig{ValidationMode::kDirectHash,
+                                   HashAlg::kSha256}),
+    [](const auto& info) { return ConfigName(info.param); });
+
+TEST_P(LinkCycleTest, SplicedLinkCycleFailsInsteadOfHanging) {
+  MemUntrustedStore mem({.segment_size = 2048, .num_segments = 32});
+  TamperStore store(&mem);
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemTamperResistantRegister reg;
+  MemMonotonicCounter counter;
+  TrustedServices trusted{&secret, &reg, &counter};
+  ChunkStoreOptions options;
+  options.validation.mode = GetParam().mode;
+  options.system_hash = GetParam().hash;
+  std::vector<ChunkId> ids;
+  uint32_t first_segment = 0;
+  uint32_t last_segment = 0;
+  {
+    auto cs = ChunkStore::Create(&store, trusted, options);
+    ASSERT_TRUE(cs.ok()) << cs.status();
+    auto pid = (*cs)->AllocatePartition();
+    ASSERT_TRUE(pid.ok());
+    {
+      ChunkStore::Batch batch;
+      batch.WritePartition(*pid, PartitionParams(GetParam().hash));
+      ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+    }
+    // Append commits until the residual log has crossed >= 2 segment
+    // boundaries (so the chain contains at least two link records).
+    for (int i = 0; i < 40; ++i) {
+      auto id = (*cs)->AllocateChunk(*pid);
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+      ASSERT_TRUE(
+          (*cs)->WriteChunk(*id, Bytes(200, static_cast<uint8_t>(i))).ok());
+    }
+    auto first_loc = (*cs)->DebugChunkLocation(ids.front());
+    auto last_loc = (*cs)->DebugChunkLocation(ids.back());
+    ASSERT_TRUE(first_loc.ok() && last_loc.ok());
+    first_segment = first_loc->first.segment;
+    last_segment = last_loc->first.segment;
+    ASSERT_GE(last_segment - first_segment, 2u)
+        << "workload too small to span segments";
+  }
+  // Copy the first chain segment over the last: its next-segment link now
+  // points back into the already-scanned part of the chain.
+  auto head_content = store.CaptureSegment(first_segment);
+  ASSERT_TRUE(head_content.ok());
+  ASSERT_TRUE(store.ReplaySegment(last_segment, *head_content).ok());
+
+  auto reopened = ChunkStore::Open(&store, trusted, options);
+  ASSERT_FALSE(reopened.ok()) << "spliced log opened successfully";
+  EXPECT_TRUE(IsDetectionCode(reopened.status().code())) << reopened.status();
+}
+
+}  // namespace
+}  // namespace tdb
