@@ -13,7 +13,7 @@
 namespace tdb::bench {
 namespace {
 
-void BenchAllocate() {
+void BenchAllocate(BenchJson& json) {
   PrintHeader("E3: allocate chunk id (paper: ~6 us)");
   Rig rig = MakeRig();
   PartitionId partition = MakePartition(*rig.chunks);
@@ -28,9 +28,12 @@ void BenchAllocate() {
   });
   std::printf("allocate: %.3f us/op over %d ops\n", us / kAllocations,
               kAllocations);
+  char params[48];
+  std::snprintf(params, sizeof(params), "ops=%d", kAllocations);
+  json.Add("allocate_chunk", params, us / kAllocations, /*stddev_us=*/0.0);
 }
 
-void BenchCachedRead() {
+void BenchCachedRead(BenchJson& json) {
   PrintHeader("E5a: read chunk, descriptor cached (paper: 47 us + 0.18 us/B)");
   std::printf("%10s %12s %12s\n", "bytes", "read_us", "us/byte");
   LinearRegression regression(1);
@@ -55,6 +58,10 @@ void BenchCachedRead() {
     }
     std::printf("%10zu %12.2f %12.4f\n", size, stats.mean(),
                 stats.mean() / size);
+    char params[48];
+    std::snprintf(params, sizeof(params), "chunk_bytes=%zu,cache=warm", size);
+    json.Add("read_chunk", params, stats.mean(), stats.stddev(),
+             1e6 * static_cast<double>(size) / stats.mean());
   }
   std::vector<double> beta = regression.Solve();
   if (beta.size() == 2) {
@@ -63,7 +70,7 @@ void BenchCachedRead() {
   }
 }
 
-void BenchUncachedRead() {
+void BenchUncachedRead(BenchJson& json) {
   PrintHeader("E5b: read chunk, cold descriptor cache (bottom-up map walk)");
   // Small descriptor cache forces misses; the map has 64-way fanout, so
   // 20000 chunks give a three-level tree.
@@ -106,14 +113,24 @@ void BenchUncachedRead() {
   std::printf(
       "each miss reads parental map chunks (64 descriptors each) until a "
       "cached one is found, then validates back down (paper 4.5)\n");
+  char params[64];
+  std::snprintf(params, sizeof(params),
+                "chunk_bytes=512,cache=cold,chunks=%d", kChunks);
+  json.Add("read_chunk", params, cold.mean(), cold.stddev(),
+           1e6 * 512.0 / cold.mean());
 }
 
 }  // namespace
 }  // namespace tdb::bench
 
-int main() {
-  tdb::bench::BenchAllocate();
-  tdb::bench::BenchCachedRead();
-  tdb::bench::BenchUncachedRead();
+int main(int argc, char** argv) {
+  const char* json_path = tdb::bench::BenchJson::PathFromArgs(argc, argv);
+  tdb::bench::BenchJson json;
+  tdb::bench::BenchAllocate(json);
+  tdb::bench::BenchCachedRead(json);
+  tdb::bench::BenchUncachedRead(json);
+  if (json_path != nullptr && !json.Write(json_path, "bench_chunk_ops")) {
+    return 1;
+  }
   return 0;
 }

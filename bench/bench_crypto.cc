@@ -3,16 +3,21 @@
 // "finalization" overhead of ~5 µs on a 450 MHz Pentium II. Absolute
 // numbers on modern hardware are far higher; the *ordering* (3DES slowest,
 // DES ~3x faster, hashing much faster than encryption) should reproduce.
+//
+// `--json <path>` writes each measured primitive as a JSON record.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <functional>
 
+#include "bench/bench_util.h"
 #include "src/common/rng.h"
+#include "src/common/stats.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha1.h"
 #include "src/crypto/sha256.h"
 #include "src/crypto/suite.h"
 
-namespace tdb {
+namespace tdb::bench {
 namespace {
 
 Bytes TestData(size_t size) {
@@ -20,100 +25,92 @@ Bytes TestData(size_t size) {
   return rng.NextBytes(size);
 }
 
-void BM_Sha1(benchmark::State& state) {
-  Bytes data = TestData(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Sha1::Hash(data));
+// Times `fn` over enough repetitions to smooth scheduler noise and records
+// one table row + JSON record. `bytes` of 0 suppresses the bandwidth column
+// (for fixed-overhead measurements).
+void Measure(BenchJson& json, const char* op, size_t bytes, int repetitions,
+             const std::function<void()>& fn) {
+  fn();  // warm caches and key schedules
+  RunningStats stats;
+  for (int i = 0; i < repetitions; ++i) {
+    stats.Add(TimeUs(fn));
   }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_Sha1)->Arg(1 << 20);
-
-void BM_Sha256(benchmark::State& state) {
-  Bytes data = TestData(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Sha256::Hash(data));
+  double mbps =
+      bytes > 0 ? static_cast<double>(bytes) / stats.mean() : 0.0;
+  if (bytes > 0) {
+    std::printf("%-18s %10zu B %12.1f us %10.1f MB/s\n", op, bytes,
+                stats.mean(), mbps);
+  } else {
+    std::printf("%-18s %12s %12.2f us\n", op, "", stats.mean());
   }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
+  char params[48];
+  std::snprintf(params, sizeof(params), "bytes=%zu", bytes);
+  json.Add(op, params, stats.mean(), stats.stddev(),
+           bytes > 0 ? 1e6 * static_cast<double>(bytes) / stats.mean() : 0.0);
 }
-BENCHMARK(BM_Sha256)->Arg(1 << 20);
 
-// The fixed "finalization" overhead: hashing a tiny input is dominated by
-// padding + one compression round (the paper's 5 µs constant).
-void BM_Sha1Finalization(benchmark::State& state) {
-  Bytes data = TestData(16);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Sha1::Hash(data));
-  }
-}
-BENCHMARK(BM_Sha1Finalization);
-
-void CipherBench(benchmark::State& state, CipherAlg alg) {
+void CipherBenches(BenchJson& json, const char* name, CipherAlg alg,
+                   size_t bytes, int repetitions) {
   CryptoParams params{alg, HashAlg::kSha1, Bytes(CipherKeySize(alg), 0x42)};
   auto suite = CryptoSuite::Create(params);
-  Bytes data = TestData(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(suite->Encrypt(data));
+  Bytes data = TestData(bytes);
+  char op[32];
+  std::snprintf(op, sizeof(op), "encrypt_%s", name);
+  Measure(json, op, bytes, repetitions,
+          [&] { (void)suite->Encrypt(data); });
+  Bytes ct = suite->Encrypt(data);
+  std::snprintf(op, sizeof(op), "decrypt_%s", name);
+  Measure(json, op, bytes, repetitions, [&] { (void)suite->Decrypt(ct); });
+}
+
+int Run(int argc, char** argv) {
+  const char* json_path = BenchJson::PathFromArgs(argc, argv);
+  BenchJson json;
+
+  PrintHeader("E1: crypto bandwidth (cf. paper 9.2.1)");
+  std::printf(
+      "paper reference (450 MHz P-II): 3DES 2.5 MB/s, DES 7.2 MB/s, SHA-1 "
+      "21.1 MB/s,\nhash finalization ~5 us\n\n");
+
+  const size_t kHashBytes = 1 << 20;
+  const size_t kCipherBytes = 1 << 18;
+  const int kRepetitions = 12;
+
+  Bytes hash_data = TestData(kHashBytes);
+  Measure(json, "sha1", kHashBytes, kRepetitions,
+          [&] { (void)Sha1::Hash(hash_data); });
+  Measure(json, "sha256", kHashBytes, kRepetitions,
+          [&] { (void)Sha256::Hash(hash_data); });
+
+  Bytes tiny = TestData(16);
+  Measure(json, "sha1_finalization", 0, kRepetitions, [&] {
+    for (int i = 0; i < 1000; ++i) {
+      (void)Sha1::Hash(tiny);
+    }
+  });
+
+  CipherBenches(json, "des", CipherAlg::kDes, kCipherBytes, kRepetitions);
+  CipherBenches(json, "3des", CipherAlg::kTripleDes, kCipherBytes,
+                kRepetitions);
+  CipherBenches(json, "aes128", CipherAlg::kAes128, kCipherBytes,
+                kRepetitions);
+
+  Bytes hmac_key(20, 0x0b);
+  Bytes hmac_data = TestData(kCipherBytes);
+  Measure(json, "hmac_sha1", kCipherBytes, kRepetitions,
+          [&] { (void)HmacSha1(hmac_key, hmac_data); });
+
+  std::printf(
+      "\nnote: sha1_finalization times 1000 16-byte hashes (divide by 1000 "
+      "for the paper's per-hash constant)\n");
+
+  if (json_path != nullptr && !json.Write(json_path, "bench_crypto")) {
+    return 1;
   }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
+  return 0;
 }
-
-void BM_EncryptDes(benchmark::State& state) {
-  CipherBench(state, CipherAlg::kDes);
-}
-BENCHMARK(BM_EncryptDes)->Arg(1 << 18);
-
-void BM_Encrypt3Des(benchmark::State& state) {
-  CipherBench(state, CipherAlg::kTripleDes);
-}
-BENCHMARK(BM_Encrypt3Des)->Arg(1 << 18);
-
-void BM_EncryptAes128(benchmark::State& state) {
-  CipherBench(state, CipherAlg::kAes128);
-}
-BENCHMARK(BM_EncryptAes128)->Arg(1 << 18);
-
-void DecryptBench(benchmark::State& state, CipherAlg alg) {
-  CryptoParams params{alg, HashAlg::kSha1, Bytes(CipherKeySize(alg), 0x42)};
-  auto suite = CryptoSuite::Create(params);
-  Bytes ct = suite->Encrypt(TestData(static_cast<size_t>(state.range(0))));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(suite->Decrypt(ct));
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
-}
-
-void BM_DecryptDes(benchmark::State& state) {
-  DecryptBench(state, CipherAlg::kDes);
-}
-BENCHMARK(BM_DecryptDes)->Arg(1 << 18);
-
-void BM_Decrypt3Des(benchmark::State& state) {
-  DecryptBench(state, CipherAlg::kTripleDes);
-}
-BENCHMARK(BM_Decrypt3Des)->Arg(1 << 18);
-
-void BM_DecryptAes128(benchmark::State& state) {
-  DecryptBench(state, CipherAlg::kAes128);
-}
-BENCHMARK(BM_DecryptAes128)->Arg(1 << 18);
-
-void BM_HmacSha1(benchmark::State& state) {
-  Bytes key(20, 0x0b);
-  Bytes data = TestData(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(HmacSha1(key, data));
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          state.range(0));
-}
-BENCHMARK(BM_HmacSha1)->Arg(1 << 18);
 
 }  // namespace
-}  // namespace tdb
+}  // namespace tdb::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return tdb::bench::Run(argc, argv); }

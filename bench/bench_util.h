@@ -14,8 +14,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/chunk/chunk_store.h"
 #include "src/platform/trusted_store.h"
@@ -42,10 +45,13 @@ struct Rig {
 };
 
 // Builds a fresh store with the paper's §9.1 configuration.
+// `crypto_threads` of SIZE_MAX keeps the ChunkStoreOptions default
+// (hardware concurrency); pass 0 for the strictly serial pipeline or an
+// explicit worker count for the parallel one.
 inline Rig MakeRig(size_t segment_size = 256 * 1024,
                    uint32_t num_segments = 2048,
                    ValidationMode mode = ValidationMode::kCounter,
-                   uint32_t delta_ut = 5) {
+                   uint32_t delta_ut = 5, size_t crypto_threads = SIZE_MAX) {
   Rig rig;
   rig.store = std::make_unique<MemUntrustedStore>(
       UntrustedStoreOptions{.segment_size = segment_size,
@@ -55,6 +61,9 @@ inline Rig MakeRig(size_t segment_size = 256 * 1024,
   rig.counter = std::make_unique<MemMonotonicCounter>();
   rig.options.validation.mode = mode;
   rig.options.validation.delta_ut = delta_ut;
+  if (crypto_threads != SIZE_MAX) {
+    rig.options.crypto_threads = crypto_threads;
+  }
   auto cs = ChunkStore::Create(rig.store.get(), rig.trusted(), rig.options);
   if (!cs.ok()) {
     std::fprintf(stderr, "rig creation failed: %s\n",
@@ -95,6 +104,67 @@ inline double TimeUs(const std::function<void()>& fn) {
 inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }
+
+// Machine-readable results. Each bench that supports `--json <path>` builds
+// one BenchJson, Add()s a record per measured configuration, and writes a
+// JSON array on exit. Records carry the operation name, a flat string of
+// bench parameters, the mean latency, its standard deviation, and (when the
+// operation moves bytes) the implied throughput.
+class BenchJson {
+ public:
+  // Returns the path following a `--json` flag, or nullptr.
+  static const char* PathFromArgs(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        return argv[i + 1];
+      }
+    }
+    return nullptr;
+  }
+
+  void Add(std::string op, std::string params, double mean_us,
+           double stddev_us, double bytes_per_second = 0.0) {
+    records_.push_back(Record{std::move(op), std::move(params), mean_us,
+                              stddev_us, bytes_per_second});
+  }
+
+  // Writes the collected records; returns false (with a note on stderr) if
+  // the file cannot be opened. `bench` names the producing binary.
+  bool Write(const char* path, const char* bench) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path);
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench);
+    std::fprintf(f, "  \"hardware_concurrency\": %zu,\n",
+                 HardwareConcurrency());
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "    {\"op\": \"%s\", \"params\": \"%s\", "
+                   "\"mean_us\": %.3f, \"stddev_us\": %.3f, "
+                   "\"bytes_per_second\": %.0f}%s\n",
+                   r.op.c_str(), r.params.c_str(), r.mean_us, r.stddev_us,
+                   r.bytes_per_second, i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu results to %s\n", records_.size(), path);
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string op;
+    std::string params;
+    double mean_us;
+    double stddev_us;
+    double bytes_per_second;
+  };
+  std::vector<Record> records_;
+};
 
 }  // namespace tdb::bench
 

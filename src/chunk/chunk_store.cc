@@ -86,6 +86,11 @@ ChunkStore::ChunkStore(UntrustedStore* store, TrustedServices trusted,
   } else {
     counter_.emplace(trusted_.counter, options_.validation.delta_ut);
   }
+  if (options_.crypto_threads > 1) {
+    // The committing thread participates in every ParallelFor, so a budget
+    // of N threads needs only N-1 pool workers.
+    crypto_pool_ = std::make_unique<ThreadPool>(options_.crypto_threads - 1);
+  }
 }
 
 ChunkStore::~ChunkStore() = default;
@@ -459,6 +464,14 @@ Result<ChunkId> ChunkStore::AllocateChunk(PartitionId partition) {
 ChunkStore::BuiltVersion ChunkStore::BuildVersion(const ChunkId& id,
                                                   ByteView plain,
                                                   const CryptoSuite& suite) {
+  uint64_t body_seq = suite.ReserveSeqs(1);
+  uint64_t header_seq = system_suite_->ReserveSeqs(1);
+  return BuildVersionWithSeqs(id, plain, suite, body_seq, header_seq);
+}
+
+ChunkStore::BuiltVersion ChunkStore::BuildVersionWithSeqs(
+    const ChunkId& id, ByteView plain, const CryptoSuite& suite,
+    uint64_t body_seq, uint64_t header_seq) {
   BuiltVersion built;
   {
     ProfileScope hash_scope("hashing");
@@ -467,15 +480,39 @@ ChunkStore::BuiltVersion ChunkStore::BuildVersion(const ChunkId& id,
   Bytes body_ct;
   {
     ProfileScope encrypt_scope("encryption");
-    body_ct = suite.Encrypt(plain);
+    body_ct = suite.EncryptWithSeq(body_seq, plain);
   }
   VersionHeader header =
       VersionHeader::Named(id, static_cast<uint32_t>(body_ct.size()));
+  Bytes header_ct;
   {
     ProfileScope encrypt_scope("encryption");
-    built.blob = EncodeHeader(*system_suite_, header);
+    header_ct = EncodeHeaderWithSeq(*system_suite_, header_seq, header);
   }
+  built.blob.reserve(header_ct.size() + body_ct.size());
+  Append(built.blob, header_ct);
   Append(built.blob, body_ct);
+  built.stored_size = static_cast<uint32_t>(built.blob.size());
+  return built;
+}
+
+std::vector<ChunkStore::BuiltVersion> ChunkStore::BuildVersions(
+    const std::vector<BuildTask>& tasks) {
+  // Reserve IV sequence numbers serially, in exactly the order the serial
+  // path consumes them (per task: body from the task's suite, then header
+  // from the system suite). After this, each task's crypto is pure.
+  std::vector<std::pair<uint64_t, uint64_t>> seqs;
+  seqs.reserve(tasks.size());
+  for (const BuildTask& t : tasks) {
+    uint64_t body_seq = t.suite->ReserveSeqs(1);
+    seqs.emplace_back(body_seq, system_suite_->ReserveSeqs(1));
+  }
+  std::vector<BuiltVersion> built(tasks.size());
+  ParallelFor(crypto_pool_.get(), tasks.size(), [&](size_t i) {
+    built[i] = BuildVersionWithSeqs(tasks[i].id, tasks[i].plain,
+                                    *tasks[i].suite, seqs[i].first,
+                                    seqs[i].second);
+  });
   return built;
 }
 
@@ -493,7 +530,17 @@ Result<std::vector<Location>> ChunkStore::AppendToCommitSet(
   auto on_append = [this](ByteView bytes, bool is_link) {
     ProfileScope hash_scope("hashing");
     if (direct_) {
-      direct_->Absorb(bytes);
+      // A checkpoint restarts the stream at the leader chunk: recovery scans
+      // from the leader's location, so a link emitted just before it (to
+      // step to a fresh segment) is invisible to recovery and must stay out
+      // of the new stream.
+      if (direct_reset_pending_ && !is_link) {
+        direct_->ResetStream();
+        direct_reset_pending_ = false;
+      }
+      if (!direct_reset_pending_) {
+        direct_->Absorb(bytes);
+      }
     }
     if (set_hash_ && !is_link) {
       set_hash_->Update(bytes);
@@ -754,18 +801,27 @@ Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
     leader_writes.push_back(std::move(lw));
   }
 
-  std::vector<LogManager::Blob> blobs;
-  std::vector<BuiltVersion> built;
-  built.reserve(leader_writes.size() + writes.size());
+  // Every chunk version in the batch is hashed and encrypted independently,
+  // so build them as one fan-out batch and append in deterministic order.
+  std::vector<Bytes> leader_plains;
+  leader_plains.reserve(leader_writes.size());
+  std::vector<BuildTask> tasks;
+  tasks.reserve(leader_writes.size() + writes.size());
   for (const PlannedLeaderWrite& lw : leader_writes) {
-    built.push_back(BuildVersion(LeaderChunkId(lw.id),
-                                 lw.leader.PickleToBytes(), *system_suite_));
-    blobs.push_back(LogManager::Blob{built.back().blob, true});
+    leader_plains.push_back(lw.leader.PickleToBytes());
+    tasks.push_back(
+        BuildTask{LeaderChunkId(lw.id), leader_plains.back(),
+                  system_suite_.get()});
   }
   for (const PlannedWrite& w : writes) {
-    built.push_back(BuildVersion(w.id, *w.plain, *w.suite));
-    blobs.push_back(LogManager::Blob{built.back().blob, true});
+    tasks.push_back(BuildTask{w.id, *w.plain, w.suite});
     stats_.bytes_committed += w.plain->size();
+  }
+  std::vector<BuiltVersion> built = BuildVersions(tasks);
+  std::vector<LogManager::Blob> blobs;
+  blobs.reserve(built.size() + 1);
+  for (BuiltVersion& bv : built) {
+    blobs.push_back(LogManager::Blob{std::move(bv.blob), true});
   }
   if (!deallocs.empty() || !dealloc_closure.empty()) {
     DeallocateRecord record;
@@ -799,7 +855,7 @@ Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
     Descriptor desc;
     desc.status = ChunkStatus::kWritten;
     desc.location = locations[loc_index];
-    desc.stored_size = static_cast<uint32_t>(bv.blob.size());
+    desc.stored_size = bv.stored_size;
     desc.hash = bv.hash;
     cache_.PutDirty(LeaderChunkId(lw.id), desc);
     if (lw.old_desc.written()) {
@@ -827,7 +883,7 @@ Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
     Descriptor desc;
     desc.status = ChunkStatus::kWritten;
     desc.location = locations[loc_index];
-    desc.stored_size = static_cast<uint32_t>(bv.blob.size());
+    desc.stored_size = bv.stored_size;
     desc.hash = bv.hash;
     cache_.PutDirty(w.id, desc);
     if (w.old_desc.written()) {
@@ -936,6 +992,13 @@ Status ChunkStore::MaterializeTree(PartitionId partition) {
       by_parent[p.first.position.rank / kMapFanout].push_back(std::move(p));
     }
     pending.clear();
+    // Serial pass: read/merge existing map chunks and pickle the updated
+    // ones. Levels stay sequential (parents hash children), but within a
+    // level every map chunk builds independently.
+    std::vector<ChunkId> map_ids;
+    std::vector<Bytes> map_plains;
+    map_ids.reserve(by_parent.size());
+    map_plains.reserve(by_parent.size());
     for (auto& [parent_rank, children] : by_parent) {
       ChunkId map_id(partition, h, parent_rank);
       MapChunk map;
@@ -951,19 +1014,31 @@ Status ChunkStore::MaterializeTree(PartitionId partition) {
       for (const auto& [child_id, child_desc] : children) {
         map.slots[child_id.position.SlotInParent()] = child_desc;
       }
-      BuiltVersion bv = BuildVersion(map_id, map.Pickle(), entry->suite);
-      std::vector<LogManager::Blob> blob;
-      blob.push_back(LogManager::Blob{bv.blob, true});
-      TDB_ASSIGN_OR_RETURN(std::vector<Location> locs,
-                           AppendToCommitSet(std::move(blob)));
+      map_ids.push_back(map_id);
+      map_plains.push_back(map.Pickle());
+    }
+    std::vector<BuildTask> tasks;
+    tasks.reserve(map_ids.size());
+    for (size_t i = 0; i < map_ids.size(); ++i) {
+      tasks.push_back(BuildTask{map_ids[i], map_plains[i], &entry->suite});
+    }
+    std::vector<BuiltVersion> built = BuildVersions(tasks);
+    std::vector<LogManager::Blob> blobs;
+    blobs.reserve(built.size());
+    for (BuiltVersion& bv : built) {
+      blobs.push_back(LogManager::Blob{std::move(bv.blob), true});
+    }
+    TDB_ASSIGN_OR_RETURN(std::vector<Location> locs,
+                         AppendToCommitSet(std::move(blobs)));
+    for (size_t i = 0; i < map_ids.size(); ++i) {
       Descriptor desc;
       desc.status = ChunkStatus::kWritten;
-      desc.location = locs[0];
-      desc.stored_size = static_cast<uint32_t>(bv.blob.size());
-      desc.hash = bv.hash;
-      cache_.PutDirty(map_id, desc);
-      to_mark_clean.push_back(map_id);
-      pending.emplace_back(map_id, desc);
+      desc.location = locs[i];
+      desc.stored_size = built[i].stored_size;
+      desc.hash = built[i].hash;
+      cache_.PutDirty(map_ids[i], desc);
+      to_mark_clean.push_back(map_ids[i]);
+      pending.emplace_back(map_ids[i], desc);
     }
   }
 
@@ -1001,8 +1076,12 @@ Status ChunkStore::CheckpointLocked() {
     }
   }
 
-  // 2. Write dirty partition leaders as system data chunks.
+  // 2. Write dirty partition leaders as system data chunks, built as one
+  // fan-out batch in leader-id order.
   TDB_ASSIGN_OR_RETURN(LeaderEntry* sys, GetLeader(kSystemPartition));
+  std::vector<PartitionId> dirty_pids;
+  std::vector<Descriptor> dirty_old_descs;
+  std::vector<Bytes> dirty_plains;
   for (auto& [pid, entry] : leaders_) {
     if (pid == kSystemPartition || !entry.dirty) {
       continue;
@@ -1014,22 +1093,38 @@ Status ChunkStore::CheckpointLocked() {
                                entry.allocated_ranks.end());
     TDB_ASSIGN_OR_RETURN(Descriptor old_desc,
                          GetDescriptor(LeaderChunkId(pid)));
-    BuiltVersion bv = BuildVersion(LeaderChunkId(pid),
-                                   to_write.PickleToBytes(), *system_suite_);
-    std::vector<LogManager::Blob> blob;
-    blob.push_back(LogManager::Blob{bv.blob, true});
-    TDB_ASSIGN_OR_RETURN(std::vector<Location> locs,
-                         AppendToCommitSet(std::move(blob)));
-    Descriptor desc;
-    desc.status = ChunkStatus::kWritten;
-    desc.location = locs[0];
-    desc.stored_size = static_cast<uint32_t>(bv.blob.size());
-    desc.hash = bv.hash;
-    cache_.PutDirty(LeaderChunkId(pid), desc);
-    if (old_desc.written()) {
-      log_.ReleaseLive(old_desc.location, old_desc.stored_size);
-    }
+    dirty_pids.push_back(pid);
+    dirty_old_descs.push_back(old_desc);
+    dirty_plains.push_back(to_write.PickleToBytes());
     entry.dirty = false;
+  }
+  if (!dirty_pids.empty()) {
+    std::vector<BuildTask> tasks;
+    tasks.reserve(dirty_pids.size());
+    for (size_t i = 0; i < dirty_pids.size(); ++i) {
+      tasks.push_back(BuildTask{LeaderChunkId(dirty_pids[i]), dirty_plains[i],
+                                system_suite_.get()});
+    }
+    std::vector<BuiltVersion> built = BuildVersions(tasks);
+    std::vector<LogManager::Blob> blobs;
+    blobs.reserve(built.size());
+    for (BuiltVersion& bv : built) {
+      blobs.push_back(LogManager::Blob{std::move(bv.blob), true});
+    }
+    TDB_ASSIGN_OR_RETURN(std::vector<Location> locs,
+                         AppendToCommitSet(std::move(blobs)));
+    for (size_t i = 0; i < dirty_pids.size(); ++i) {
+      Descriptor desc;
+      desc.status = ChunkStatus::kWritten;
+      desc.location = locs[i];
+      desc.stored_size = built[i].stored_size;
+      desc.hash = built[i].hash;
+      cache_.PutDirty(LeaderChunkId(dirty_pids[i]), desc);
+      if (dirty_old_descs[i].written()) {
+        log_.ReleaseLive(dirty_old_descs[i].location,
+                         dirty_old_descs[i].stored_size);
+      }
+    }
   }
 
   // 3. Materialize the system tree (partition map).
@@ -1052,7 +1147,9 @@ Status ChunkStore::CheckpointLocked() {
   record.segments = log_.SegmentTableSnapshot();
 
   if (direct_) {
-    direct_->ResetStream();
+    // Deferred: the reset takes effect at the leader append below, so that a
+    // segment link emitted ahead of the leader lands in the old stream.
+    direct_reset_pending_ = true;
   }
   set_hash_.reset();
   if (counter_) {
@@ -1061,7 +1158,7 @@ Status ChunkStore::CheckpointLocked() {
   BuiltVersion leader_bv =
       BuildVersion(SystemLeaderId(), record.Pickle(), *system_suite_);
   std::vector<LogManager::Blob> leader_blob;
-  leader_blob.push_back(LogManager::Blob{leader_bv.blob, true});
+  leader_blob.push_back(LogManager::Blob{std::move(leader_bv.blob), true});
   TDB_ASSIGN_OR_RETURN(std::vector<Location> leader_locs,
                        AppendToCommitSet(std::move(leader_blob)));
   Location leader_loc = leader_locs[0];
@@ -1102,17 +1199,15 @@ Status ChunkStore::CheckpointLocked() {
       ProfileScope trs_scope("tamper_resistant_store");
       TDB_RETURN_IF_ERROR(direct_->WriteRegister(leader_loc, log_.tail()));
     }
-    TDB_RETURN_IF_ERROR(WriteSuperblock(
-        leader_loc, static_cast<uint32_t>(leader_bv.blob.size())));
+    TDB_RETURN_IF_ERROR(WriteSuperblock(leader_loc, leader_bv.stored_size));
   } else {
-    TDB_RETURN_IF_ERROR(WriteSuperblock(
-        leader_loc, static_cast<uint32_t>(leader_bv.blob.size())));
+    TDB_RETURN_IF_ERROR(WriteSuperblock(leader_loc, leader_bv.stored_size));
     ProfileScope trs_scope("tamper_resistant_store");
     TDB_RETURN_IF_ERROR(counter_->MaybeFlush(/*force=*/true));
   }
 
   last_leader_loc_ = leader_loc;
-  last_leader_size_ = static_cast<uint32_t>(leader_bv.blob.size());
+  last_leader_size_ = leader_bv.stored_size;
   log_.OnCheckpointComplete(leader_loc);
   ++stats_.checkpoints;
   in_checkpoint_ = false;

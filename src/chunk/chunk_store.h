@@ -24,6 +24,7 @@
 #include "src/chunk/validator.h"
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/crypto/suite.h"
 #include "src/platform/trusted_store.h"
 #include "src/store/untrusted_store.h"
@@ -55,6 +56,13 @@ struct ChunkStoreOptions {
 
   // Clean when free segments drop below this fraction of the store.
   double clean_low_water = 0.125;
+
+  // Threads used for per-chunk crypto (hashing + encryption) during commit,
+  // checkpoint materialization, cleaning, and backup. 0 (or 1) runs strictly
+  // serially on the calling thread. The parallel path reserves IV sequence
+  // numbers serially in batch order, so the untrusted-store image is
+  // byte-identical at every setting.
+  size_t crypto_threads = HardwareConcurrency();
 };
 
 class ChunkStore {
@@ -167,6 +175,10 @@ class ChunkStore {
 
   const CryptoSuite& system_suite() const { return *system_suite_; }
 
+  // Worker pool for crypto fan-out; null when crypto_threads <= 1. Shared
+  // with the backup store so backups reuse the same knob.
+  ThreadPool* crypto_pool() const { return crypto_pool_.get(); }
+
   ~ChunkStore();
 
  private:
@@ -197,12 +209,31 @@ class ChunkStore {
   Result<Descriptor> LeaderChunkDescriptor(PartitionId id);
 
   // Builds a version blob (header ct || body ct) and its new descriptor.
+  // stored_size duplicates blob.size() so it survives the blob being moved
+  // into a LogManager::Blob.
   struct BuiltVersion {
     Bytes blob;
     Bytes hash;
+    uint32_t stored_size = 0;
   };
   BuiltVersion BuildVersion(const ChunkId& id, ByteView plain,
                             const CryptoSuite& suite);
+  // The thread-safe core of BuildVersion: encrypts under IV sequence numbers
+  // the caller reserved serially (body from `suite`, header from the system
+  // suite), touching no mutable store state.
+  BuiltVersion BuildVersionWithSeqs(const ChunkId& id, ByteView plain,
+                                    const CryptoSuite& suite,
+                                    uint64_t body_seq, uint64_t header_seq);
+  // Batched BuildVersion: reserves each task's IV sequence numbers serially
+  // in task order (matching what serial BuildVersion calls would consume),
+  // then fans the hash+encrypt work across the crypto pool. Results are in
+  // task order; the produced bytes are identical at any thread count.
+  struct BuildTask {
+    ChunkId id;
+    ByteView plain;            // must stay alive until BuildVersions returns
+    const CryptoSuite* suite;  // body cipher/hash (header uses the system's)
+  };
+  std::vector<BuiltVersion> BuildVersions(const std::vector<BuildTask>& tasks);
   Bytes BuildUnnamed(UnnamedType type, ByteView plain);
 
   // Appends blobs as part of the current commit set, absorbing bytes into
@@ -237,11 +268,15 @@ class ChunkStore {
   TrustedServices trusted_;
   ChunkStoreOptions options_;
   std::unique_ptr<CryptoSuite> system_suite_;
+  std::unique_ptr<ThreadPool> crypto_pool_;  // null when running serially
   LogManager log_;
   DescriptorCache cache_;
   std::map<PartitionId, LeaderEntry> leaders_;
 
   std::optional<DirectHashValidator> direct_;
+  // Set by CheckpointLocked: the direct-hash stream restarts at the next
+  // non-link append (the checkpoint leader), not before. See AppendToCommitSet.
+  bool direct_reset_pending_ = false;
   std::optional<CounterValidator> counter_;
 
   // Commit-set digest accumulator (counter mode) — reset per commit.

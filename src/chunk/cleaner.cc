@@ -47,7 +47,10 @@ Status ChunkStore::CleanSegment(uint32_t segment) {
 
   struct LiveVersion {
     ChunkId original_id;
-    Bytes plain;
+    Bytes body_ct;  // encrypted body, pending revalidation
+    Bytes plain;    // filled by revalidation
+    Location location;
+    const CryptoSuite* suite = nullptr;  // owning partition's suite
     std::vector<PartitionId> current_in;
     std::vector<Descriptor> old_descs;  // parallel to current_in
   };
@@ -88,30 +91,51 @@ Status ChunkStore::CleanSegment(uint32_t segment) {
     if (lv.current_in.empty()) {
       continue;
     }
-    // Revalidate before rewriting so the cleaner cannot launder tampered
-    // chunks (§4.9.5: hashes are recomputed by the rewrite commit).
+    // LeaderEntry pointers are stable (leaders_ is a std::map), so the suite
+    // pointer stays valid for the fan-out below.
     TDB_ASSIGN_OR_RETURN(LeaderEntry* owner, GetLeader(lv.current_in[0]));
-    Result<Bytes> plain = owner->suite.Decrypt(item->body_ct);
+    lv.suite = &owner->suite;
+    lv.body_ct = std::move(item->body_ct);
+    lv.location = item->location;
+    live.push_back(std::move(lv));
+  }
+
+  // Revalidate every surviving version before rewriting so the cleaner
+  // cannot launder tampered chunks (§4.9.5: hashes are recomputed by the
+  // rewrite commit). Each decrypt+hash is independent, so fan out; verdicts
+  // land in per-slot flags and the first failure (in log order) wins.
+  std::vector<uint8_t> tampered(live.size(), 0);
+  ParallelFor(crypto_pool_.get(), live.size(), [&](size_t i) {
+    LiveVersion& lv = live[i];
+    Result<Bytes> plain = lv.suite->Decrypt(lv.body_ct);
     if (!plain.ok() ||
-        !ConstantTimeEqual(owner->suite.Hash(*plain), lv.old_descs[0].hash)) {
-      return TamperDetectedError("cleaner found a tampered chunk at " +
-                                 item->location.ToString());
+        !ConstantTimeEqual(lv.suite->Hash(*plain), lv.old_descs[0].hash)) {
+      tampered[i] = 1;
+      return;
     }
     lv.plain = std::move(*plain);
-    live.push_back(std::move(lv));
+  });
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (tampered[i] != 0) {
+      return TamperDetectedError("cleaner found a tampered chunk at " +
+                                 live[i].location.ToString());
+    }
   }
 
   // Rewrite the live versions as one commit, cleaner record last.
   if (counter_) {
     set_hash_.emplace(system_suite_->hash_alg());
   }
-  std::vector<LogManager::Blob> blobs;
-  std::vector<BuiltVersion> built;
-  built.reserve(live.size());
+  std::vector<BuildTask> tasks;
+  tasks.reserve(live.size());
   for (const LiveVersion& lv : live) {
-    TDB_ASSIGN_OR_RETURN(LeaderEntry* owner, GetLeader(lv.current_in[0]));
-    built.push_back(BuildVersion(lv.original_id, lv.plain, owner->suite));
-    blobs.push_back(LogManager::Blob{built.back().blob, true});
+    tasks.push_back(BuildTask{lv.original_id, lv.plain, lv.suite});
+  }
+  std::vector<BuiltVersion> built = BuildVersions(tasks);
+  std::vector<LogManager::Blob> blobs;
+  blobs.reserve(built.size());
+  for (BuiltVersion& bv : built) {
+    blobs.push_back(LogManager::Blob{std::move(bv.blob), true});
   }
   TDB_ASSIGN_OR_RETURN(std::vector<Location> locations,
                        AppendToCommitSet(std::move(blobs)));
@@ -122,7 +146,7 @@ Status ChunkStore::CleanSegment(uint32_t segment) {
     entry.original_id = live[i].original_id;
     entry.current_in = live[i].current_in;
     entry.new_location = locations[i];
-    entry.stored_size = static_cast<uint32_t>(built[i].blob.size());
+    entry.stored_size = built[i].stored_size;
     record.entries.push_back(std::move(entry));
   }
   if (!record.entries.empty() || counter_) {
@@ -153,7 +177,7 @@ Status ChunkStore::CleanSegment(uint32_t segment) {
     Descriptor desc;
     desc.status = ChunkStatus::kWritten;
     desc.location = locations[i];
-    desc.stored_size = static_cast<uint32_t>(built[i].blob.size());
+    desc.stored_size = built[i].stored_size;
     desc.hash = built[i].hash;
     for (PartitionId q : live[i].current_in) {
       cache_.PutDirty(ChunkId(q, live[i].original_id.position), desc);

@@ -6,7 +6,8 @@ size_t HeaderCipherSize(const CryptoSuite& system) {
   return system.CiphertextSize(kHeaderPlainSize);
 }
 
-Bytes EncodeHeader(const CryptoSuite& system, const VersionHeader& header) {
+namespace {
+Bytes HeaderPlain(const VersionHeader& header) {
   Bytes plain;
   plain.reserve(kHeaderPlainSize);
   if (header.unnamed) {
@@ -19,7 +20,17 @@ Bytes EncodeHeader(const CryptoSuite& system, const VersionHeader& header) {
     PutU64(plain, header.id.position.rank);
   }
   PutU32(plain, header.body_size);
-  return system.Encrypt(plain);
+  return plain;
+}
+}  // namespace
+
+Bytes EncodeHeader(const CryptoSuite& system, const VersionHeader& header) {
+  return system.Encrypt(HeaderPlain(header));
+}
+
+Bytes EncodeHeaderWithSeq(const CryptoSuite& system, uint64_t seq,
+                          const VersionHeader& header) {
+  return system.EncryptWithSeq(seq, HeaderPlain(header));
 }
 
 Result<VersionHeader> DecodeHeader(const CryptoSuite& system, ByteView ct) {

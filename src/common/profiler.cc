@@ -6,20 +6,41 @@ namespace {
 thread_local ProfileScope* g_top = nullptr;
 }  // namespace
 
+// Samples for one thread. Its mutex is uncontended on the hot path (only
+// Snapshot/Reset ever take it from another thread).
+struct Profiler::ThreadBlock {
+  std::mutex mu;
+  std::map<std::string, Entry> entries;
+};
+
 Profiler& Profiler::Instance() {
   static Profiler instance;
   return instance;
 }
 
+Profiler::ThreadBlock& Profiler::LocalBlock() {
+  thread_local std::shared_ptr<ThreadBlock> block;
+  if (block == nullptr) {
+    block = std::make_shared<ThreadBlock>();
+    std::lock_guard<std::mutex> lock(mu_);
+    blocks_.push_back(block);
+  }
+  return *block;
+}
+
 void Profiler::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
+  for (const auto& b : blocks_) {
+    std::lock_guard<std::mutex> block_lock(b->mu);
+    b->entries.clear();
+  }
   counters_.clear();
 }
 
 void Profiler::AddSample(const char* module, double us) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Entry& e = entries_[module];
+  ThreadBlock& b = LocalBlock();
+  std::lock_guard<std::mutex> lock(b.mu);
+  Entry& e = b.entries[module];
   e.module = module;
   e.total_us += us;
   e.calls += 1;
@@ -27,10 +48,20 @@ void Profiler::AddSample(const char* module, double us) {
 
 std::vector<Profiler::Entry> Profiler::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Entry> merged;
+  for (const auto& b : blocks_) {
+    std::lock_guard<std::mutex> block_lock(b->mu);
+    for (const auto& [name, e] : b->entries) {
+      Entry& m = merged[name];
+      m.module = name;
+      m.total_us += e.total_us;
+      m.calls += e.calls;
+    }
+  }
   std::vector<Entry> out;
-  out.reserve(entries_.size());
-  for (const auto& [_, e] : entries_) {
-    out.push_back(e);
+  out.reserve(merged.size());
+  for (auto& [_, e] : merged) {
+    out.push_back(std::move(e));
   }
   return out;
 }

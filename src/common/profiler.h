@@ -3,8 +3,9 @@
 // excludes nested calls to other reported modules".
 //
 // Implementation: a per-thread stack of active scopes. Entering a scope
-// pauses the enclosing scope's accumulation; leaving resumes it. Counters are
-// aggregated globally under a mutex on scope exit.
+// pauses the enclosing scope's accumulation; leaving resumes it. Samples
+// accumulate into per-thread blocks (so crypto workers never contend on a
+// global lock) and are merged when a snapshot is taken.
 //
 // Profiling is compiled in but costs only a few nanoseconds per scope when
 // disabled (a single relaxed atomic load).
@@ -16,6 +17,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -46,11 +48,18 @@ class Profiler {
   std::map<std::string, uint64_t> Counters() const;
 
  private:
+  struct ThreadBlock;
+
   Profiler() = default;
 
+  // The calling thread's sample block, registered on first use. Blocks are
+  // never removed from the registry (threads may outlive a Reset), only
+  // cleared, so the thread_local handle in LocalBlock stays valid.
+  ThreadBlock& LocalBlock();
+
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable std::mutex mu_;  // guards the block registry and counters_
+  std::vector<std::shared_ptr<ThreadBlock>> blocks_;
   std::map<std::string, uint64_t> counters_;
 };
 

@@ -8,34 +8,33 @@ Bytes NullCipher::Encrypt(ByteView plaintext) {
   return Bytes(plaintext.begin(), plaintext.end());
 }
 
+Bytes NullCipher::EncryptWithSeq(uint64_t, ByteView plaintext) const {
+  return Bytes(plaintext.begin(), plaintext.end());
+}
+
 Result<Bytes> NullCipher::Decrypt(ByteView ciphertext) const {
   return Bytes(ciphertext.begin(), ciphertext.end());
 }
 
 template <typename BlockCipherT>
-Bytes CbcCipher<BlockCipherT>::NextIv() {
-  constexpr size_t b = BlockCipherT::kBlockSize;
-  uint8_t counter_block[b] = {0};
-  uint64_t c = ++iv_counter_;
-  std::memcpy(counter_block, &c, sizeof(c) < b ? sizeof(c) : b);
-  Bytes iv(b);
-  block_.EncryptBlock(counter_block, iv.data());
-  return iv;
+Bytes CbcCipher<BlockCipherT>::Encrypt(ByteView plaintext) {
+  return EncryptWithSeq(ReserveSeqs(1), plaintext);
 }
 
 template <typename BlockCipherT>
-Bytes CbcCipher<BlockCipherT>::Encrypt(ByteView plaintext) {
+Bytes CbcCipher<BlockCipherT>::EncryptWithSeq(uint64_t seq,
+                                              ByteView plaintext) const {
   constexpr size_t b = BlockCipherT::kBlockSize;
-  Bytes iv = NextIv();
   size_t pad = b - plaintext.size() % b;  // 1..b
   size_t padded_size = plaintext.size() + pad;
 
-  Bytes out;
-  out.reserve(b + padded_size);
-  Append(out, iv);
+  // One allocation, written in place: IV block then the CBC chain.
+  Bytes out(b + padded_size);
+  uint8_t counter_block[b] = {0};
+  std::memcpy(counter_block, &seq, sizeof(seq) < b ? sizeof(seq) : b);
+  block_.EncryptBlock(counter_block, out.data());  // IV = E_k(seq)
 
-  uint8_t prev[b];
-  std::memcpy(prev, iv.data(), b);
+  const uint8_t* prev = out.data();
   uint8_t block[b];
   for (size_t off = 0; off < padded_size; off += b) {
     for (size_t i = 0; i < b; ++i) {
@@ -44,10 +43,9 @@ Bytes CbcCipher<BlockCipherT>::Encrypt(ByteView plaintext) {
                                          : static_cast<uint8_t>(pad);
       block[i] = static_cast<uint8_t>(p ^ prev[i]);
     }
-    uint8_t enc[b];
-    block_.EncryptBlock(block, enc);
-    out.insert(out.end(), enc, enc + b);
-    std::memcpy(prev, enc, b);
+    uint8_t* dst = out.data() + b + off;
+    block_.EncryptBlock(block, dst);
+    prev = dst;
   }
   return out;
 }
@@ -58,16 +56,15 @@ Result<Bytes> CbcCipher<BlockCipherT>::Decrypt(ByteView ciphertext) const {
   if (ciphertext.size() < 2 * b || ciphertext.size() % b != 0) {
     return CorruptionError("CBC: ciphertext length not a multiple of block");
   }
-  const uint8_t* prev = ciphertext.data();  // IV
-  Bytes out;
-  out.reserve(ciphertext.size() - b);
+  Bytes out(ciphertext.size() - b);
   for (size_t off = b; off < ciphertext.size(); off += b) {
     uint8_t dec[b];
     block_.DecryptBlock(ciphertext.data() + off, dec);
+    const uint8_t* prev = ciphertext.data() + off - b;  // IV for first block
+    uint8_t* dst = out.data() + off - b;
     for (size_t i = 0; i < b; ++i) {
-      out.push_back(static_cast<uint8_t>(dec[i] ^ prev[i]));
+      dst[i] = static_cast<uint8_t>(dec[i] ^ prev[i]);
     }
-    prev = ciphertext.data() + off;
   }
   // Strip PKCS#7 padding.
   uint8_t pad = out.back();

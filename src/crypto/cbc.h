@@ -26,6 +26,16 @@ class Cipher {
   // Encrypts `plaintext`; the result embeds everything Decrypt needs.
   virtual Bytes Encrypt(ByteView plaintext) = 0;
 
+  // Splits Encrypt into its serial and parallel halves. ReserveSeqs claims
+  // `n` consecutive message sequence numbers (the IV counter values Encrypt
+  // would have consumed) and returns the first; it must be called from one
+  // thread at a time. EncryptWithSeq then encrypts under a reserved number
+  // from any thread — it reads no mutable state, so a batch whose numbers
+  // were reserved in commit order yields byte-identical ciphertexts whether
+  // the encrypts run serially or fanned out across a pool.
+  virtual uint64_t ReserveSeqs(size_t n) = 0;
+  virtual Bytes EncryptWithSeq(uint64_t seq, ByteView plaintext) const = 0;
+
   // Inverse of Encrypt. Returns kCorruption if the ciphertext is structurally
   // invalid (bad length or padding). Note: padding checks are an integrity
   // *heuristic* only; real tamper detection is the hash tree above.
@@ -42,6 +52,8 @@ class Cipher {
 class NullCipher final : public Cipher {
  public:
   Bytes Encrypt(ByteView plaintext) override;
+  uint64_t ReserveSeqs(size_t) override { return 0; }
+  Bytes EncryptWithSeq(uint64_t, ByteView plaintext) const override;
   Result<Bytes> Decrypt(ByteView ciphertext) const override;
   size_t CiphertextSize(size_t plaintext_size) const override {
     return plaintext_size;
@@ -57,6 +69,14 @@ class CbcCipher final : public Cipher {
       : block_(std::move(block_cipher)), name_(name) {}
 
   Bytes Encrypt(ByteView plaintext) override;
+  uint64_t ReserveSeqs(size_t n) override {
+    // Matches the pre-increment in the serial path: the first reserved
+    // message uses counter value iv_counter_ + 1.
+    uint64_t first = iv_counter_ + 1;
+    iv_counter_ += n;
+    return first;
+  }
+  Bytes EncryptWithSeq(uint64_t seq, ByteView plaintext) const override;
   Result<Bytes> Decrypt(ByteView ciphertext) const override;
 
   size_t CiphertextSize(size_t plaintext_size) const override {
@@ -68,8 +88,6 @@ class CbcCipher final : public Cipher {
   std::string_view name() const override { return name_; }
 
  private:
-  Bytes NextIv();
-
   BlockCipherT block_;
   std::string_view name_;
   uint64_t iv_counter_ = 0;

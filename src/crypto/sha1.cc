@@ -20,46 +20,54 @@ void Sha1::Reset() {
   total_len_ = 0;
 }
 
-void Sha1::ProcessBlock(const uint8_t* block) {
-  uint32_t w[80];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = static_cast<uint32_t>(block[i * 4]) << 24 |
-           static_cast<uint32_t>(block[i * 4 + 1]) << 16 |
-           static_cast<uint32_t>(block[i * 4 + 2]) << 8 |
-           static_cast<uint32_t>(block[i * 4 + 3]);
-  }
-  for (int i = 16; i < 80; ++i) {
-    w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
-  }
-
-  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
-  for (int i = 0; i < 80; ++i) {
-    uint32_t f, k;
-    if (i < 20) {
-      f = (b & c) | (~b & d);
-      k = 0x5A827999;
-    } else if (i < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ED9EBA1;
-    } else if (i < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8F1BBCDC;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xCA62C1D6;
+void Sha1::ProcessBlocks(const uint8_t* data, size_t n) {
+  uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+  for (size_t blk = 0; blk < n; ++blk, data += kBlockSize) {
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = static_cast<uint32_t>(data[i * 4]) << 24 |
+             static_cast<uint32_t>(data[i * 4 + 1]) << 16 |
+             static_cast<uint32_t>(data[i * 4 + 2]) << 8 |
+             static_cast<uint32_t>(data[i * 4 + 3]);
     }
-    uint32_t temp = Rotl32(a, 5) + f + e + k + w[i];
-    e = d;
-    d = c;
-    c = Rotl32(b, 30);
-    b = a;
-    a = temp;
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+
+    uint32_t a = h0, b = h1, c = h2, d = h3, e = h4;
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      uint32_t temp = Rotl32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl32(b, 30);
+      b = a;
+      a = temp;
+    }
+    h0 += a;
+    h1 += b;
+    h2 += c;
+    h3 += d;
+    h4 += e;
   }
-  h_[0] += a;
-  h_[1] += b;
-  h_[2] += c;
-  h_[3] += d;
-  h_[4] += e;
+  h_[0] = h0;
+  h_[1] = h1;
+  h_[2] = h2;
+  h_[3] = h3;
+  h_[4] = h4;
 }
 
 void Sha1::Update(ByteView data) {
@@ -79,9 +87,9 @@ void Sha1::Update(ByteView data) {
       buffer_len_ = 0;
     }
   }
-  while (pos + kBlockSize <= data.size()) {
-    ProcessBlock(data.data() + pos);
-    pos += kBlockSize;
+  if (size_t whole = (data.size() - pos) / kBlockSize; whole > 0) {
+    ProcessBlocks(data.data() + pos, whole);
+    pos += whole * kBlockSize;
   }
   if (pos < data.size()) {
     std::memcpy(buffer_, data.data() + pos, data.size() - pos);

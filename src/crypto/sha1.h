@@ -30,7 +30,10 @@ class Sha1 {
 
  private:
   void Reset();
-  void ProcessBlock(const uint8_t* block);
+  void ProcessBlock(const uint8_t* block) { ProcessBlocks(block, 1); }
+  // Compresses `n` consecutive blocks, carrying the chaining state in
+  // registers across blocks instead of reloading h_ per block.
+  void ProcessBlocks(const uint8_t* data, size_t n);
 
   uint32_t h_[5];
   uint8_t buffer_[kBlockSize];

@@ -82,6 +82,13 @@ class CryptoSuite {
   size_t digest_size() const { return HashDigestSize(params_.hash); }
 
   Bytes Encrypt(ByteView plaintext) const { return cipher_->Encrypt(plaintext); }
+  // Serial IV reservation + thread-safe deferred encryption (see Cipher).
+  // ReserveSeqs advances the shared IV counter, so call it only where
+  // Encrypt itself would be safe (i.e. under the store mutex).
+  uint64_t ReserveSeqs(size_t n) const { return cipher_->ReserveSeqs(n); }
+  Bytes EncryptWithSeq(uint64_t seq, ByteView plaintext) const {
+    return cipher_->EncryptWithSeq(seq, plaintext);
+  }
   Result<Bytes> Decrypt(ByteView ciphertext) const {
     return cipher_->Decrypt(ciphertext);
   }

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 
 #include "src/common/bytes.h"
@@ -11,6 +12,7 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 
 namespace tdb {
 namespace {
@@ -262,6 +264,68 @@ TEST(ProfilerTest, CountersAccumulate) {
   EXPECT_EQ(p.GetCount("flushes"), 3u);
   ProfileCount("flushes");  // disabled: no effect
   EXPECT_EQ(p.GetCount("flushes"), 3u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(),
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  std::vector<int> hits(64, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i]++; });
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, FreeFunctionWithNullPoolRunsInline) {
+  std::vector<int> hits(17, 0);
+  ParallelFor(nullptr, hits.size(), [&](size_t i) { hits[i]++; });
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(20, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ProfilerTest, SamplesFromWorkerThreadsMergeIntoSnapshot) {
+  Profiler& p = Profiler::Instance();
+  p.Reset();
+  p.Enable();
+  ThreadPool pool(4);
+  pool.ParallelFor(64, [](size_t) {
+    ProfileScope scope("pooled_module");
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sink = sink + static_cast<double>(i) * 0.5;
+    }
+  });
+  p.Disable();
+  auto snapshot = p.Snapshot();
+  bool found = false;
+  for (const auto& e : snapshot) {
+    if (e.module == "pooled_module") {
+      found = true;
+      EXPECT_EQ(e.calls, 64u);
+      EXPECT_GT(e.total_us, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 }  // namespace
