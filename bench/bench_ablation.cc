@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/common/profiler.h"
+#include "src/obs/profiler.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 

@@ -17,7 +17,10 @@
 namespace tdb::bench {
 namespace {
 
-int Run() {
+int Run(int argc, char** argv) {
+  const char* json_path = BenchJson::ParseArgs(argc, argv);
+  BenchJson json;
+
   PrintHeader(
       "E7: incremental backup (paper: 675 us + 9 us/chunk + 278 us/updated; "
       "size 456 B + 528 B/updated)");
@@ -81,6 +84,12 @@ int Run() {
                    us);
       size_fit.Add({static_cast<double>(updated)},
                    static_cast<double>(backup_bytes));
+      char params[96];
+      std::snprintf(params, sizeof(params),
+                    "partition_chunks=%d,updated=%d,backup_bytes=%zu",
+                    partition_chunks, updated, backup_bytes);
+      json.Add("incremental_backup", params, us, 0.0,
+               1e6 * static_cast<double>(backup_bytes) / us);
     }
   }
 
@@ -99,10 +108,14 @@ int Run() {
   std::printf(
       "note: updates may hit the same chunk twice, so the diff can be "
       "slightly smaller than the update count\n");
+
+  if (json_path != nullptr && !json.Write(json_path, "bench_backup")) {
+    return 1;
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace tdb::bench
 
-int main() { return tdb::bench::Run(); }
+int main(int argc, char** argv) { return tdb::bench::Run(argc, argv); }

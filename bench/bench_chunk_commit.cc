@@ -74,7 +74,7 @@ RunningStats TimeCommits(size_t crypto_threads, int count, size_t size,
 }
 
 int Run(int argc, char** argv) {
-  const char* json_path = BenchJson::PathFromArgs(argc, argv);
+  const char* json_path = BenchJson::ParseArgs(argc, argv);
   BenchJson json;
 
   PrintHeader("E4: write chunks + commit (cost model, cf. paper 9.2.2)");

@@ -124,7 +124,7 @@ void BenchUncachedRead(BenchJson& json) {
 }  // namespace tdb::bench
 
 int main(int argc, char** argv) {
-  const char* json_path = tdb::bench::BenchJson::PathFromArgs(argc, argv);
+  const char* json_path = tdb::bench::BenchJson::ParseArgs(argc, argv);
   tdb::bench::BenchJson json;
   tdb::bench::BenchAllocate(json);
   tdb::bench::BenchCachedRead(json);

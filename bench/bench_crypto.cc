@@ -64,7 +64,7 @@ void CipherBenches(BenchJson& json, const char* name, CipherAlg alg,
 }
 
 int Run(int argc, char** argv) {
-  const char* json_path = BenchJson::PathFromArgs(argc, argv);
+  const char* json_path = BenchJson::ParseArgs(argc, argv);
   BenchJson json;
 
   PrintHeader("E1: crypto bandwidth (cf. paper 9.2.1)");

@@ -3,6 +3,9 @@
 // number of chunks in the source* thanks to copy-on-write). The
 // size-independence is the headline: we sweep the source size over two
 // orders of magnitude and show the copy cost stays flat.
+//
+// `--json <path>` writes every measured configuration (plus the unified
+// observability snapshot) as JSON; `--obs` enables instrumentation.
 
 #include <cstdio>
 
@@ -13,7 +16,7 @@
 namespace tdb::bench {
 namespace {
 
-void BenchCreatePartition() {
+void BenchCreatePartition(BenchJson& json) {
   PrintHeader("E6a: write (create) partition + commit (paper: 223 us)");
   Rig rig = MakeRig();
   RunningStats stats;
@@ -29,9 +32,10 @@ void BenchCreatePartition() {
   }
   std::printf("create partition: %.1f us (sigma %.1f)\n", stats.mean(),
               stats.stddev());
+  json.Add("create_partition", "reps=50", stats.mean(), stats.stddev());
 }
 
-void BenchCopyPartition() {
+void BenchCopyPartition(BenchJson& json) {
   PrintHeader(
       "E6b: copy partition + commit vs source size (paper: 386 us, "
       "size-independent)");
@@ -63,15 +67,25 @@ void BenchCopyPartition() {
       }));
     }
     std::printf("%14d %14.1f\n", source_chunks, stats.mean());
+    char params[64];
+    std::snprintf(params, sizeof(params), "source_chunks=%d", source_chunks);
+    json.Add("copy_partition", params, stats.mean(), stats.stddev());
   }
   std::printf("copy cost should stay flat across the sweep (copy-on-write)\n");
+}
+
+int Run(int argc, char** argv) {
+  const char* json_path = BenchJson::ParseArgs(argc, argv);
+  BenchJson json;
+  BenchCreatePartition(json);
+  BenchCopyPartition(json);
+  if (json_path != nullptr && !json.Write(json_path, "bench_partition")) {
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace tdb::bench
 
-int main() {
-  tdb::bench::BenchCreatePartition();
-  tdb::bench::BenchCopyPartition();
-  return 0;
-}
+int main(int argc, char** argv) { return tdb::bench::Run(argc, argv); }

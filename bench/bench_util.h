@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/chunk/chunk_store.h"
+#include "src/obs/snapshot.h"
 #include "src/platform/trusted_store.h"
 #include "src/store/untrusted_store.h"
 
@@ -109,7 +110,11 @@ inline void PrintHeader(const char* title) {
 // one BenchJson, Add()s a record per measured configuration, and writes a
 // JSON array on exit. Records carry the operation name, a flat string of
 // bench parameters, the mean latency, its standard deviation, and (when the
-// operation moves bytes) the implied throughput.
+// operation moves bytes) the implied throughput. The file also embeds the
+// unified observability snapshot (obs::SnapshotJson) so metrics ride along
+// with timings; pass `--obs` to enable instrumentation for the run
+// (benches default to disabled so timings stay comparable with earlier
+// baselines).
 class BenchJson {
  public:
   // Returns the path following a `--json` flag, or nullptr.
@@ -120,6 +125,25 @@ class BenchJson {
       }
     }
     return nullptr;
+  }
+
+  // True if `--obs` was passed.
+  static bool ObsFromArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--obs") == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Standard bench prologue: enables the full observability stack when
+  // `--obs` was passed, and returns the `--json` path (or nullptr).
+  static const char* ParseArgs(int argc, char** argv) {
+    if (ObsFromArgs(argc, argv)) {
+      obs::EnableAll();
+    }
+    return PathFromArgs(argc, argv);
   }
 
   void Add(std::string op, std::string params, double mean_us,
@@ -149,7 +173,13 @@ class BenchJson {
                    r.op.c_str(), r.params.c_str(), r.mean_us, r.stddev_us,
                    r.bytes_per_second, i + 1 < records_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    // The observability snapshot always rides along; its "enabled" flags
+    // record whether instrumentation was on for this run.
+    std::string metrics = obs::SnapshotJson();
+    while (!metrics.empty() && metrics.back() == '\n') {
+      metrics.pop_back();
+    }
+    std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
     std::fclose(f);
     std::printf("\nwrote %zu results to %s\n", records_.size(), path);
     return true;

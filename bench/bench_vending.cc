@@ -20,7 +20,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
-#include "src/common/profiler.h"
+#include "src/obs/profiler.h"
 #include "src/common/stats.h"
 #include "src/workload/tdb_backend.h"
 #include "src/workload/vending.h"
@@ -216,8 +216,9 @@ void PrintFlushCounts(const ExperimentResult& tdb_release) {
 }  // namespace
 }  // namespace tdb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tdb::bench;
+  const char* json_path = BenchJson::ParseArgs(argc, argv);
   std::printf("vending benchmark (9.5): %d repetitions of %d operations\n",
               kRepetitions, kOpsPerExperiment);
   ExperimentResult tdb_release = RunTdb(/*bind=*/false);
@@ -228,5 +229,27 @@ int main() {
   PrintFigure11(tdb_release, tdb_bind, xdb_release, xdb_bind);
   PrintFigure12(tdb_release);
   PrintFlushCounts(tdb_release);
+
+  if (json_path != nullptr) {
+    BenchJson json;
+    auto add = [&json](const char* op, const char* system,
+                       const ExperimentResult& r) {
+      char params[128];
+      std::snprintf(params, sizeof(params),
+                    "system=%s,ops=%d,untrusted_flushes=%.0f,"
+                    "trusted_writes=%.0f,modeled_total_ms=%.1f",
+                    system, kOpsPerExperiment, r.untrusted_flushes,
+                    r.trusted_writes, r.modeled_ms.mean());
+      json.Add(op, params, r.total_ms.mean() * 1000.0,
+               r.total_ms.stddev() * 1000.0);
+    };
+    add("vending_release", "tdb", tdb_release);
+    add("vending_bind", "tdb", tdb_bind);
+    add("vending_release", "xdb", xdb_release);
+    add("vending_bind", "xdb", xdb_bind);
+    if (!json.Write(json_path, "bench_vending")) {
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,263 @@
+// tdb_stats: drives a representative workload through every layer of the
+// stack with the unified observability layer enabled, then reproduces the
+// paper's Figure-12-style runtime breakdown, the cleaning overhead u
+// (§9.4), and the cache hit ratios from one metrics snapshot.
+//
+//   tdb_stats [--json <path>]
+//
+// With `--json` the full obs::SnapshotJson() document is written to <path>;
+// otherwise it is printed after the human-readable tables. The four phases:
+//
+//   1. vending   - the §9.5 vending workload (collection store, object
+//                  store, chunk store, crypto) for module attribution
+//   2. cleaning  - churn a partition until segments go cold, checkpoint,
+//                  and clean them (cleaner + log manager counters)
+//   3. paging    - a TrustedPager loop larger than its resident set
+//                  (fault / eviction / writeback counters)
+//   4. backup    - a full backup set into an in-memory archive
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/backup/backup_store.h"
+#include "src/chunk/chunk_store.h"
+#include "src/common/rng.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/snapshot.h"
+#include "src/paging/trusted_pager.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/untrusted_store.h"
+#include "src/workload/tdb_backend.h"
+#include "src/workload/vending.h"
+
+using namespace tdb;
+
+namespace {
+
+void Fail(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+  std::abort();
+}
+
+uint64_t Counter(const char* name) {
+  return obs::MetricsRegistry::Instance().GetCounter(name);
+}
+
+void RunVendingPhase(ChunkStore* chunks) {
+  auto ws = TdbWorkloadStore::Create(chunks);
+  if (!ws.ok()) {
+    Fail("workload store", ws.status());
+  }
+  VendingWorkload workload(ws->get(), VendingConfig{});
+  if (Status s = workload.Setup(); !s.ok()) {
+    Fail("vending setup", s);
+  }
+  if (Status s = workload.RunReleaseExperiment(10); !s.ok()) {
+    Fail("release experiment", s);
+  }
+  if (Status s = workload.RunBindExperiment(10); !s.ok()) {
+    Fail("bind experiment", s);
+  }
+}
+
+void RunCleaningPhase(ChunkStore* chunks) {
+  auto pid = chunks->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.WritePartition(
+        *pid, CryptoParams{CipherAlg::kDes, HashAlg::kSha1, Bytes(8, 0x5C)});
+    if (Status s = chunks->Commit(std::move(batch)); !s.ok()) {
+      Fail("churn partition", s);
+    }
+  }
+  Rng rng(7);
+  std::vector<ChunkId> ids;
+  for (int i = 0; i < 512; ++i) {
+    ids.push_back(*chunks->AllocateChunk(*pid));
+  }
+  // Several overwrite rounds leave the early segments mostly dead, which is
+  // exactly the state the cleaner is for (§4.9.5).
+  for (int round = 0; round < 4; ++round) {
+    for (size_t base = 0; base < ids.size(); base += 128) {
+      ChunkStore::Batch batch;
+      for (size_t i = base; i < base + 128 && i < ids.size(); ++i) {
+        batch.WriteChunk(ids[i], rng.NextBytes(512));
+      }
+      if (Status s = chunks->Commit(std::move(batch)); !s.ok()) {
+        Fail("churn commit", s);
+      }
+    }
+  }
+  if (Status s = chunks->Checkpoint(); !s.ok()) {
+    Fail("checkpoint", s);
+  }
+  auto cleaned = chunks->Clean(/*max_segments=*/16);
+  if (!cleaned.ok()) {
+    Fail("clean", cleaned.status());
+  }
+  std::printf("cleaning phase: %zu segments cleaned\n", *cleaned);
+}
+
+void RunPagingPhase(ChunkStore* chunks) {
+  auto pager = TrustedPager::Create(
+      chunks, CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, 3)},
+      TrustedPagerOptions{.page_size = 4096, .resident_pages = 8});
+  if (!pager.ok()) {
+    Fail("pager", pager.status());
+  }
+  Rng rng(11);
+  // Touch 4x the resident set, twice, so the second pass faults pages back
+  // in from the chunk store.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t page = 0; page < 32; ++page) {
+      uint64_t address = page * 4096;
+      if (Status s = (*pager)->Write(address, rng.NextBytes(256)); !s.ok()) {
+        Fail("pager write", s);
+      }
+      auto read = (*pager)->Read(address, 256);
+      if (!read.ok()) {
+        Fail("pager read", read.status());
+      }
+    }
+  }
+  if (Status s = (*pager)->FlushAll(); !s.ok()) {
+    Fail("pager flush", s);
+  }
+}
+
+void RunBackupPhase(ChunkStore* chunks) {
+  auto pid = chunks->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.WritePartition(
+        *pid, CryptoParams{CipherAlg::kDes, HashAlg::kSha1, Bytes(8, 0x77)});
+    if (Status s = chunks->Commit(std::move(batch)); !s.ok()) {
+      Fail("backup partition", s);
+    }
+  }
+  Rng rng(17);
+  ChunkStore::Batch batch;
+  for (int i = 0; i < 256; ++i) {
+    batch.WriteChunk(*chunks->AllocateChunk(*pid), rng.NextBytes(512));
+  }
+  if (Status s = chunks->Commit(std::move(batch)); !s.ok()) {
+    Fail("backup data", s);
+  }
+  BackupStore backup(chunks);
+  MemArchive archive;
+  auto sink = archive.OpenSink("full");
+  auto set = backup.CreateBackupSet({{*pid, 0}}, 1, 0, sink.get());
+  if (!set.ok()) {
+    Fail("backup set", set.status());
+  }
+  if (Status s = sink->Close(); !s.ok()) {
+    Fail("backup sink", s);
+  }
+  std::printf("backup phase: %llu chunks, %zu bytes archived\n",
+              (unsigned long long)set->chunks_written,
+              archive.StreamSize("full"));
+}
+
+// Figure 12 reports per-module runtime with nested calls excluded; the
+// Profiler's ProfileScope does the same exclusion, so the table is a direct
+// readout of its snapshot.
+void PrintModuleBreakdown() {
+  std::vector<Profiler::Entry> entries = Profiler::Instance().Snapshot();
+  double total_us = 0;
+  for (const Profiler::Entry& e : entries) {
+    total_us += e.total_us;
+  }
+  std::printf("\n== Figure-12-style module breakdown (all phases) ==\n");
+  std::printf("%-26s %12s %10s %7s\n", "module", "total_ms", "calls", "%");
+  for (const Profiler::Entry& e : entries) {
+    std::printf("%-26s %12.2f %10llu %6.1f%%\n", e.module.c_str(),
+                e.total_us / 1000.0, (unsigned long long)e.calls,
+                total_us > 0 ? 100.0 * e.total_us / total_us : 0.0);
+  }
+  std::printf("%-26s %12.2f %10s %6.1f%%\n", "TOTAL (instrumented)",
+              total_us / 1000.0, "-", 100.0);
+  std::printf(
+      "untrusted store flushes: %llu, tamper-resistant writes: %llu "
+      "(device latency is modeled, not measured; see bench_vending)\n",
+      (unsigned long long)Profiler::Instance().GetCount(
+          "untrusted_store.flushes"),
+      (unsigned long long)Profiler::Instance().GetCount(
+          "tamper_resistant_store.writes"));
+}
+
+void PrintDerived() {
+  std::printf("\n== cleaning overhead and cache ratios ==\n");
+  uint64_t appended = Counter("chunk.log_bytes_appended");
+  uint64_t rewritten = Counter("cleaner.bytes_rewritten");
+  std::printf(
+      "cleaning overhead u = bytes rewritten by cleaner / bytes appended "
+      "= %llu / %llu = %.4f\n",
+      (unsigned long long)rewritten, (unsigned long long)appended,
+      appended > 0 ? static_cast<double>(rewritten) / appended : 0.0);
+  for (const auto& [name, value] : obs::DerivedRatios()) {
+    std::printf("%-28s %.4f\n", name.c_str(), value);
+  }
+  std::printf("object cache: %llu hits, %llu misses; pager: %llu faults, "
+              "%llu evictions, %llu writebacks\n",
+              (unsigned long long)Counter("object.cache_hits"),
+              (unsigned long long)Counter("object.cache_misses"),
+              (unsigned long long)Counter("paging.faults"),
+              (unsigned long long)Counter("paging.evictions"),
+              (unsigned long long)Counter("paging.writebacks"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+    }
+  }
+
+  obs::EnableAll();
+
+  MemUntrustedStore disk(
+      UntrustedStoreOptions{.segment_size = 64 * 1024, .num_segments = 4096});
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemMonotonicCounter counter;
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kCounter;
+  options.validation.delta_ut = 5;
+  auto chunks =
+      ChunkStore::Create(&disk, TrustedServices{&secret, nullptr, &counter},
+                         options);
+  if (!chunks.ok()) {
+    Fail("chunk store", chunks.status());
+  }
+
+  std::printf("== tdb_stats: instrumented whole-stack run ==\n");
+  RunVendingPhase(chunks->get());
+  RunCleaningPhase(chunks->get());
+  RunPagingPhase(chunks->get());
+  RunBackupPhase(chunks->get());
+  (void)(*chunks)->GetStats();  // publishes the store gauges
+
+  PrintModuleBreakdown();
+  PrintDerived();
+
+  std::string json = obs::SnapshotJson(/*max_trace_events=*/32);
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote metrics snapshot to %s\n", json_path);
+  } else {
+    std::printf("\n== metrics snapshot (obs::SnapshotJson) ==\n%s",
+                json.c_str());
+  }
+  return 0;
+}

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
-#include "src/common/profiler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 #include "src/crypto/sha256.h"
 
 namespace tdb {
@@ -137,6 +139,11 @@ Result<BackupStore::CreateResult> BackupStore::CreateBackupSet(
     TDB_RETURN_IF_ERROR(
         WritePartitionBackup(result.snapshots[i], descriptor, sink, result));
   }
+  obs::Count("backup.sets_created");
+  obs::Count("backup.chunks_written", result.chunks_written);
+  obs::Count("backup.bytes_written", result.bytes_written);
+  obs::TraceEmit(obs::TraceKind::kBackupWrite, "backup_store",
+                 result.chunks_written, result.bytes_written);
   return result;
 }
 
@@ -418,6 +425,10 @@ Result<BackupStore::RestoreResult> BackupStore::RestoreStream(
     result.restored.push_back(source_id);
   }
   TDB_RETURN_IF_ERROR(chunks_->Commit(std::move(batch)));
+  obs::Count("backup.restores");
+  obs::Count("backup.chunks_restored", result.chunks_applied);
+  obs::TraceEmit(obs::TraceKind::kBackupRestore, "backup_store",
+                 result.chunks_applied, result.restored.size());
   return result;
 }
 

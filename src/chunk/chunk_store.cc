@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
-#include "src/common/profiler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 
 namespace tdb {
 
@@ -545,7 +547,9 @@ Result<std::vector<Location>> ChunkStore::AppendToCommitSet(
     if (set_hash_ && !is_link) {
       set_hash_->Update(bytes);
     }
-    stats_.log_bytes_appended += bytes.size();
+    stats_.log_bytes_appended.fetch_add(bytes.size(),
+                                        std::memory_order_relaxed);
+    obs::Count("chunk.log_bytes_appended", bytes.size());
   };
   Result<std::vector<Location>> locations = log_.Append(blobs, on_append);
   if (!locations.ok()) {
@@ -620,6 +624,8 @@ Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
   if (batch.empty()) {
     return OkStatus();
   }
+  obs::LatencyTimer commit_timer(is_cleaner_commit ? "cleaner.commit_us"
+                                                   : "chunk.commit_us");
 
   // ---- validation phase (no mutation, no log writes) ----
   TDB_ASSIGN_OR_RETURN(LeaderEntry* sys, GetLeader(kSystemPartition));
@@ -813,10 +819,13 @@ Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
         BuildTask{LeaderChunkId(lw.id), leader_plains.back(),
                   system_suite_.get()});
   }
+  uint64_t batch_plain_bytes = 0;
   for (const PlannedWrite& w : writes) {
     tasks.push_back(BuildTask{w.id, *w.plain, w.suite});
-    stats_.bytes_committed += w.plain->size();
+    batch_plain_bytes += w.plain->size();
   }
+  stats_.bytes_committed.fetch_add(batch_plain_bytes,
+                                   std::memory_order_relaxed);
   std::vector<BuiltVersion> built = BuildVersions(tasks);
   std::vector<LogManager::Blob> blobs;
   blobs.reserve(built.size() + 1);
@@ -899,7 +908,7 @@ Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
         entry->dirty = true;
       }
     }
-    ++stats_.chunks_written;
+    stats_.chunks_written.fetch_add(1, std::memory_order_relaxed);
     ++loc_index;
   }
   for (const PlannedDealloc& d : deallocs) {
@@ -924,7 +933,12 @@ Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
 
   TDB_RETURN_IF_ERROR(FinishCommitSet());
   if (!is_cleaner_commit) {
-    ++stats_.commits;
+    stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    obs::Count("chunk.commits");
+    obs::Count("chunk.chunks_written", writes.size());
+    obs::Count("chunk.bytes_committed", batch_plain_bytes);
+    obs::TraceEmit(obs::TraceKind::kCommit, "chunk_store", writes.size(),
+                   batch_plain_bytes);
   }
   return OkStatus();
 }
@@ -1064,6 +1078,8 @@ Status ChunkStore::Checkpoint() {
 
 Status ChunkStore::CheckpointLocked() {
   TDB_RETURN_IF_ERROR(CheckUsable());
+  obs::LatencyTimer checkpoint_timer("chunk.checkpoint_us");
+  const uint64_t dirty_at_entry = cache_.dirty_count();
   in_checkpoint_ = true;
   if (counter_) {
     set_hash_.emplace(system_suite_->hash_alg());
@@ -1209,7 +1225,10 @@ Status ChunkStore::CheckpointLocked() {
   last_leader_loc_ = leader_loc;
   last_leader_size_ = leader_bv.stored_size;
   log_.OnCheckpointComplete(leader_loc);
-  ++stats_.checkpoints;
+  stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  obs::Count("chunk.checkpoints");
+  obs::TraceEmit(obs::TraceKind::kCheckpoint, "chunk_store", dirty_at_entry,
+                 leader_loc.segment);
   in_checkpoint_ = false;
   return OkStatus();
 }
@@ -1268,6 +1287,10 @@ Status ChunkStore::RecoverLocked() {
   }
   uint32_t leader_size =
       static_cast<uint32_t>(header_size) + header->body_size;
+
+  obs::Count("recovery.runs");
+  obs::TraceEmit(obs::TraceKind::kRecoveryStep, "recovery", head.segment,
+                 head.offset, "head leader located and parsed");
 
   leaders_.clear();
   leaders_.emplace(kSystemPartition,
@@ -1361,6 +1384,11 @@ Status ChunkStore::RecoverLocked() {
     }
   }
 
+  obs::Count("recovery.records_confirmed", confirmed.size());
+  obs::Count("recovery.records_pending_discarded", pending.size());
+  obs::TraceEmit(obs::TraceKind::kRecoveryStep, "recovery", confirmed.size(),
+                 pending.size(), "residual log scanned");
+
   if (direct_) {
     if (!hit_register_tail && !(reg_state->tail == tail)) {
       return TamperDetectedError(
@@ -1393,6 +1421,8 @@ Status ChunkStore::RecoverLocked() {
 
   log_.SetTailForRecovery(tail);
   log_.SetResidualChain(scanner.visited_segments());
+  obs::TraceEmit(obs::TraceKind::kRecoveryStep, "recovery", tail.segment,
+                 tail.offset, "confirmed history applied");
   return OkStatus();
 }
 
@@ -1567,13 +1597,32 @@ Result<std::pair<Location, uint32_t>> ChunkStore::DebugChunkLocation(
 }
 
 ChunkStore::Stats ChunkStore::GetStats() {
+  Stats s;
+  // The monotonic cells are atomics: no lock needed, so stats polling never
+  // blocks behind a long commit.
+  s.commits = stats_.commits.load(std::memory_order_relaxed);
+  s.checkpoints = stats_.checkpoints.load(std::memory_order_relaxed);
+  s.segments_cleaned = stats_.segments_cleaned.load(std::memory_order_relaxed);
+  s.chunks_written = stats_.chunks_written.load(std::memory_order_relaxed);
+  s.bytes_committed = stats_.bytes_committed.load(std::memory_order_relaxed);
+  s.log_bytes_appended =
+      stats_.log_bytes_appended.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
-  Stats s = stats_;
   s.cache_size = cache_.size();
   s.dirty_descriptors = cache_.dirty_count();
   s.free_segments = log_.free_segment_count();
   s.live_log_bytes = log_.total_live_bytes();
   s.used_log_bytes = log_.total_used_bytes();
+  // Publish the point-in-time fields as registry gauges so one snapshot
+  // carries both the registry counters and the store's current shape.
+  obs::SetGauge("chunk.cache_size", static_cast<double>(s.cache_size));
+  obs::SetGauge("chunk.dirty_descriptors",
+                static_cast<double>(s.dirty_descriptors));
+  obs::SetGauge("chunk.free_segments", static_cast<double>(s.free_segments));
+  obs::SetGauge("chunk.live_log_bytes",
+                static_cast<double>(s.live_log_bytes));
+  obs::SetGauge("chunk.used_log_bytes",
+                static_cast<double>(s.used_log_bytes));
   return s;
 }
 

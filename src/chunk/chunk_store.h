@@ -12,6 +12,7 @@
 #ifndef SRC_CHUNK_CHUNK_STORE_H_
 #define SRC_CHUNK_CHUNK_STORE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -288,7 +289,20 @@ class ChunkStore {
   bool failed_ = false;  // poisoned by a mid-commit I/O failure
   bool in_checkpoint_ = false;
 
-  Stats stats_;
+  // Monotonic counters behind GetStats(). All writers hold mu_ today, but
+  // the cells are relaxed atomics so they can be read without the store
+  // mutex and stay race-free if a future path bumps them off-lock (the
+  // crypto workers share this object); updates also mirror into the
+  // process-wide obs::MetricsRegistry when observability is enabled.
+  struct StatCells {
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> checkpoints{0};
+    std::atomic<uint64_t> segments_cleaned{0};
+    std::atomic<uint64_t> chunks_written{0};
+    std::atomic<uint64_t> bytes_committed{0};
+    std::atomic<uint64_t> log_bytes_appended{0};
+  };
+  StatCells stats_;
 };
 
 }  // namespace tdb

@@ -9,7 +9,9 @@
 // must not be overwritten before a new checkpoint supersedes that state.
 
 #include "src/chunk/chunk_store.h"
-#include "src/common/profiler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 
 namespace tdb {
 
@@ -32,7 +34,8 @@ Result<size_t> ChunkStore::CleanLocked(size_t max_segments) {
     }
     TDB_RETURN_IF_ERROR(CleanSegment(segment));
     ++cleaned;
-    ++stats_.segments_cleaned;
+    stats_.segments_cleaned.fetch_add(1, std::memory_order_relaxed);
+    obs::Count("cleaner.segments_cleaned");
   }
   if (cleaned > 0) {
     // Checkpointing supersedes all references into the cleaned segments and
@@ -43,6 +46,7 @@ Result<size_t> ChunkStore::CleanLocked(size_t max_segments) {
 }
 
 Status ChunkStore::CleanSegment(uint32_t segment) {
+  obs::LatencyTimer clean_timer("cleaner.segment_us");
   const uint32_t bytes_used = log_.segments()[segment].bytes_used;
 
   struct LiveVersion {
@@ -186,6 +190,14 @@ Status ChunkStore::CleanSegment(uint32_t segment) {
 
   TDB_RETURN_IF_ERROR(FinishCommitSet());
   log_.MarkCleaned(segment);
+  uint64_t bytes_rewritten = 0;
+  for (const BuiltVersion& bv : built) {
+    bytes_rewritten += bv.stored_size;
+  }
+  obs::Count("cleaner.chunks_rewritten", live.size());
+  obs::Count("cleaner.bytes_rewritten", bytes_rewritten);
+  obs::TraceEmit(obs::TraceKind::kSegmentClean, "cleaner", segment,
+                 bytes_rewritten);
   return OkStatus();
 }
 

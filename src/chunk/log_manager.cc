@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace tdb {
 
 void SegmentInfo::Pickle(PickleWriter& w) const {
@@ -144,6 +146,7 @@ Result<std::vector<Location>> LogManager::Append(
       segments_[next].live_bytes = 0;
       residual_.push_back(next);
       tail_ = Location{next, 0};
+      obs::Count("log.segment_links");
     }
     TDB_RETURN_IF_ERROR(store_->Write(tail_.segment, tail_.offset, blob.bytes));
     if (on_append) {

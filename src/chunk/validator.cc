@@ -1,6 +1,7 @@
 #include "src/chunk/validator.h"
 
 #include "src/common/pickle.h"
+#include "src/obs/metrics.h"
 
 namespace tdb {
 
@@ -14,6 +15,7 @@ Status DirectHashValidator::WriteRegister(Location head, Location tail) {
   w.WriteBytes(CurrentDigest());
   w.WriteU64(head.Pack());
   w.WriteU64(tail.Pack());
+  obs::Count("validator.register_writes");
   return reg_->Write(w.data());
 }
 
@@ -46,6 +48,7 @@ Status CounterValidator::MaybeFlush(bool force) {
   if (!force && count_ - last_flushed_ < std::max<uint32_t>(delta_ut_, 1)) {
     return OkStatus();
   }
+  obs::Count("validator.counter_flushes");
   TDB_RETURN_IF_ERROR(counter_->AdvanceTo(count_));
   last_flushed_ = count_;
   return OkStatus();

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "src/collect/object_btree.h"
-#include "src/common/profiler.h"
+#include "src/obs/profiler.h"
 
 namespace tdb {
 

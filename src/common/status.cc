@@ -1,5 +1,8 @@
 #include "src/common/status.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace tdb {
 
 std::string_view StatusCodeName(StatusCode code) {
@@ -45,6 +48,14 @@ std::string Status::ToString() const {
 Status OkStatus() { return Status(); }
 
 Status TamperDetectedError(std::string message) {
+  // Every tamper alarm in the system is constructed here, so emitting the
+  // structured event at this single chokepoint guarantees a 1:1 mapping
+  // between alarms raised and `tamper_detected` trace events. The message
+  // carries the location and cause (e.g. which chunk/segment failed which
+  // check). Benign parse/decrypt failures on torn log tails use
+  // CorruptionError and never reach this path.
+  obs::TraceEmit(obs::TraceKind::kTamperDetected, "tamper", 0, 0, message);
+  obs::Count("tamper.alarms");
   return Status(StatusCode::kTamperDetected, std::move(message));
 }
 Status NotFoundError(std::string message) {

@@ -1,6 +1,8 @@
 #include "src/object/object_store.h"
 
-#include "src/common/profiler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 
 namespace tdb {
 
@@ -22,11 +24,16 @@ std::optional<ObjectPtr> ObjectStore::CacheGet(const ObjectId& id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(id);
   if (it == cache_.end()) {
+    obs::Count("object.cache_misses");
+    obs::TraceEmit(obs::TraceKind::kCacheMiss, "object_cache",
+                   id.position.rank);
     return std::nullopt;
   }
   lru_.erase(it->second.lru_it);
   lru_.push_front(id);
   it->second.lru_it = lru_.begin();
+  obs::Count("object.cache_hits");
+  obs::TraceEmit(obs::TraceKind::kCacheHit, "object_cache", id.position.rank);
   return it->second.object;
 }
 
@@ -45,6 +52,9 @@ void ObjectStore::CachePut(const ObjectId& id, ObjectPtr object) {
   while (cache_.size() > options_.cache_capacity && !lru_.empty()) {
     ObjectId victim = lru_.back();
     lru_.pop_back();
+    obs::Count("object.cache_evictions");
+    obs::TraceEmit(obs::TraceKind::kCacheEviction, "object_cache",
+                   victim.position.rank);
     cache_.erase(victim);
   }
 }
@@ -203,6 +213,7 @@ Status Transaction::Commit() {
     }
     std::lock_guard<std::mutex> lock(store_->counts_mu_);
     ++store_->counts_.commits;
+    obs::Count("object.txn_commits");
   }
   write_set_.clear();
   store_->locks_.ReleaseAll(txn_id_);

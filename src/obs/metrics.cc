@@ -1,0 +1,131 @@
+#include "src/obs/metrics.h"
+
+namespace tdb::obs {
+
+namespace {
+
+struct Hist {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+}  // namespace
+
+// Metrics for one thread. Its mutex is uncontended on the hot path (only
+// merge/Reset ever take it from another thread).
+struct MetricsRegistry::ThreadBlock {
+  std::mutex mu;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, Hist> histograms;
+};
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+MetricsRegistry::ThreadBlock& MetricsRegistry::LocalBlock() {
+  thread_local std::shared_ptr<ThreadBlock> block;
+  if (block == nullptr) {
+    block = std::make_shared<ThreadBlock>();
+    std::lock_guard<std::mutex> lock(mu_);
+    blocks_.push_back(block);
+  }
+  return *block;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : blocks_) {
+    std::lock_guard<std::mutex> block_lock(b->mu);
+    b->counters.clear();
+    b->histograms.clear();
+  }
+  gauges_.clear();
+}
+
+void MetricsRegistry::Add(const char* counter, uint64_t n) {
+  ThreadBlock& b = LocalBlock();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.counters[counter] += n;
+}
+
+void MetricsRegistry::SetGauge(const char* gauge, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[gauge] = value;
+}
+
+void MetricsRegistry::Observe(const char* histogram, double value) {
+  ThreadBlock& b = LocalBlock();
+  std::lock_guard<std::mutex> lock(b.mu);
+  Hist& h = b.histograms[histogram];
+  if (h.count == 0 || value < h.min) {
+    h.min = value;
+  }
+  if (h.count == 0 || value > h.max) {
+    h.max = value;
+  }
+  h.count += 1;
+  h.sum += value;
+}
+
+uint64_t MetricsRegistry::GetCounter(const std::string& counter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& b : blocks_) {
+    std::lock_guard<std::mutex> block_lock(b->mu);
+    auto it = b->counters.find(counter);
+    if (it != b->counters.end()) {
+      total += it->second;
+    }
+  }
+  return total;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> merged;
+  for (const auto& b : blocks_) {
+    std::lock_guard<std::mutex> block_lock(b->mu);
+    for (const auto& [name, n] : b->counters) {
+      merged[name] += n;
+    }
+  }
+  return merged;
+}
+
+std::map<std::string, double> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_;
+}
+
+std::vector<MetricsRegistry::HistogramSnapshot> MetricsRegistry::Histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> merged;
+  for (const auto& b : blocks_) {
+    std::lock_guard<std::mutex> block_lock(b->mu);
+    for (const auto& [name, h] : b->histograms) {
+      HistogramSnapshot& m = merged[name];
+      if (m.count == 0 || h.min < m.min) {
+        m.min = h.min;
+      }
+      if (m.count == 0 || h.max > m.max) {
+        m.max = h.max;
+      }
+      m.name = name;
+      m.count += h.count;
+      m.sum += h.sum;
+    }
+  }
+  std::vector<HistogramSnapshot> out;
+  out.reserve(merged.size());
+  for (auto& [_, h] : merged) {
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+}  // namespace tdb::obs

@@ -1,0 +1,133 @@
+// Process-wide metrics registry: named counters, gauges, and latency
+// histograms.
+//
+// Counters and histogram samples accumulate into per-thread sharded blocks
+// (the same design as the Profiler) so crypto workers never contend on a
+// global lock; blocks are merged when a snapshot is taken. Gauges are
+// last-writer-wins and live under the registry mutex — they are set from
+// slow paths (GetStats, snapshots), never from hot loops.
+//
+// The registry is compiled in but costs a single relaxed atomic load per
+// site when disabled (use the Count/SetGauge/Observe helpers below).
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tdb::obs {
+
+class MetricsRegistry {
+ public:
+  struct HistogramSnapshot {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    double mean() const { return count == 0 ? 0.0 : sum / count; }
+  };
+
+  static MetricsRegistry& Instance();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+  // Adds `n` to a named counter on the calling thread's block.
+  void Add(const char* counter, uint64_t n = 1);
+  // Sets a named gauge (last writer wins).
+  void SetGauge(const char* gauge, double value);
+  // Records one sample into a named histogram on the calling thread's block.
+  void Observe(const char* histogram, double value);
+
+  // Merged views across all thread blocks.
+  uint64_t GetCounter(const std::string& counter) const;
+  std::map<std::string, uint64_t> Counters() const;
+  std::map<std::string, double> Gauges() const;
+  std::vector<HistogramSnapshot> Histograms() const;
+
+ private:
+  struct ThreadBlock;
+
+  MetricsRegistry() = default;
+
+  // The calling thread's block, registered on first use. Blocks are never
+  // removed (threads may outlive a Reset), only cleared, so the
+  // thread_local handle stays valid.
+  ThreadBlock& LocalBlock();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards the block registry and gauges_
+  std::vector<std::shared_ptr<ThreadBlock>> blocks_;
+  std::map<std::string, double> gauges_;
+};
+
+// Instrumentation-site helpers: one relaxed atomic load when disabled.
+inline void Count(const char* counter, uint64_t n = 1) {
+  MetricsRegistry& m = MetricsRegistry::Instance();
+  if (m.enabled()) {
+    m.Add(counter, n);
+  }
+}
+
+inline void SetGauge(const char* gauge, double value) {
+  MetricsRegistry& m = MetricsRegistry::Instance();
+  if (m.enabled()) {
+    m.SetGauge(gauge, value);
+  }
+}
+
+inline void Observe(const char* histogram, double value) {
+  MetricsRegistry& m = MetricsRegistry::Instance();
+  if (m.enabled()) {
+    m.Observe(histogram, value);
+  }
+}
+
+// RAII latency sampler: observes elapsed microseconds into `histogram` on
+// destruction. Reads the clock only when the registry is enabled at
+// construction time, so the disabled path is a single relaxed load.
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(const char* histogram)
+      : histogram_(histogram),
+        armed_(MetricsRegistry::Instance().enabled()) {
+    if (armed_) {
+      started_ = Clock::now();
+    }
+  }
+
+  ~LatencyTimer() {
+    if (armed_) {
+      MetricsRegistry::Instance().Observe(
+          histogram_,
+          std::chrono::duration<double, std::micro>(Clock::now() - started_)
+              .count());
+    }
+  }
+
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const char* histogram_;
+  bool armed_;
+  Clock::time_point started_;
+};
+
+}  // namespace tdb::obs
+
+#endif  // SRC_OBS_METRICS_H_

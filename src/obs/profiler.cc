@@ -1,4 +1,4 @@
-#include "src/common/profiler.h"
+#include "src/obs/profiler.h"
 
 namespace tdb {
 

@@ -10,8 +10,8 @@
 // Profiling is compiled in but costs only a few nanoseconds per scope when
 // disabled (a single relaxed atomic load).
 
-#ifndef SRC_COMMON_PROFILER_H_
-#define SRC_COMMON_PROFILER_H_
+#ifndef SRC_OBS_PROFILER_H_
+#define SRC_OBS_PROFILER_H_
 
 #include <atomic>
 #include <chrono>
@@ -93,4 +93,4 @@ inline void ProfileCount(const char* counter, uint64_t n = 1) {
 
 }  // namespace tdb
 
-#endif  // SRC_COMMON_PROFILER_H_
+#endif  // SRC_OBS_PROFILER_H_

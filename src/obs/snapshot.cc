@@ -1,0 +1,284 @@
+#include "src/obs/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
+
+namespace tdb::obs {
+namespace {
+
+void AppendF(std::string& out, const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+void AppendU(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Adds num/den to `out` under `key` when the denominator is nonzero.
+void AddRatio(std::map<std::string, double>& out, const char* key,
+              uint64_t num, uint64_t den) {
+  if (den != 0) {
+    out[key] = static_cast<double>(num) / static_cast<double>(den);
+  }
+}
+
+}  // namespace
+
+void EnableAll() {
+  Profiler::Instance().Enable();
+  MetricsRegistry::Instance().Enable();
+  TraceJournal::Instance().Enable();
+}
+
+void DisableAll() {
+  Profiler::Instance().Disable();
+  MetricsRegistry::Instance().Disable();
+  TraceJournal::Instance().Disable();
+}
+
+void ResetAll() {
+  Profiler::Instance().Reset();
+  MetricsRegistry::Instance().Reset();
+  TraceJournal::Instance().Reset();
+}
+
+bool AnyEnabled() {
+  return Profiler::Instance().enabled() ||
+         MetricsRegistry::Instance().enabled() ||
+         TraceJournal::Instance().enabled();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> DerivedRatios() {
+  MetricsRegistry& m = MetricsRegistry::Instance();
+  std::map<std::string, uint64_t> c = m.Counters();
+  auto counter = [&c](const char* name) -> uint64_t {
+    auto it = c.find(name);
+    return it == c.end() ? 0 : it->second;
+  };
+
+  std::map<std::string, double> out;
+  AddRatio(out, "object_cache_hit_ratio", counter("object.cache_hits"),
+           counter("object.cache_hits") + counter("object.cache_misses"));
+  AddRatio(out, "xdb_page_cache_hit_ratio", counter("xdb.page_cache_hits"),
+           counter("xdb.page_cache_hits") + counter("xdb.page_cache_misses"));
+  // Bytes of log appended per byte of user plaintext committed (>= 1:
+  // headers, maps, leaders, cleaning).
+  AddRatio(out, "write_amplification", counter("chunk.log_bytes_appended"),
+           counter("chunk.bytes_committed"));
+  // Fraction of appended log bytes written by the cleaner (the paper's
+  // cleaning overhead, driven by segment utilization u — §9.4).
+  AddRatio(out, "cleaning_overhead", counter("cleaner.bytes_rewritten"),
+           counter("chunk.log_bytes_appended"));
+
+  std::map<std::string, double> gauges = m.Gauges();
+  auto live = gauges.find("chunk.live_log_bytes");
+  auto used = gauges.find("chunk.used_log_bytes");
+  if (live != gauges.end() && used != gauges.end() && used->second > 0) {
+    out["log_utilization"] = live->second / used->second;
+  }
+  return out;
+}
+
+std::string SnapshotJson(size_t max_trace_events) {
+  Profiler& prof = Profiler::Instance();
+  MetricsRegistry& metrics = MetricsRegistry::Instance();
+  TraceJournal& trace = TraceJournal::Instance();
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\n";
+
+  // Enabled flags: a snapshot with everything disabled is still valid, it
+  // just reflects whatever was recorded while enabled.
+  out += "  \"enabled\": {\"profiler\": ";
+  out += prof.enabled() ? "true" : "false";
+  out += ", \"metrics\": ";
+  out += metrics.enabled() ? "true" : "false";
+  out += ", \"trace\": ";
+  out += trace.enabled() ? "true" : "false";
+  out += "},\n";
+
+  // Per-module self time (Figure-12 style), largest first.
+  std::vector<Profiler::Entry> modules = prof.Snapshot();
+  std::sort(modules.begin(), modules.end(),
+            [](const Profiler::Entry& x, const Profiler::Entry& y) {
+              return x.total_us > y.total_us;
+            });
+  out += "  \"modules\": [";
+  for (size_t i = 0; i < modules.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"module\": \"" + JsonEscape(modules[i].module) +
+           "\", \"total_us\": ";
+    AppendF(out, "%.3f", modules[i].total_us);
+    out += ", \"calls\": ";
+    AppendU(out, modules[i].calls);
+    out += "}";
+  }
+  out += modules.empty() ? "],\n" : "\n  ],\n";
+
+  // Profiler event counters (flush counts etc.) kept distinct from registry
+  // counters so existing consumers keep their names.
+  out += "  \"profile_counters\": {";
+  {
+    std::map<std::string, uint64_t> counters = prof.Counters();
+    size_t i = 0;
+    for (const auto& [name, n] : counters) {
+      out += i++ == 0 ? "\n" : ",\n";
+      out += "    \"" + JsonEscape(name) + "\": ";
+      AppendU(out, n);
+    }
+    out += counters.empty() ? "},\n" : "\n  },\n";
+  }
+
+  out += "  \"counters\": {";
+  {
+    std::map<std::string, uint64_t> counters = metrics.Counters();
+    size_t i = 0;
+    for (const auto& [name, n] : counters) {
+      out += i++ == 0 ? "\n" : ",\n";
+      out += "    \"" + JsonEscape(name) + "\": ";
+      AppendU(out, n);
+    }
+    out += counters.empty() ? "},\n" : "\n  },\n";
+  }
+
+  out += "  \"gauges\": {";
+  {
+    std::map<std::string, double> gauges = metrics.Gauges();
+    size_t i = 0;
+    for (const auto& [name, v] : gauges) {
+      out += i++ == 0 ? "\n" : ",\n";
+      out += "    \"" + JsonEscape(name) + "\": ";
+      AppendF(out, "%.3f", v);
+    }
+    out += gauges.empty() ? "},\n" : "\n  },\n";
+  }
+
+  out += "  \"histograms\": [";
+  {
+    std::vector<MetricsRegistry::HistogramSnapshot> hists =
+        metrics.Histograms();
+    for (size_t i = 0; i < hists.size(); ++i) {
+      const auto& h = hists[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"name\": \"" + JsonEscape(h.name) + "\", \"count\": ";
+      AppendU(out, h.count);
+      out += ", \"sum\": ";
+      AppendF(out, "%.3f", h.sum);
+      out += ", \"mean\": ";
+      AppendF(out, "%.3f", h.mean());
+      out += ", \"min\": ";
+      AppendF(out, "%.3f", h.min);
+      out += ", \"max\": ";
+      AppendF(out, "%.3f", h.max);
+      out += "}";
+    }
+    out += hists.empty() ? "],\n" : "\n  ],\n";
+  }
+
+  out += "  \"derived\": {";
+  {
+    std::map<std::string, double> derived = DerivedRatios();
+    size_t i = 0;
+    for (const auto& [name, v] : derived) {
+      out += i++ == 0 ? "\n" : ",\n";
+      out += "    \"" + JsonEscape(name) + "\": ";
+      AppendF(out, "%.6f", v);
+    }
+    out += derived.empty() ? "},\n" : "\n  },\n";
+  }
+
+  out += "  \"trace\": {\n    \"capacity\": ";
+  AppendU(out, trace.capacity());
+  out += ",\n    \"total_emitted\": ";
+  AppendU(out, trace.TotalEmitted());
+  out += ",\n    \"counts\": {";
+  {
+    size_t emitted = 0;
+    for (size_t k = 0; k < kNumTraceKinds; ++k) {
+      TraceKind kind = static_cast<TraceKind>(k);
+      uint64_t n = trace.CountOf(kind);
+      if (n == 0) {
+        continue;
+      }
+      out += emitted++ == 0 ? "\n" : ",\n";
+      out += "      \"";
+      out += TraceKindName(kind);
+      out += "\": ";
+      AppendU(out, n);
+    }
+    out += emitted == 0 ? "},\n" : "\n    },\n";
+  }
+  out += "    \"events\": [";
+  {
+    std::vector<TraceEvent> events = trace.Snapshot();
+    size_t start =
+        events.size() > max_trace_events ? events.size() - max_trace_events : 0;
+    size_t emitted = 0;
+    for (size_t i = start; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      out += emitted++ == 0 ? "\n" : ",\n";
+      out += "      {\"seq\": ";
+      AppendU(out, e.seq);
+      out += ", \"t_us\": ";
+      AppendU(out, e.t_us);
+      out += ", \"kind\": \"";
+      out += TraceKindName(e.kind);
+      out += "\", \"module\": \"";
+      out += JsonEscape(e.module);
+      out += "\", \"a\": ";
+      AppendU(out, e.a);
+      out += ", \"b\": ";
+      AppendU(out, e.b);
+      out += ", \"detail\": \"" + JsonEscape(e.detail) + "\"}";
+    }
+    out += emitted == 0 ? "]\n" : "\n    ]\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+}  // namespace tdb::obs

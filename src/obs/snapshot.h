@@ -1,0 +1,40 @@
+// One unified observability snapshot: merges the module Profiler, the
+// MetricsRegistry (counters/gauges/histograms), derived ratios (cache hit
+// rates, log utilization, cleaning overhead), and the trace journal into a
+// single JSON object. This is what `examples/tdb_stats` dumps and what
+// every `--json` bench embeds alongside its timings.
+
+#ifndef SRC_OBS_SNAPSHOT_H_
+#define SRC_OBS_SNAPSHOT_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace tdb::obs {
+
+// Convenience toggles for the whole observability stack (Profiler +
+// MetricsRegistry + TraceJournal).
+void EnableAll();
+void DisableAll();
+void ResetAll();
+bool AnyEnabled();
+
+// Derived ratios computed from live counters/gauges; only ratios whose
+// denominators are nonzero are present. Keys include
+// "object_cache_hit_ratio", "xdb_page_cache_hit_ratio", "log_utilization",
+// "write_amplification", and "cleaning_overhead" (see DESIGN.md
+// "Observability" for the formulas).
+std::map<std::string, double> DerivedRatios();
+
+// The full snapshot as a JSON object (pretty-printed, two-space indent).
+// At most `max_trace_events` of the most recent trace events are embedded;
+// exact per-kind totals are always present.
+std::string SnapshotJson(size_t max_trace_events = 64);
+
+// Escapes a string for embedding in JSON (quotes not included).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace tdb::obs
+
+#endif  // SRC_OBS_SNAPSHOT_H_

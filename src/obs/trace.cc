@@ -1,0 +1,131 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace tdb::obs {
+namespace {
+
+constexpr size_t kDefaultCapacity = 4096;
+
+uint64_t NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+}  // namespace
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kCommit:
+      return "commit";
+    case TraceKind::kCheckpoint:
+      return "checkpoint";
+    case TraceKind::kSegmentClean:
+      return "segment_clean";
+    case TraceKind::kCacheHit:
+      return "cache_hit";
+    case TraceKind::kCacheMiss:
+      return "cache_miss";
+    case TraceKind::kCacheEviction:
+      return "cache_eviction";
+    case TraceKind::kPageFault:
+      return "page_fault";
+    case TraceKind::kPageWriteback:
+      return "page_writeback";
+    case TraceKind::kWalAppend:
+      return "wal_append";
+    case TraceKind::kWalReplay:
+      return "wal_replay";
+    case TraceKind::kBackupWrite:
+      return "backup_write";
+    case TraceKind::kBackupRestore:
+      return "backup_restore";
+    case TraceKind::kRecoveryStep:
+      return "recovery_step";
+    case TraceKind::kTamperDetected:
+      return "tamper_detected";
+    case TraceKind::kNumKinds:
+      break;
+  }
+  return "unknown";
+}
+
+TraceJournal::TraceJournal() : cap_(kDefaultCapacity) {
+  ring_.reserve(cap_);
+}
+
+TraceJournal& TraceJournal::Instance() {
+  static TraceJournal instance;
+  return instance;
+}
+
+void TraceJournal::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_seq_ = 0;
+  for (auto& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+}
+
+void TraceJournal::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cap_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(cap_ < kDefaultCapacity ? cap_ : kDefaultCapacity);
+}
+
+size_t TraceJournal::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cap_;
+}
+
+void TraceJournal::Emit(TraceKind kind, const char* module, uint64_t a,
+                        uint64_t b, std::string detail) {
+  if (kind >= TraceKind::kNumKinds) {
+    return;
+  }
+  uint64_t t_us = NowMicros();
+  counts_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent event{next_seq_++, t_us, kind, module, a, b, std::move(detail)};
+  if (ring_.size() < cap_) {
+    ring_.push_back(std::move(event));
+  } else {
+    // Overwrite the oldest retained slot; seq keeps events ordered.
+    ring_[event.seq % cap_] = std::move(event);
+  }
+}
+
+std::vector<TraceEvent> TraceJournal::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out(ring_);
+  // The ring is filled round-robin by seq; restore emission order.
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+uint64_t TraceJournal::CountOf(TraceKind kind) const {
+  if (kind >= TraceKind::kNumKinds) {
+    return 0;
+  }
+  return counts_[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
+}
+
+uint64_t TraceJournal::TotalEmitted() const {
+  uint64_t total = 0;
+  for (const auto& c : counts_) {
+    total += c.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace tdb::obs

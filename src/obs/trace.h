@@ -1,0 +1,113 @@
+// Structured trace-event journal: a bounded ring buffer of typed events
+// (commits, checkpoints, segment cleans, cache hits/misses/evictions, page
+// faults/writebacks, WAL appends/replays, backup writes/restores, recovery
+// steps, and tamper alarms with location + cause).
+//
+// The ring keeps the most recent `capacity()` events for inspection; exact
+// per-kind totals are kept separately in atomics so counts stay correct
+// after the ring wraps. Tracing is compiled in but costs a single relaxed
+// atomic load per site when disabled (use the TraceEmit helper).
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tdb::obs {
+
+enum class TraceKind : uint8_t {
+  kCommit = 0,
+  kCheckpoint,
+  kSegmentClean,
+  kCacheHit,
+  kCacheMiss,
+  kCacheEviction,
+  kPageFault,
+  kPageWriteback,
+  kWalAppend,
+  kWalReplay,
+  kBackupWrite,
+  kBackupRestore,
+  kRecoveryStep,
+  kTamperDetected,
+  kNumKinds,  // sentinel; not a valid event kind
+};
+
+inline constexpr size_t kNumTraceKinds =
+    static_cast<size_t>(TraceKind::kNumKinds);
+
+// Stable snake_case name used in JSON snapshots (e.g. "tamper_detected").
+const char* TraceKindName(TraceKind kind);
+
+struct TraceEvent {
+  uint64_t seq = 0;   // global emission order since the last Reset, 0-based
+  uint64_t t_us = 0;  // microseconds since process start
+  TraceKind kind = TraceKind::kCommit;
+  const char* module = "";  // emitting subsystem; must be a static string
+  // Kind-specific operands (e.g. chunk count + byte count for a commit,
+  // segment number for a clean, page number for a fault).
+  uint64_t a = 0;
+  uint64_t b = 0;
+  std::string detail;  // human-readable location/cause; set on tamper alarms
+};
+
+class TraceJournal {
+ public:
+  static TraceJournal& Instance();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Drops retained events and resets all per-kind totals and the sequence
+  // number; capacity and the enabled flag are unchanged.
+  void Reset();
+
+  // Resizes the ring (dropping retained events). Capacity is clamped to at
+  // least 1.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
+  void Emit(TraceKind kind, const char* module, uint64_t a = 0, uint64_t b = 0,
+            std::string detail = {});
+
+  // Retained events, oldest first. At most capacity() entries; older events
+  // have been overwritten but are still reflected in CountOf/TotalEmitted.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Exact number of events of `kind` emitted since the last Reset,
+  // regardless of ring wrap.
+  uint64_t CountOf(TraceKind kind) const;
+  uint64_t TotalEmitted() const;
+
+ private:
+  TraceJournal();
+
+  std::atomic<bool> enabled_{false};
+  std::array<std::atomic<uint64_t>, kNumTraceKinds> counts_{};
+
+  mutable std::mutex mu_;  // guards the ring
+  std::vector<TraceEvent> ring_;
+  size_t cap_;
+  uint64_t next_seq_ = 0;
+};
+
+// Emission helper for instrumentation sites: one relaxed atomic load when
+// tracing is disabled.
+inline void TraceEmit(TraceKind kind, const char* module, uint64_t a = 0,
+                      uint64_t b = 0, std::string detail = {}) {
+  TraceJournal& j = TraceJournal::Instance();
+  if (j.enabled()) {
+    j.Emit(kind, module, a, b, std::move(detail));
+  }
+}
+
+}  // namespace tdb::obs
+
+#endif  // SRC_OBS_TRACE_H_

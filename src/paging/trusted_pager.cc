@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace tdb {
 
 Result<std::unique_ptr<TrustedPager>> TrustedPager::Create(
@@ -26,6 +29,8 @@ Result<TrustedPager::Page*> TrustedPager::Touch(uint64_t page_no,
     lru_.push_front(page_no);
     it->second.lru_it = lru_.begin();
     it->second.dirty |= will_write;
+    obs::Count("paging.page_hits");
+    obs::TraceEmit(obs::TraceKind::kCacheHit, "paging", page_no);
     return &it->second;
   }
   // Page fault: load from the chunk store (validated) or make a zero page.
@@ -37,8 +42,11 @@ Result<TrustedPager::Page*> TrustedPager::Touch(uint64_t page_no,
       return TamperDetectedError("paged-out page has wrong size");
     }
     ++stats_.faults;
+    obs::Count("paging.faults");
+    obs::TraceEmit(obs::TraceKind::kPageFault, "paging", page_no);
   } else {
     data.assign(options_.page_size, 0);
+    obs::Count("paging.zero_fills");
   }
   TDB_RETURN_IF_ERROR(EvictIfNeeded());
   lru_.push_front(page_no);
@@ -71,7 +79,9 @@ Status TrustedPager::EvictIfNeeded() {
     lru_.erase(it->second.lru_it);
     resident_.erase(it);
     ++stats_.evictions;
+    obs::TraceEmit(obs::TraceKind::kCacheEviction, "paging", page_no);
   }
+  obs::Count("paging.evictions", victims.size());
   return OkStatus();
 }
 
@@ -91,7 +101,9 @@ Status TrustedPager::WriteBack(const std::vector<uint64_t>& page_numbers) {
   for (uint64_t page_no : page_numbers) {
     resident_[page_no].dirty = false;
     ++stats_.writebacks;
+    obs::TraceEmit(obs::TraceKind::kPageWriteback, "paging", page_no);
   }
+  obs::Count("paging.writebacks", page_numbers.size());
   return OkStatus();
 }
 

@@ -5,7 +5,7 @@
 #include <thread>
 
 #include "src/common/pickle.h"
-#include "src/common/profiler.h"
+#include "src/obs/profiler.h"
 #include "src/crypto/sha256.h"
 
 namespace tdb {

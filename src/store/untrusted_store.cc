@@ -7,7 +7,7 @@
 #include <thread>
 
 #include "src/common/pickle.h"
-#include "src/common/profiler.h"
+#include "src/obs/profiler.h"
 
 namespace tdb {
 

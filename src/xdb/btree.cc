@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/pickle.h"
+#include "src/obs/metrics.h"
 
 namespace tdb {
 
@@ -117,6 +118,7 @@ Result<std::optional<BTree::SplitResult>> BTree::PutRec(uint32_t page_no,
       return std::optional<SplitResult>{};
     }
     // Split the leaf in half.
+    obs::Count("xdb.btree_leaf_splits");
     size_t mid = node.leaf.entries.size() / 2;
     Node right;
     right.is_leaf = true;
@@ -155,6 +157,7 @@ Result<std::optional<BTree::SplitResult>> BTree::PutRec(uint32_t page_no,
     return std::optional<SplitResult>{};
   }
   // Split the interior node: the middle key moves up.
+  obs::Count("xdb.btree_interior_splits");
   size_t mid = node.interior.keys.size() / 2;
   Node right;
   right.is_leaf = false;

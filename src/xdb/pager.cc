@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace tdb {
 
 Result<Bytes> MemPageFile::ReadPage(uint32_t page_no) const {
@@ -72,6 +75,8 @@ void Pager::InsertClean(uint32_t page_no, Bytes data) {
         uint32_t victim = *it;
         lru_.erase(std::next(it).base());
         cache_.erase(victim);
+        obs::Count("xdb.page_cache_evictions");
+        obs::TraceEmit(obs::TraceKind::kCacheEviction, "xdb_pager", victim);
         break;
       }
     }
@@ -83,15 +88,21 @@ Result<Bytes> Pager::Read(uint32_t page_no) {
   auto dirty_it = dirty_.find(page_no);
   if (dirty_it != dirty_.end()) {
     ++hits_;
+    obs::Count("xdb.page_cache_hits");
+    obs::TraceEmit(obs::TraceKind::kCacheHit, "xdb_pager", page_no);
     return dirty_it->second;
   }
   auto it = cache_.find(page_no);
   if (it != cache_.end()) {
     ++hits_;
+    obs::Count("xdb.page_cache_hits");
+    obs::TraceEmit(obs::TraceKind::kCacheHit, "xdb_pager", page_no);
     Touch(page_no);
     return it->second.data;
   }
   ++misses_;
+  obs::Count("xdb.page_cache_misses");
+  obs::TraceEmit(obs::TraceKind::kCacheMiss, "xdb_pager", page_no);
   TDB_ASSIGN_OR_RETURN(Bytes data, file_->ReadPage(page_no));
   InsertClean(page_no, data);
   return data;

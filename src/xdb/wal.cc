@@ -2,6 +2,8 @@
 
 #include "src/common/pickle.h"
 #include "src/crypto/sha256.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace tdb {
 
@@ -23,6 +25,10 @@ Status Wal::LogCommit(const std::unordered_map<uint32_t, Bytes>& pages) {
   }
   w.WriteU32(kCommitMarker);
   w.WriteBytes(check.Finish());
+  obs::Count("xdb.wal_appends");
+  obs::Count("xdb.wal_bytes_appended", w.data().size());
+  obs::TraceEmit(obs::TraceKind::kWalAppend, "xdb_wal", pages.size(),
+                 w.data().size());
   TDB_RETURN_IF_ERROR(log_->Append(w.data()));
   return log_->Flush();
 }
@@ -31,6 +37,8 @@ Status Wal::Recover(
     const std::function<Status(uint32_t page_no, ByteView data)>& apply) {
   TDB_ASSIGN_OR_RETURN(Bytes log, log_->ReadAll());
   PickleReader r(log);
+  uint64_t commits_replayed = 0;
+  uint64_t pages_replayed = 0;
   while (r.remaining() > 0) {
     uint32_t count = r.ReadU32();
     if (!r.ok()) {
@@ -64,7 +72,13 @@ Status Wal::Recover(
     for (const auto& [page_no, data] : pages) {
       TDB_RETURN_IF_ERROR(apply(page_no, data));
     }
+    ++commits_replayed;
+    pages_replayed += pages.size();
   }
+  obs::Count("xdb.wal_commits_replayed", commits_replayed);
+  obs::Count("xdb.wal_pages_replayed", pages_replayed);
+  obs::TraceEmit(obs::TraceKind::kWalReplay, "xdb_wal", commits_replayed,
+                 pages_replayed);
   return OkStatus();
 }
 

@@ -8,7 +8,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/pickle.h"
-#include "src/common/profiler.h"
+#include "src/obs/profiler.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"

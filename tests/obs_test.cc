@@ -1,0 +1,285 @@
+// The unified observability layer (src/obs): metrics registry semantics
+// (per-thread sharding, merged snapshots), trace-journal ring behavior,
+// snapshot-JSON structure, and the disabled-path overhead contract — one
+// relaxed atomic load per instrumentation site when observability is off.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/snapshot.h"
+#include "src/obs/trace.h"
+
+namespace tdb::obs {
+namespace {
+
+// The registry and journal are process singletons; every test starts from a
+// known state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetAll();
+    EnableAll();
+    TraceJournal::Instance().SetCapacity(4096);
+  }
+  void TearDown() override {
+    DisableAll();
+    ResetAll();
+  }
+};
+
+TEST_F(ObsTest, CountersMergeAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        Count("test.merged");
+      }
+      Count("test.bulk", 100);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  MetricsRegistry& m = MetricsRegistry::Instance();
+  EXPECT_EQ(m.GetCounter("test.merged"),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+  EXPECT_EQ(m.GetCounter("test.bulk"), static_cast<uint64_t>(kThreads) * 100);
+  EXPECT_EQ(m.GetCounter("test.absent"), 0u);
+  auto all = m.Counters();
+  EXPECT_EQ(all.at("test.merged"),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST_F(ObsTest, HistogramsMergeAcrossThreads) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      // Thread t observes t*100 + {1, 2, 3}.
+      for (int i = 1; i <= 3; ++i) {
+        Observe("test.hist", t * 100.0 + i);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  bool found = false;
+  for (const auto& h : MetricsRegistry::Instance().Histograms()) {
+    if (h.name != "test.hist") continue;
+    found = true;
+    EXPECT_EQ(h.count, static_cast<uint64_t>(kThreads) * 3);
+    EXPECT_DOUBLE_EQ(h.min, 1.0);
+    EXPECT_DOUBLE_EQ(h.max, (kThreads - 1) * 100.0 + 3);
+    double expected_sum = 0;
+    for (int t = 0; t < kThreads; ++t) {
+      expected_sum += 3 * t * 100.0 + 6;
+    }
+    EXPECT_DOUBLE_EQ(h.sum, expected_sum);
+    EXPECT_DOUBLE_EQ(h.mean(), expected_sum / (kThreads * 3));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, GaugesAreLastWriterWins) {
+  SetGauge("test.gauge", 1.0);
+  SetGauge("test.gauge", 42.5);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::Instance().Gauges().at("test.gauge"),
+                   42.5);
+}
+
+TEST_F(ObsTest, DisabledSitesRecordNothing) {
+  DisableAll();
+  Count("test.off");
+  Observe("test.off_hist", 1.0);
+  SetGauge("test.off_gauge", 1.0);
+  TraceEmit(TraceKind::kCommit, "test");
+  {
+    LatencyTimer timer("test.off_latency");
+  }
+  EXPECT_EQ(MetricsRegistry::Instance().GetCounter("test.off"), 0u);
+  EXPECT_TRUE(MetricsRegistry::Instance().Gauges().empty());
+  EXPECT_TRUE(MetricsRegistry::Instance().Histograms().empty());
+  EXPECT_EQ(TraceJournal::Instance().TotalEmitted(), 0u);
+}
+
+TEST_F(ObsTest, ResetClearsEverything) {
+  Count("test.c");
+  SetGauge("test.g", 1.0);
+  Observe("test.h", 1.0);
+  TraceEmit(TraceKind::kCommit, "test");
+  ResetAll();
+  EXPECT_EQ(MetricsRegistry::Instance().GetCounter("test.c"), 0u);
+  EXPECT_TRUE(MetricsRegistry::Instance().Gauges().empty());
+  EXPECT_TRUE(MetricsRegistry::Instance().Histograms().empty());
+  EXPECT_EQ(TraceJournal::Instance().TotalEmitted(), 0u);
+  EXPECT_TRUE(TraceJournal::Instance().Snapshot().empty());
+}
+
+TEST_F(ObsTest, LatencyTimerObservesWhenEnabled) {
+  {
+    LatencyTimer timer("test.latency_us");
+  }
+  auto hists = MetricsRegistry::Instance().Histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].name, "test.latency_us");
+  EXPECT_EQ(hists[0].count, 1u);
+  EXPECT_GE(hists[0].sum, 0.0);
+}
+
+TEST_F(ObsTest, TraceRingWrapKeepsExactCountsAndNewestEvents) {
+  TraceJournal& j = TraceJournal::Instance();
+  j.SetCapacity(8);
+  EXPECT_EQ(j.capacity(), 8u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    TraceEmit(TraceKind::kCacheHit, "test", i);
+  }
+  TraceEmit(TraceKind::kCommit, "test", 99);
+
+  // Totals are exact even though the ring only holds the last 8 events.
+  EXPECT_EQ(j.CountOf(TraceKind::kCacheHit), 20u);
+  EXPECT_EQ(j.CountOf(TraceKind::kCommit), 1u);
+  EXPECT_EQ(j.TotalEmitted(), 21u);
+
+  std::vector<TraceEvent> events = j.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first, contiguous sequence numbers ending at the newest event.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 13 + i);
+  }
+  EXPECT_EQ(events.back().kind, TraceKind::kCommit);
+  EXPECT_EQ(events.back().a, 99u);
+}
+
+TEST_F(ObsTest, TraceEventsCarryOperandsAndDetail) {
+  TraceEmit(TraceKind::kTamperDetected, "tamper", 3, 7, "leader hash mismatch");
+  std::vector<TraceEvent> events = TraceJournal::Instance().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceKind::kTamperDetected);
+  EXPECT_STREQ(events[0].module, "tamper");
+  EXPECT_EQ(events[0].a, 3u);
+  EXPECT_EQ(events[0].b, 7u);
+  EXPECT_EQ(events[0].detail, "leader hash mismatch");
+  EXPECT_STREQ(TraceKindName(events[0].kind), "tamper_detected");
+}
+
+// Structural well-formedness: balanced braces/brackets outside strings and
+// valid string/escape nesting. Not a full JSON parser, but catches every
+// quoting or nesting bug a formatter can make.
+bool JsonWellFormed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escape = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escape) {
+        escape = false;
+      } else if (c == '\\') {
+        escape = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && !escape && stack.empty();
+}
+
+TEST_F(ObsTest, SnapshotJsonIsWellFormedAndCarriesTheSchema) {
+  Count("test.snapshot_counter", 5);
+  SetGauge("test.snapshot_gauge", 2.5);
+  Observe("test.snapshot_hist", 10.0);
+  TraceEmit(TraceKind::kCommit, "test", 1, 2);
+  Profiler::Instance().AddSample("test_module", 123.0);
+  Profiler::Instance().AddCount("test.profile_count", 7);
+
+  std::string json = SnapshotJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  for (const char* key :
+       {"\"enabled\"", "\"modules\"", "\"profile_counters\"", "\"counters\"",
+        "\"gauges\"", "\"histograms\"", "\"derived\"", "\"trace\"",
+        "\"capacity\"", "\"total_emitted\"", "\"counts\"", "\"events\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_NE(json.find("\"test.snapshot_counter\": 5"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("test_module"), std::string::npos);
+  EXPECT_NE(json.find("\"commit\""), std::string::npos);
+}
+
+TEST_F(ObsTest, SnapshotJsonEscapesDetailStrings) {
+  TraceEmit(TraceKind::kTamperDetected, "tamper", 0, 0,
+            "quote \" backslash \\ newline \n done");
+  std::string json = SnapshotJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n done"),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(ObsTest, DerivedRatiosComeFromCounters) {
+  Count("object.cache_hits", 9);
+  Count("object.cache_misses", 1);
+  Count("chunk.bytes_committed", 100);
+  Count("chunk.log_bytes_appended", 150);
+  Count("cleaner.bytes_rewritten", 30);
+  auto derived = DerivedRatios();
+  EXPECT_DOUBLE_EQ(derived.at("object_cache_hit_ratio"), 0.9);
+  EXPECT_DOUBLE_EQ(derived.at("write_amplification"), 1.5);
+  EXPECT_DOUBLE_EQ(derived.at("cleaning_overhead"), 30.0 / 150.0);
+}
+
+// The disabled-path contract: with observability off, an instrumentation
+// site is one relaxed atomic load plus a branch. The budget is deliberately
+// enormous (200 ns/site — two orders of magnitude above the real cost) so
+// the test only fails if someone reintroduces real work (locks, map
+// lookups, clock reads) on the disabled path; it stays green on slow or
+// loaded CI machines.
+TEST_F(ObsTest, DisabledSitesAreCheap) {
+  DisableAll();
+  constexpr int kIterations = 1000000;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    Count("test.overhead");
+    TraceEmit(TraceKind::kCacheHit, "test");
+    LatencyTimer timer("test.overhead_us");
+  }
+  auto elapsed = std::chrono::duration<double, std::nano>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  double ns_per_site = elapsed / (kIterations * 3.0);
+  EXPECT_LT(ns_per_site, 200.0)
+      << "disabled instrumentation cost " << ns_per_site << " ns per site";
+  EXPECT_EQ(MetricsRegistry::Instance().GetCounter("test.overhead"), 0u);
+  EXPECT_EQ(TraceJournal::Instance().TotalEmitted(), 0u);
+}
+
+}  // namespace
+}  // namespace tdb::obs

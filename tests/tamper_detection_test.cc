@@ -24,6 +24,7 @@
 #include "src/chunk/log_format.h"
 #include "src/common/pickle.h"
 #include "src/common/rng.h"
+#include "src/obs/trace.h"
 #include "src/platform/trusted_store.h"
 #include "src/store/tamper_store.h"
 #include "src/store/untrusted_store.h"
@@ -312,15 +313,29 @@ bool IsDetectionCode(StatusCode c) {
 // Reopens the tampered store and checks the cell's outcome: no crash (by
 // construction), no silently wrong data ever, and — when `require_detection`
 // — at least one of open/read fails with a detection code.
+//
+// Every kTamperDetected status is constructed through the single
+// TamperDetectedError chokepoint, which emits one structured trace event, so
+// the journal must show at least one kTamperDetected event per surfaced
+// tamper status (recovery can additionally construct-and-swallow tamper
+// statuses while probing, hence >= rather than ==; the exact-one case is
+// covered by TamperEventEmissionTest).
 void CheckCell(UntrustedStore* store, TrustedServices trusted,
                const ChunkStoreOptions& options, const Layout& lay,
                bool require_detection, const std::string& cell) {
+  obs::TraceJournal& journal = obs::TraceJournal::Instance();
+  journal.Enable();
+  uint64_t events_before = journal.CountOf(obs::TraceKind::kTamperDetected);
+  int tamper_statuses = 0;
   auto reopened = ChunkStore::Open(store, trusted, options);
   bool detected = false;
   if (!reopened.ok()) {
     EXPECT_TRUE(IsDetectionCode(reopened.status().code()))
         << cell << ": open failed with unexpected code: " << reopened.status();
     detected = true;
+    if (reopened.status().code() == StatusCode::kTamperDetected) {
+      ++tamper_statuses;
+    }
   } else {
     for (const auto& [slot, id] : lay.ids) {
       auto data = (*reopened)->Read(id);
@@ -332,11 +347,28 @@ void CheckCell(UntrustedStore* store, TrustedServices trusted,
             << cell << " slot " << slot
             << ": read failed with unexpected code: " << data.status();
         detected = true;
+        if (data.status().code() == StatusCode::kTamperDetected) {
+          ++tamper_statuses;
+        }
       }
     }
   }
   if (require_detection) {
     EXPECT_TRUE(detected) << cell << ": tampering went UNDETECTED";
+  }
+  uint64_t delta =
+      journal.CountOf(obs::TraceKind::kTamperDetected) - events_before;
+  EXPECT_GE(delta, static_cast<uint64_t>(tamper_statuses))
+      << cell << ": " << tamper_statuses
+      << " tamper statuses surfaced but only " << delta
+      << " tamper_detected trace events were emitted";
+  // Every alarm in the journal must carry its cause (the status message
+  // names the structure and location that failed validation).
+  for (const obs::TraceEvent& event : journal.Snapshot()) {
+    if (event.kind != obs::TraceKind::kTamperDetected) continue;
+    EXPECT_FALSE(event.detail.empty())
+        << cell << ": tamper_detected event without a cause";
+    EXPECT_STREQ(event.module, "tamper") << cell;
   }
 }
 
@@ -442,11 +474,69 @@ TEST_P(TamperMatrixTest, FullStoreRollbackIsDetected) {
   Layout lay;
   ASSERT_TRUE(BuildWorkload(store, trusted, options, GetParam().hash, &lay));
 
+  obs::TraceJournal& journal = obs::TraceJournal::Instance();
+  journal.Enable();
+  uint64_t events_before = journal.CountOf(obs::TraceKind::kTamperDetected);
   ASSERT_TRUE(store.ReplayStore(lay.midpoint).ok());
   auto reopened = ChunkStore::Open(&store, trusted, options);
   ASSERT_FALSE(reopened.ok()) << "rolled-back store opened successfully";
   EXPECT_EQ(reopened.status().code(), StatusCode::kTamperDetected)
       << reopened.status();
+  EXPECT_GE(journal.CountOf(obs::TraceKind::kTamperDetected), events_before + 1)
+      << "rollback detection raised no tamper_detected trace event";
+}
+
+// The 1:1 contract between alarms and trace events, in its exact form: a
+// single tampered read constructs a single kTamperDetected status, so the
+// journal must grow by exactly one event, and that event must carry the
+// alarm's cause. (Chunk 3 predates the first checkpoint, so recovery never
+// probes it and the reopen itself raises no alarm.)
+TEST(TamperEventEmissionTest, SingleDetectedReadEmitsExactlyOneEvent) {
+  MemUntrustedStore mem({.segment_size = 32 * 1024, .num_segments = 16});
+  TamperStore store(&mem);
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemTamperResistantRegister reg;
+  MemMonotonicCounter counter;
+  TrustedServices trusted{&secret, &reg, &counter};
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kCounter;
+  options.system_hash = HashAlg::kSha256;
+  Layout lay;
+  ASSERT_TRUE(BuildWorkload(store, trusted, options, HashAlg::kSha256, &lay));
+
+  // Flip one bit early in the data chunk's *body* ciphertext: decryption
+  // still succeeds (the padding block is untouched), the body hash does not
+  // match, and exactly one TamperDetectedError is constructed on read.
+  const Region& r = lay.data_chunk;
+  uint32_t header_size = 0;
+  {
+    auto cs = ChunkStore::Open(&store, trusted, options);
+    ASSERT_TRUE(cs.ok()) << cs.status();
+    header_size = static_cast<uint32_t>(HeaderCipherSize((*cs)->system_suite()));
+  }
+  ASSERT_GT(r.size, header_size + 2);
+  ASSERT_TRUE(store.FlipBits(r.segment, r.offset + header_size + 2, 0x01).ok());
+
+  auto reopened = ChunkStore::Open(&store, trusted, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+
+  obs::TraceJournal& journal = obs::TraceJournal::Instance();
+  journal.Enable();
+  uint64_t events_before = journal.CountOf(obs::TraceKind::kTamperDetected);
+  auto data = (*reopened)->Read(lay.ids[3]);
+  ASSERT_FALSE(data.ok()) << "tampered chunk read succeeded";
+  EXPECT_EQ(data.status().code(), StatusCode::kTamperDetected)
+      << data.status();
+  EXPECT_EQ(journal.CountOf(obs::TraceKind::kTamperDetected),
+            events_before + 1)
+      << "one alarm must emit exactly one tamper_detected event";
+  const std::vector<obs::TraceEvent> events = journal.Snapshot();
+  ASSERT_FALSE(events.empty());
+  const obs::TraceEvent& last = events.back();
+  EXPECT_EQ(last.kind, obs::TraceKind::kTamperDetected);
+  EXPECT_STREQ(last.module, "tamper");
+  EXPECT_EQ(last.detail, data.status().message())
+      << "the event must carry the alarm's kind and location";
 }
 
 // Growing a segment past the log tail is neutralized by design: garbage
