@@ -296,10 +296,20 @@ Result<std::optional<LogManager::Scanned>> LogManager::Scanner::Next() {
       pos_.offset + static_cast<uint32_t>(header_size) + header->body_size};
 
   if (header->unnamed && header->type == UnnamedType::kNextSegment) {
-    TDB_ASSIGN_OR_RETURN(Bytes plain,
-                         log_->system_suite_->Decrypt(scanned.body_ct));
-    TDB_ASSIGN_OR_RETURN(NextSegmentRecord rec,
-                         NextSegmentRecord::Unpickle(plain));
+    // A link record whose body fails to decrypt or parse is a torn final
+    // write (the header landed, the body did not): end of log, exactly like
+    // an unparsable header. Truncation attacks that masquerade as torn
+    // links are still caught downstream — the register tail check in direct
+    // mode, the counter window in counter mode.
+    Result<Bytes> plain = log_->system_suite_->Decrypt(scanned.body_ct);
+    if (!plain.ok()) {
+      return std::optional<Scanned>{};
+    }
+    Result<NextSegmentRecord> rec_or = NextSegmentRecord::Unpickle(*plain);
+    if (!rec_or.ok()) {
+      return std::optional<Scanned>{};
+    }
+    NextSegmentRecord rec = *rec_or;
     if (rec.next_segment >= log_->segments_.size()) {
       return CorruptionError("next-segment link outside store");
     }

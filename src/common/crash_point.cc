@@ -1,0 +1,47 @@
+#include "src/common/crash_point.h"
+
+#include <cmath>
+
+namespace tdb {
+
+void CrashPointController::Arm(uint64_t crash_point, double tear_fraction) {
+  armed_ = true;
+  crashed_ = false;
+  crash_point_ = crash_point;
+  points_ = 0;
+  if (tear_fraction < 0.0) tear_fraction = 0.0;
+  if (tear_fraction > 1.0) tear_fraction = 1.0;
+  tear_fraction_ = tear_fraction;
+}
+
+void CrashPointController::Disarm() {
+  armed_ = false;
+  crashed_ = false;
+  crash_point_ = kNeverCrash;
+  points_ = 0;
+  tear_fraction_ = 0.0;
+}
+
+CrashPointController::Decision CrashPointController::OnPoint() {
+  if (crashed_) {
+    return Decision::kDead;
+  }
+  uint64_t point = points_++;
+  if (armed_ && point == crash_point_) {
+    crashed_ = true;
+    return Decision::kCrashNow;
+  }
+  return Decision::kProceed;
+}
+
+size_t CrashPointController::TornPrefix(size_t size) const {
+  size_t keep = static_cast<size_t>(
+      std::floor(static_cast<double>(size) * tear_fraction_));
+  return keep > size ? size : keep;
+}
+
+Status CrashPointController::CrashedStatus() {
+  return IoError("injected crash point: device is down");
+}
+
+}  // namespace tdb

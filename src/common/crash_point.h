@@ -1,0 +1,78 @@
+// Deterministic crash-point injection (the ALICE / torn-write discipline):
+// every durability-relevant operation on an instrumented device — a segment
+// write, a log append, a flush, a truncate, a trusted-store update — is one
+// numbered "crash point". One controller is shared by every wrapped device
+// in a test run, so points are numbered globally in execution order across
+// the untrusted store, the trusted store, the archival sink, and the XDB
+// files at once.
+//
+// Protocol: pass 1 arms the controller with kNeverCrash and runs the
+// workload to completion to learn the total point count N; passes 2..N+1 arm
+// it to crash at each point k in [0, N). Crashing at point k means every
+// operation before k completed normally and operation k fails *instead of*
+// executing — optionally persisting a torn prefix of the in-flight write
+// first — and every later operation fails too (the machine is down until the
+// test "reboots" by reopening the stores against the raw devices).
+//
+// Wrappers over the individual device interfaces live next to those
+// interfaces: CrashPointStore/CrashPointSink (src/store), CrashPointRegister/
+// CrashPointCounter (src/platform), CrashPointPageFile/CrashPointAppendFile
+// (src/xdb).
+
+#ifndef SRC_COMMON_CRASH_POINT_H_
+#define SRC_COMMON_CRASH_POINT_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace tdb {
+
+class CrashPointController {
+ public:
+  enum class Decision : uint8_t {
+    kProceed,   // not the crash point: perform the operation normally
+    kCrashNow,  // this op trips the crash: persist the torn prefix, then fail
+    kDead,      // a crash already happened: fail with no side effects
+  };
+
+  // Arm with kNeverCrash to count points without crashing (the learning
+  // pass).
+  static constexpr uint64_t kNeverCrash = ~0ULL;
+
+  // Starts a fresh run that crashes at the crash_point-th operation from
+  // now (0 = the very next one). tear_fraction in [0, 1] is the prefix
+  // fraction of the in-flight write persisted at the crash; operations that
+  // are contractually crash-atomic (superblock, trusted register) ignore it.
+  void Arm(uint64_t crash_point, double tear_fraction = 0.0);
+  // Stops injecting and counting; crashed() resets to false.
+  void Disarm();
+
+  // Called by wrappers once per durability-relevant operation.
+  Decision OnPoint();
+
+  bool armed() const { return armed_; }
+  bool crashed() const { return crashed_; }
+  // Operations observed since the last Arm/Disarm (the learning pass reads
+  // this as the total point count N).
+  uint64_t points() const { return points_; }
+  double tear_fraction() const { return tear_fraction_; }
+
+  // How many bytes of an in-flight write of `size` bytes a kCrashNow
+  // decision persists.
+  size_t TornPrefix(size_t size) const;
+
+  // The error every operation returns once the crash has tripped.
+  static Status CrashedStatus();
+
+ private:
+  bool armed_ = false;
+  bool crashed_ = false;
+  uint64_t crash_point_ = kNeverCrash;
+  uint64_t points_ = 0;
+  double tear_fraction_ = 0.0;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_COMMON_CRASH_POINT_H_

@@ -1,0 +1,31 @@
+#include "src/platform/crash_point_trusted.h"
+
+namespace tdb {
+
+Result<Bytes> CrashPointRegister::Read() const {
+  if (controller_->crashed()) return CrashPointController::CrashedStatus();
+  return base_->Read();
+}
+
+Status CrashPointRegister::Write(ByteView value) {
+  // Atomic per the TamperResistantRegister contract: on a crash the register
+  // keeps its previous value in full.
+  if (controller_->OnPoint() == CrashPointController::Decision::kProceed) {
+    return base_->Write(value);
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+Result<uint64_t> CrashPointCounter::Read() const {
+  if (controller_->crashed()) return CrashPointController::CrashedStatus();
+  return base_->Read();
+}
+
+Status CrashPointCounter::AdvanceTo(uint64_t value) {
+  if (controller_->OnPoint() == CrashPointController::Decision::kProceed) {
+    return base_->AdvanceTo(value);
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+}  // namespace tdb

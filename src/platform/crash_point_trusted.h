@@ -1,0 +1,44 @@
+// Crash-point injection wrappers for the trusted platform stores (see
+// src/common/crash_point.h for the protocol). The tamper-resistant register
+// and the monotonic counter are contractually crash-atomic and durable on
+// return, so their update operations are single all-or-nothing crash points —
+// never torn. Reads pass through until the crash trips and fail afterwards.
+
+#ifndef SRC_PLATFORM_CRASH_POINT_TRUSTED_H_
+#define SRC_PLATFORM_CRASH_POINT_TRUSTED_H_
+
+#include "src/common/crash_point.h"
+#include "src/platform/trusted_store.h"
+
+namespace tdb {
+
+class CrashPointRegister final : public TamperResistantRegister {
+ public:
+  CrashPointRegister(TamperResistantRegister* base,
+                     CrashPointController* controller)
+      : base_(base), controller_(controller) {}
+
+  Result<Bytes> Read() const override;
+  Status Write(ByteView value) override;
+
+ private:
+  TamperResistantRegister* base_;
+  CrashPointController* controller_;
+};
+
+class CrashPointCounter final : public MonotonicCounter {
+ public:
+  CrashPointCounter(MonotonicCounter* base, CrashPointController* controller)
+      : base_(base), controller_(controller) {}
+
+  Result<uint64_t> Read() const override;
+  Status AdvanceTo(uint64_t value) override;
+
+ private:
+  MonotonicCounter* base_;
+  CrashPointController* controller_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_PLATFORM_CRASH_POINT_TRUSTED_H_

@@ -1,0 +1,67 @@
+#include "src/platform/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace tdb {
+
+Result<Bytes> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFoundError("cannot open " + path);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return IoError("cannot seek to end of " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0) {
+    // ftell fails (e.g. with -1) on unseekable files; the old cast to size_t
+    // turned that into a ~SIZE_MAX allocation.
+    std::fclose(f);
+    return IoError("cannot determine size of " + path);
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return IoError("cannot seek to start of " + path);
+  }
+  Bytes data(static_cast<size_t>(size));
+  size_t got =
+      data.empty() ? 0 : std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (got != data.size()) return IoError("short read from " + path);
+  return data;
+}
+
+Status FsyncDir(const std::string& dir) {
+  const char* name = dir.empty() ? "." : dir.c_str();
+  int fd = ::open(name, O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IoError("cannot open directory " + dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return IoError("fsync failed for directory " + dir);
+  return OkStatus();
+}
+
+Status WriteWholeFileDurable(const std::string& path, ByteView data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot create " + path);
+  bool ok = true;
+  if (!data.empty()) {
+    ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  }
+  // fflush moves the stdio buffer into the kernel; fsync moves the kernel
+  // page cache onto the device. Durability needs both, and fclose can still
+  // report a deferred write error.
+  if (std::fflush(f) != 0) ok = false;
+  if (::fsync(::fileno(f)) != 0) ok = false;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) return IoError("durable write to " + path + " failed");
+  // A newly created file's name lives in the directory; the entry is durable
+  // only once the directory itself is flushed.
+  size_t slash = path.find_last_of('/');
+  return FsyncDir(slash == std::string::npos ? std::string()
+                                             : path.substr(0, slash));
+}
+
+}  // namespace tdb

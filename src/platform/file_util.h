@@ -1,0 +1,35 @@
+// Small-file I/O helpers for the trusted platform model: whole-file read and
+// crash-durable whole-file write. "Durable" here means the full POSIX
+// discipline — fsync the file data before close, check the close result, and
+// fsync the containing directory so the creation or replacement of the file
+// name itself survives a power loss.
+
+#ifndef SRC_PLATFORM_FILE_UTIL_H_
+#define SRC_PLATFORM_FILE_UTIL_H_
+
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace tdb {
+
+// Reads the entire contents of `path`. Returns kNotFound if the file cannot
+// be opened and kIoError if its size cannot be determined (unseekable paths
+// such as pipes) or the read comes up short.
+Result<Bytes> ReadWholeFile(const std::string& path);
+
+// Replaces the contents of `path` with `data`, durably: the data is fsynced
+// to the device before close, the fclose result is checked, and the
+// containing directory is fsynced so a newly created file's directory entry
+// is durable too. Returns kIoError if any step fails — including paths that
+// cannot be synced at all.
+Status WriteWholeFileDurable(const std::string& path, ByteView data);
+
+// Flushes directory metadata (file creation, deletion, rename) to stable
+// storage. An empty `dir` means the current directory.
+Status FsyncDir(const std::string& dir);
+
+}  // namespace tdb
+
+#endif  // SRC_PLATFORM_FILE_UTIL_H_

@@ -1,11 +1,11 @@
 #include "src/platform/trusted_store.h"
 
-#include <cstdio>
 #include <filesystem>
 #include <thread>
 
 #include "src/common/pickle.h"
 #include "src/obs/profiler.h"
+#include "src/platform/file_util.h"
 #include "src/crypto/sha256.h"
 
 namespace tdb {
@@ -69,39 +69,17 @@ Result<DecodedSlot> DecodeSlot(ByteView raw) {
   return slot;
 }
 
-std::string SlotPath(const std::string& base, int slot) {
+}  // namespace
+
+std::string FileTamperResistantRegister::SlotPathForTesting(
+    const std::string& base, int slot) {
   return base + ".slot" + std::to_string(slot);
 }
 
-Result<Bytes> ReadWholeFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return NotFoundError("cannot open " + path);
-  }
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  Bytes data(static_cast<size_t>(size));
-  size_t got = size > 0 ? std::fread(data.data(), 1, data.size(), f) : 0;
-  std::fclose(f);
-  if (got != data.size()) {
-    return IoError("short read from " + path);
-  }
-  return data;
-}
+namespace {
 
-Status WriteWholeFile(const std::string& path, ByteView data) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return IoError("cannot create " + path);
-  }
-  size_t wrote = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
-  int flush_rc = std::fflush(f);
-  std::fclose(f);
-  if (wrote != data.size() || flush_rc != 0) {
-    return IoError("short write to " + path);
-  }
-  return OkStatus();
+std::string SlotPath(const std::string& base, int slot) {
+  return FileTamperResistantRegister::SlotPathForTesting(base, slot);
 }
 
 }  // namespace
@@ -151,8 +129,11 @@ Status FileTamperResistantRegister::Write(ByteView value) {
   uint64_t next_seq = sequence_ + 1;
   // Alternate slots so the previous value survives a torn write.
   int slot = static_cast<int>(next_seq % 2);
-  TDB_RETURN_IF_ERROR(
-      WriteWholeFile(SlotPath(path_, slot), EncodeSlot(next_seq, value)));
+  // Durable write: fsync the slot data and the containing directory — the
+  // register's crash-atomicity contract is void if either slot can still sit
+  // in a volatile cache when Write() returns.
+  TDB_RETURN_IF_ERROR(WriteWholeFileDurable(SlotPath(path_, slot),
+                                            EncodeSlot(next_seq, value)));
   sequence_ = next_seq;
   cached_.assign(value.begin(), value.end());
   have_cached_ = true;

@@ -100,6 +100,10 @@ class FileTamperResistantRegister final : public TamperResistantRegister {
   Result<Bytes> Read() const override;
   Status Write(ByteView value) override;
 
+  // The path of a slot file. Write() with sequence number s targets slot
+  // s % 2; crash tests use this to tear the in-flight slot file.
+  static std::string SlotPathForTesting(const std::string& base, int slot);
+
  private:
   FileTamperResistantRegister(std::string path, TrustedStoreOptions options)
       : path_(std::move(path)), options_(options) {}

@@ -1,0 +1,76 @@
+#include "src/store/crash_point_store.h"
+
+namespace tdb {
+
+Result<Bytes> CrashPointStore::Read(uint32_t segment, uint32_t offset,
+                                    size_t len) const {
+  if (controller_->crashed()) return CrashPointController::CrashedStatus();
+  return base_->Read(segment, offset, len);
+}
+
+Status CrashPointStore::Write(uint32_t segment, uint32_t offset,
+                              ByteView data) {
+  switch (controller_->OnPoint()) {
+    case CrashPointController::Decision::kProceed:
+      return base_->Write(segment, offset, data);
+    case CrashPointController::Decision::kCrashNow: {
+      size_t keep = controller_->TornPrefix(data.size());
+      if (keep > 0) {
+        // The torn prefix reaches the device (still subject to the device's
+        // own write cache — the driver decides whether unflushed writes
+        // survive the crash).
+        (void)base_->Write(segment, offset, data.first(keep));
+      }
+      return CrashPointController::CrashedStatus();
+    }
+    case CrashPointController::Decision::kDead:
+      break;
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+Status CrashPointStore::Flush() {
+  if (controller_->OnPoint() == CrashPointController::Decision::kProceed) {
+    return base_->Flush();
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+Result<Bytes> CrashPointStore::ReadSuperblock() const {
+  if (controller_->crashed()) return CrashPointController::CrashedStatus();
+  return base_->ReadSuperblock();
+}
+
+Status CrashPointStore::WriteSuperblock(ByteView data) {
+  // Crash-atomic per the UntrustedStore contract: the crash either happens
+  // before the write (nothing persists) or after (all of it does) — never a
+  // torn prefix.
+  if (controller_->OnPoint() == CrashPointController::Decision::kProceed) {
+    return base_->WriteSuperblock(data);
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+Status CrashPointSink::Write(ByteView data) {
+  switch (controller_->OnPoint()) {
+    case CrashPointController::Decision::kProceed:
+      return base_->Write(data);
+    case CrashPointController::Decision::kCrashNow: {
+      size_t keep = controller_->TornPrefix(data.size());
+      if (keep > 0) (void)base_->Write(data.first(keep));
+      return CrashPointController::CrashedStatus();
+    }
+    case CrashPointController::Decision::kDead:
+      break;
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+Status CrashPointSink::Close() {
+  if (controller_->OnPoint() == CrashPointController::Decision::kProceed) {
+    return base_->Close();
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+}  // namespace tdb

@@ -1,0 +1,62 @@
+// Crash-point injection wrappers for the store layer (see
+// src/common/crash_point.h for the protocol). CrashPointStore instruments an
+// UntrustedStore; CrashPointSink instruments an ArchivalSink. Both share a
+// CrashPointController with the trusted-store and XDB wrappers so crash
+// points are numbered globally across every device a workload touches.
+//
+// Point inventory:
+//   UntrustedStore::Write           one point, tearable (prefix may persist)
+//   UntrustedStore::Flush           one point (crash = flush never happened)
+//   UntrustedStore::WriteSuperblock one point, crash-atomic per the contract
+//                                   (all-or-nothing, never torn)
+//   ArchivalSink::Write             one point, tearable
+//   ArchivalSink::Close             one point
+// Reads are not durability points; they pass through until the crash trips
+// and fail afterwards (the machine is down).
+
+#ifndef SRC_STORE_CRASH_POINT_STORE_H_
+#define SRC_STORE_CRASH_POINT_STORE_H_
+
+#include "src/common/crash_point.h"
+#include "src/store/archival_store.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+
+class CrashPointStore final : public UntrustedStore {
+ public:
+  CrashPointStore(UntrustedStore* base, CrashPointController* controller)
+      : base_(base), controller_(controller) {}
+
+  size_t segment_size() const override { return base_->segment_size(); }
+  uint32_t num_segments() const override { return base_->num_segments(); }
+
+  Result<Bytes> Read(uint32_t segment, uint32_t offset,
+                     size_t len) const override;
+  Status Write(uint32_t segment, uint32_t offset, ByteView data) override;
+  Status Flush() override;
+
+  Result<Bytes> ReadSuperblock() const override;
+  Status WriteSuperblock(ByteView data) override;
+
+ private:
+  UntrustedStore* base_;
+  CrashPointController* controller_;
+};
+
+class CrashPointSink final : public ArchivalSink {
+ public:
+  CrashPointSink(ArchivalSink* base, CrashPointController* controller)
+      : base_(base), controller_(controller) {}
+
+  Status Write(ByteView data) override;
+  Status Close() override;
+
+ private:
+  ArchivalSink* base_;
+  CrashPointController* controller_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_STORE_CRASH_POINT_STORE_H_

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "src/common/pickle.h"
+#include "src/crypto/sha256.h"
 #include "src/obs/profiler.h"
 
 namespace tdb {
@@ -111,6 +112,53 @@ void MemUntrustedStore::RestoreSuperblock(ByteView content) {
   superblock_.assign(content.begin(), content.end());
 }
 
+namespace {
+
+struct SuperblockSlot {
+  uint64_t sequence = 0;
+  Bytes payload;
+  bool valid = false;
+};
+
+// Decodes one superblock slot; `raw` is the full kSuperblockSlotSize bytes.
+SuperblockSlot DecodeSuperblockSlot(ByteView raw) {
+  SuperblockSlot slot;
+  if (raw.size() < FileUntrustedStore::kSuperblockSlotHeader +
+                       FileUntrustedStore::kSuperblockSlotChecksum) {
+    return slot;
+  }
+  uint64_t seq = GetU64(raw.data());
+  uint32_t len = GetU32(raw.data() + 8);
+  if (seq == 0 || len > FileUntrustedStore::kMaxSuperblockPayload) {
+    return slot;
+  }
+  size_t body = FileUntrustedStore::kSuperblockSlotHeader + len;
+  Bytes check = Sha256::Hash(raw.first(body));
+  if (!ConstantTimeEqual(
+          check, raw.subspan(body,
+                             FileUntrustedStore::kSuperblockSlotChecksum))) {
+    return slot;
+  }
+  slot.sequence = seq;
+  slot.payload.assign(raw.begin() + FileUntrustedStore::kSuperblockSlotHeader,
+                      raw.begin() + body);
+  slot.valid = true;
+  return slot;
+}
+
+SuperblockSlot ReadSuperblockSlot(int fd, int index) {
+  Bytes raw(FileUntrustedStore::kSuperblockSlotSize);
+  ssize_t got = ::pread(
+      fd, raw.data(), raw.size(),
+      static_cast<off_t>(index * FileUntrustedStore::kSuperblockSlotSize));
+  if (got != static_cast<ssize_t>(raw.size())) {
+    return SuperblockSlot{};
+  }
+  return DecodeSuperblockSlot(raw);
+}
+
+}  // namespace
+
 Result<std::unique_ptr<FileUntrustedStore>> FileUntrustedStore::Open(
     const std::string& path, UntrustedStoreOptions options) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
@@ -123,8 +171,15 @@ Result<std::unique_ptr<FileUntrustedStore>> FileUntrustedStore::Open(
     ::close(fd);
     return IoError("cannot size " + path);
   }
-  return std::unique_ptr<FileUntrustedStore>(
+  auto store = std::unique_ptr<FileUntrustedStore>(
       new FileUntrustedStore(fd, options));
+  for (int i = 0; i < 2; ++i) {
+    SuperblockSlot slot = ReadSuperblockSlot(fd, i);
+    if (slot.valid && slot.sequence > store->superblock_seq_) {
+      store->superblock_seq_ = slot.sequence;
+    }
+  }
+  return store;
 }
 
 FileUntrustedStore::~FileUntrustedStore() {
@@ -177,40 +232,45 @@ Status FileUntrustedStore::Flush() {
 }
 
 Result<Bytes> FileUntrustedStore::ReadSuperblock() const {
-  Bytes header(4);
-  ssize_t got = ::pread(fd_, header.data(), 4, 0);
-  if (got != 4) {
-    return IoError("cannot read superblock length");
+  // Pick the valid slot with the highest sequence number; a torn write only
+  // ever damages one slot, so the previous superblock is always readable.
+  // Neither slot valid means the store was never (completely) formatted —
+  // return empty, the same as a fresh store.
+  SuperblockSlot best;
+  for (int i = 0; i < 2; ++i) {
+    SuperblockSlot slot = ReadSuperblockSlot(fd_, i);
+    if (slot.valid && (!best.valid || slot.sequence > best.sequence)) {
+      best = std::move(slot);
+    }
   }
-  uint32_t len = GetU32(header.data());
-  if (len == 0) {
+  if (!best.valid) {
     return Bytes{};
   }
-  if (len > kSuperblockRegion - 4) {
-    return CorruptionError("superblock length out of range");
-  }
-  Bytes out(len);
-  got = ::pread(fd_, out.data(), len, 4);
-  if (got != static_cast<ssize_t>(len)) {
-    return IoError("short superblock read");
-  }
-  return out;
+  return best.payload;
 }
 
 Status FileUntrustedStore::WriteSuperblock(ByteView data) {
-  if (data.size() > kSuperblockRegion - 4) {
+  if (data.size() > kMaxSuperblockPayload) {
     return InvalidArgumentError("superblock data too large");
   }
+  uint64_t next_seq = superblock_seq_ + 1;
   Bytes buf;
+  PutU64(buf, next_seq);
   PutU32(buf, static_cast<uint32_t>(data.size()));
   Append(buf, data);
-  ssize_t wrote = ::pwrite(fd_, buf.data(), buf.size(), 0);
+  Append(buf, Sha256::Hash(buf));
+  // Alternate slots so the previous superblock survives a torn write.
+  int slot = static_cast<int>(next_seq % 2);
+  ssize_t wrote =
+      ::pwrite(fd_, buf.data(), buf.size(),
+               static_cast<off_t>(slot * kSuperblockSlotSize));
   if (wrote != static_cast<ssize_t>(buf.size())) {
     return IoError("short superblock write");
   }
   if (::fdatasync(fd_) != 0) {
     return IoError("fdatasync failed");
   }
+  superblock_seq_ = next_seq;
   ProfileCount("untrusted_store.superblock_writes");
   return OkStatus();
 }

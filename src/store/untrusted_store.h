@@ -94,8 +94,23 @@ class MemUntrustedStore final : public UntrustedStore {
 };
 
 // File-backed store. Layout: 4 KiB superblock region, then segments.
+//
+// The superblock region holds two checksummed slots so WriteSuperblock keeps
+// its crash-atomicity contract on a real disk: each write goes to the slot
+// the previous write did NOT use (alternating on a sequence number), so a
+// torn superblock write can only damage the slot being written and the
+// reader falls back to the intact previous slot.
 class FileUntrustedStore final : public UntrustedStore {
  public:
+  // Each slot: u64 sequence | u32 length | payload | 32-byte SHA-256 over
+  // the preceding bytes. Exposed for crash tests that tear a slot directly.
+  static constexpr size_t kSuperblockRegion = 4096;
+  static constexpr size_t kSuperblockSlotSize = kSuperblockRegion / 2;
+  static constexpr size_t kSuperblockSlotHeader = 8 + 4;   // seq + length
+  static constexpr size_t kSuperblockSlotChecksum = 32;    // SHA-256
+  static constexpr size_t kMaxSuperblockPayload =
+      kSuperblockSlotSize - kSuperblockSlotHeader - kSuperblockSlotChecksum;
+
   static Result<std::unique_ptr<FileUntrustedStore>> Open(
       const std::string& path, UntrustedStoreOptions options = {});
   ~FileUntrustedStore() override;
@@ -112,8 +127,6 @@ class FileUntrustedStore final : public UntrustedStore {
   Status WriteSuperblock(ByteView data) override;
 
  private:
-  static constexpr size_t kSuperblockRegion = 4096;
-
   FileUntrustedStore(int fd, UntrustedStoreOptions options)
       : fd_(fd), options_(options) {}
 
@@ -124,6 +137,9 @@ class FileUntrustedStore final : public UntrustedStore {
 
   int fd_ = -1;
   UntrustedStoreOptions options_;
+  // Sequence number of the newest valid superblock slot (0 = none yet);
+  // primed at Open, advanced by WriteSuperblock.
+  uint64_t superblock_seq_ = 0;
 };
 
 }  // namespace tdb

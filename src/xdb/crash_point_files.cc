@@ -1,0 +1,85 @@
+#include "src/xdb/crash_point_files.h"
+
+#include <cstring>
+
+namespace tdb {
+
+Result<Bytes> CrashPointPageFile::ReadPage(uint32_t page_no) const {
+  if (controller_->crashed()) return CrashPointController::CrashedStatus();
+  return base_->ReadPage(page_no);
+}
+
+Status CrashPointPageFile::WritePage(uint32_t page_no, ByteView data) {
+  switch (controller_->OnPoint()) {
+    case CrashPointController::Decision::kProceed:
+      return base_->WritePage(page_no, data);
+    case CrashPointController::Decision::kCrashNow: {
+      size_t keep = controller_->TornPrefix(data.size());
+      if (keep > 0) {
+        // A torn in-place page update: the sectors already written carry the
+        // new data, the rest still carry the old page.
+        Result<Bytes> old = base_->ReadPage(page_no);
+        if (old.ok()) {
+          Bytes merged = std::move(*old);
+          if (merged.size() < data.size()) merged.resize(data.size(), 0);
+          std::memcpy(merged.data(), data.data(), keep);
+          (void)base_->WritePage(page_no, merged);
+        }
+      }
+      return CrashPointController::CrashedStatus();
+    }
+    case CrashPointController::Decision::kDead:
+      break;
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+Status CrashPointPageFile::Extend(uint32_t new_page_count) {
+  if (controller_->OnPoint() == CrashPointController::Decision::kProceed) {
+    return base_->Extend(new_page_count);
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+Status CrashPointPageFile::Flush() {
+  if (controller_->OnPoint() == CrashPointController::Decision::kProceed) {
+    return base_->Flush();
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+Status CrashPointAppendFile::Append(ByteView data) {
+  switch (controller_->OnPoint()) {
+    case CrashPointController::Decision::kProceed:
+      return base_->Append(data);
+    case CrashPointController::Decision::kCrashNow: {
+      size_t keep = controller_->TornPrefix(data.size());
+      if (keep > 0) (void)base_->Append(data.first(keep));
+      return CrashPointController::CrashedStatus();
+    }
+    case CrashPointController::Decision::kDead:
+      break;
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+Status CrashPointAppendFile::Flush() {
+  if (controller_->OnPoint() == CrashPointController::Decision::kProceed) {
+    return base_->Flush();
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+Result<Bytes> CrashPointAppendFile::ReadAll() const {
+  if (controller_->crashed()) return CrashPointController::CrashedStatus();
+  return base_->ReadAll();
+}
+
+Status CrashPointAppendFile::Truncate() {
+  if (controller_->OnPoint() == CrashPointController::Decision::kProceed) {
+    return base_->Truncate();
+  }
+  return CrashPointController::CrashedStatus();
+}
+
+}  // namespace tdb

@@ -1,0 +1,57 @@
+// Crash-point injection wrappers for XDB's storage devices (see
+// src/common/crash_point.h for the protocol).
+//
+// Point inventory:
+//   PageFile::WritePage    one point, tearable — a torn page keeps the old
+//                          contents with a prefix of the new data over it
+//   PageFile::Extend       one point (crash = the file was never extended)
+//   PageFile::Flush        one point
+//   AppendFile::Append     one point, tearable (prefix of the record appended)
+//   AppendFile::Flush      one point
+//   AppendFile::Truncate   one point (crash = the log was never truncated)
+// Reads pass through until the crash trips and fail afterwards.
+
+#ifndef SRC_XDB_CRASH_POINT_FILES_H_
+#define SRC_XDB_CRASH_POINT_FILES_H_
+
+#include "src/common/crash_point.h"
+#include "src/xdb/pager.h"
+
+namespace tdb {
+
+class CrashPointPageFile final : public PageFile {
+ public:
+  CrashPointPageFile(PageFile* base, CrashPointController* controller)
+      : base_(base), controller_(controller) {}
+
+  size_t page_size() const override { return base_->page_size(); }
+  uint32_t page_count() const override { return base_->page_count(); }
+  Result<Bytes> ReadPage(uint32_t page_no) const override;
+  Status WritePage(uint32_t page_no, ByteView data) override;
+  Status Extend(uint32_t new_page_count) override;
+  Status Flush() override;
+
+ private:
+  PageFile* base_;
+  CrashPointController* controller_;
+};
+
+class CrashPointAppendFile final : public AppendFile {
+ public:
+  CrashPointAppendFile(AppendFile* base, CrashPointController* controller)
+      : base_(base), controller_(controller) {}
+
+  Status Append(ByteView data) override;
+  Status Flush() override;
+  Result<Bytes> ReadAll() const override;
+  Status Truncate() override;
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  AppendFile* base_;
+  CrashPointController* controller_;
+};
+
+}  // namespace tdb
+
+#endif  // SRC_XDB_CRASH_POINT_FILES_H_

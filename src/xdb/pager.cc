@@ -1,5 +1,6 @@
 #include "src/xdb/pager.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/obs/metrics.h"
@@ -142,7 +143,16 @@ void Pager::FreePage(uint32_t page_no) {
 }
 
 Status Pager::FlushDirty() {
+  // Write in page-number order: deterministic device traffic (crash-point
+  // replays must see the same write sequence every run) and sequential I/O.
+  std::vector<uint32_t> order;
+  order.reserve(dirty_.size());
   for (const auto& [page_no, data] : dirty_) {
+    order.push_back(page_no);
+  }
+  std::sort(order.begin(), order.end());
+  for (uint32_t page_no : order) {
+    const Bytes& data = dirty_[page_no];
     TDB_RETURN_IF_ERROR(file_->WritePage(page_no, data));
     // Refresh the clean cache with the flushed contents.
     auto it = cache_.find(page_no);

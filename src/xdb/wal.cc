@@ -1,5 +1,9 @@
 #include "src/xdb/wal.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "src/common/pickle.h"
 #include "src/crypto/sha256.h"
 #include "src/obs/metrics.h"
@@ -12,16 +16,26 @@ constexpr uint32_t kCommitMarker = 0xC0FFEE01;
 }  // namespace
 
 Status Wal::LogCommit(const std::unordered_map<uint32_t, Bytes>& pages) {
-  PickleWriter w;
-  w.WriteU32(static_cast<uint32_t>(pages.size()));
-  Sha256 check;
+  // Pickle pages in page-number order: hash-table iteration order must not
+  // leak into the log image, or identical commits produce different WAL
+  // bytes and break the byte-identical determinism the store layer promises.
+  std::vector<std::pair<uint32_t, const Bytes*>> ordered;
+  ordered.reserve(pages.size());
   for (const auto& [page_no, data] : pages) {
+    ordered.emplace_back(page_no, &data);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  PickleWriter w;
+  w.WriteU32(static_cast<uint32_t>(ordered.size()));
+  Sha256 check;
+  for (const auto& [page_no, data] : ordered) {
     w.WriteU32(page_no);
-    w.WriteBytes(data);
+    w.WriteBytes(*data);
     Bytes no_bytes;
     PutU32(no_bytes, page_no);
     check.Update(no_bytes);
-    check.Update(data);
+    check.Update(*data);
   }
   w.WriteU32(kCommitMarker);
   w.WriteBytes(check.Finish());

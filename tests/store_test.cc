@@ -88,6 +88,77 @@ TEST(FileUntrustedStoreTest, PersistsAcrossReopen) {
   std::remove(path.c_str());
 }
 
+TEST(FileUntrustedStoreTest, SuperblockSurvivesTornWrite) {
+  // WriteSuperblock alternates between two checksummed slots; a torn write
+  // (here: garbage over the slot being written) must leave the previous
+  // superblock readable — the old single-slot format turned a torn write
+  // into a permanently unreadable store.
+  std::string path = TempPath("tdb_store_torn_sb.bin");
+  std::remove(path.c_str());
+  UntrustedStoreOptions opts{.segment_size = 512, .num_segments = 4};
+  {
+    auto store = FileUntrustedStore::Open(path, opts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->WriteSuperblock(BytesFromString("v1")).ok());
+    ASSERT_TRUE((*store)->WriteSuperblock(BytesFromString("v2")).ok());
+  }
+  // v1 went to slot 1 (seq 1), v2 to slot 0 (seq 2). Tear every prefix
+  // length of slot 0 by zeroing its tail; the reader must fall back to v1.
+  for (size_t keep = 0; keep < 64; ++keep) {
+    Bytes dump;
+    {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      ASSERT_NE(f, nullptr);
+      dump.resize(FileUntrustedStore::kSuperblockSlotSize);
+      ASSERT_EQ(std::fread(dump.data(), 1, dump.size(), f), dump.size());
+      std::fclose(f);
+    }
+    Bytes torn = dump;
+    for (size_t i = keep; i < torn.size(); ++i) {
+      torn[i] = 0;
+    }
+    std::string torn_path = TempPath("tdb_store_torn_sb_case.bin");
+    ASSERT_TRUE(std::filesystem::copy_file(
+        path, torn_path, std::filesystem::copy_options::overwrite_existing));
+    {
+      std::FILE* f = std::fopen(torn_path.c_str(), "rb+");
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(std::fwrite(torn.data(), 1, torn.size(), f), torn.size());
+      std::fclose(f);
+    }
+    auto store = FileUntrustedStore::Open(torn_path, opts);
+    ASSERT_TRUE(store.ok());
+    auto sb = (*store)->ReadSuperblock();
+    ASSERT_TRUE(sb.ok()) << "keep=" << keep;
+    // v2's record is header + payload + checksum bytes long; a tear inside
+    // it must fall back to v1, a tear past it leaves v2 intact.
+    size_t record = FileUntrustedStore::kSuperblockSlotHeader + 2 +
+                    FileUntrustedStore::kSuperblockSlotChecksum;
+    if (keep < record) {
+      EXPECT_EQ(*sb, BytesFromString("v1")) << "keep=" << keep;
+    } else {
+      EXPECT_EQ(*sb, BytesFromString("v2")) << "keep=" << keep;
+    }
+    // And the store must accept the next superblock write.
+    ASSERT_TRUE((*store)->WriteSuperblock(BytesFromString("v3")).ok());
+    EXPECT_EQ(*(*store)->ReadSuperblock(), BytesFromString("v3"));
+    std::remove(torn_path.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileUntrustedStoreTest, FreshSuperblockReadsEmpty) {
+  std::string path = TempPath("tdb_store_fresh_sb.bin");
+  std::remove(path.c_str());
+  auto store = FileUntrustedStore::Open(
+      path, {.segment_size = 512, .num_segments = 4});
+  ASSERT_TRUE(store.ok());
+  auto sb = (*store)->ReadSuperblock();
+  ASSERT_TRUE(sb.ok());
+  EXPECT_TRUE(sb->empty());
+  std::remove(path.c_str());
+}
+
 TEST(FaultyStoreTest, FailsAfterCountdown) {
   MemUntrustedStore base({.segment_size = 128, .num_segments = 2});
   FaultyStore store(&base);

@@ -1,0 +1,170 @@
+// Durability regressions for the trusted platform's file helpers.
+//
+// ReadWholeFile: a failed ftell (unseekable path, e.g. a FIFO) used to be
+// cast to size_t, attempting a ~SIZE_MAX allocation. It must return kIoError.
+//
+// WriteWholeFileDurable: the old WriteWholeFile only fflush()ed, so register
+// slots could sit in the OS page cache — a power loss could lose BOTH slots
+// and void the register's crash-atomicity contract. The durable version
+// fsyncs the data, checks fclose, and fsyncs the containing directory; a
+// path whose data cannot be fsynced (a FIFO) must be reported as an error,
+// where the old code happily returned success.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "src/platform/file_util.h"
+#include "src/platform/trusted_store.h"
+
+namespace tdb {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = ::testing::TempDir() + "/tdb_durability_" + tag + "_" +
+            std::to_string(::getpid());
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Keeps a FIFO openable without blocking: O_RDWR on a FIFO never blocks and
+// counts as both reader and writer for later opens.
+class FifoKeeper {
+ public:
+  explicit FifoKeeper(const std::string& path) {
+    EXPECT_EQ(::mkfifo(path.c_str(), 0600), 0);
+    fd_ = ::open(path.c_str(), O_RDWR);
+    EXPECT_GE(fd_, 0);
+  }
+  ~FifoKeeper() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ReadWholeFileTest, UnseekablePathReturnsIoError) {
+  TempDir dir("fifo_read");
+  std::string fifo = dir.path() + "/fifo";
+  FifoKeeper keeper(fifo);
+  // Pre-fix: fseek/ftell fail, ftell's -1 became a ~SIZE_MAX allocation and
+  // the process died. Post-fix: a clean kIoError.
+  auto result = ReadWholeFile(fifo);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError)
+      << result.status();
+}
+
+TEST(ReadWholeFileTest, MissingFileReturnsNotFound) {
+  TempDir dir("missing");
+  auto result = ReadWholeFile(dir.path() + "/nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReadWholeFileTest, RoundTripsContents) {
+  TempDir dir("roundtrip");
+  std::string path = dir.path() + "/f";
+  Bytes data = BytesFromString("hello durable world");
+  ASSERT_TRUE(WriteWholeFileDurable(path, data).ok());
+  auto back = ReadWholeFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, data);
+  // Overwrite with shorter contents: no stale tail.
+  Bytes shorter = BytesFromString("hi");
+  ASSERT_TRUE(WriteWholeFileDurable(path, shorter).ok());
+  back = ReadWholeFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, shorter);
+  // Empty contents round-trip too.
+  ASSERT_TRUE(WriteWholeFileDurable(path, Bytes{}).ok());
+  back = ReadWholeFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(WriteWholeFileDurableTest, UnsyncablePathReturnsError) {
+  TempDir dir("fifo_write");
+  std::string fifo = dir.path() + "/fifo";
+  FifoKeeper keeper(fifo);
+  // The bytes fit in the pipe buffer, so fwrite+fflush succeed — the old
+  // fflush-only WriteWholeFile returned OK for a write that never reached
+  // stable storage. fsync on a FIFO fails, so the durable version reports it.
+  Status s = WriteWholeFileDurable(fifo, BytesFromString("not durable"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError) << s;
+}
+
+TEST(WriteWholeFileDurableTest, MissingDirectoryReturnsError) {
+  TempDir dir("nodir");
+  Status s = WriteWholeFileDurable(dir.path() + "/sub/dir/f",
+                                   BytesFromString("x"));
+  ASSERT_FALSE(s.ok());
+}
+
+TEST(FileRegisterTest, UnseekableSlotDoesNotCrashOpen) {
+  // A register whose slot file is unseekable (device weirdness) must open —
+  // falling back to "no valid slot" — instead of dying in ReadWholeFile.
+  TempDir dir("fifo_slot");
+  std::string base = dir.path() + "/reg";
+  std::string slot0 = FileTamperResistantRegister::SlotPathForTesting(base, 0);
+  FifoKeeper keeper(slot0);
+  auto reg = FileTamperResistantRegister::Open(base);
+  ASSERT_TRUE(reg.ok()) << reg.status();
+  auto value = (*reg)->Read();
+  ASSERT_TRUE(value.ok());
+  EXPECT_TRUE(value->empty());
+}
+
+TEST(FileRegisterTest, SurvivesReopenAfterEveryWrite) {
+  TempDir dir("reopen");
+  std::string base = dir.path() + "/reg";
+  for (int i = 1; i <= 5; ++i) {
+    Bytes value(8, static_cast<uint8_t>(i));
+    {
+      auto reg = FileTamperResistantRegister::Open(base);
+      ASSERT_TRUE(reg.ok());
+      ASSERT_TRUE((*reg)->Write(value).ok());
+    }
+    auto reg = FileTamperResistantRegister::Open(base);
+    ASSERT_TRUE(reg.ok());
+    auto got = (*reg)->Read();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, value) << "write " << i;
+  }
+}
+
+TEST(FileCounterTest, MonotonicAcrossReopen) {
+  TempDir dir("counter");
+  std::string base = dir.path() + "/ctr";
+  {
+    auto ctr = FileMonotonicCounter::Open(base);
+    ASSERT_TRUE(ctr.ok());
+    ASSERT_TRUE((*ctr)->AdvanceTo(7).ok());
+    EXPECT_FALSE((*ctr)->AdvanceTo(3).ok());
+  }
+  auto ctr = FileMonotonicCounter::Open(base);
+  ASSERT_TRUE(ctr.ok());
+  auto got = (*ctr)->Read();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 7u);
+  EXPECT_FALSE((*ctr)->AdvanceTo(6).ok());
+  ASSERT_TRUE((*ctr)->AdvanceTo(8).ok());
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,143 @@
+// WAL torn-tail sweep and determinism tests.
+//
+// Torn tail: a crash can truncate the write-ahead log at any byte offset.
+// For every possible cut point, Wal::Recover must replay exactly the
+// fully-committed prefix of the log — no error, no partial application of
+// the torn record.
+//
+// Determinism: the WAL byte image must be a pure function of the committed
+// pages, independent of std::unordered_map iteration order (regression test
+// for LogCommit pickling pages in hash-table order).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/xdb/pager.h"
+#include "src/xdb/wal.h"
+
+namespace tdb {
+namespace {
+
+Bytes Val(const std::string& s) { return BytesFromString(s); }
+
+// Replays `log` and returns the applied (page -> data) map; asserts Recover
+// itself reports success.
+std::map<uint32_t, Bytes> Replay(const Bytes& log) {
+  MemAppendFile file;
+  EXPECT_TRUE(file.Append(log).ok());
+  Wal wal(&file);
+  std::map<uint32_t, Bytes> applied;
+  Status s = wal.Recover([&](uint32_t page_no, ByteView data) {
+    applied[page_no] = Bytes(data.begin(), data.end());
+    return OkStatus();
+  });
+  EXPECT_TRUE(s.ok()) << s;
+  return applied;
+}
+
+TEST(WalTornTailTest, TruncateAtEveryByteOffset) {
+  // Three commits; remember the log length after each so every cut point can
+  // be mapped to the commits that must survive it.
+  MemAppendFile file;
+  Wal wal(&file);
+  std::vector<std::unordered_map<uint32_t, Bytes>> commits = {
+      {{1, Val("A1")}, {2, Val("B1")}},
+      {{1, Val("A2")}, {3, Val("C1")}},
+      {{2, Val("B2")}, {4, Val("D1")}, {5, Val("E1")}},
+  };
+  std::vector<uint64_t> ends;  // log size after each commit
+  std::vector<std::map<uint32_t, Bytes>> states;  // expected state after each
+  std::map<uint32_t, Bytes> state;
+  states.push_back(state);
+  for (const auto& commit : commits) {
+    ASSERT_TRUE(wal.LogCommit(commit).ok());
+    ends.push_back(file.size());
+    for (const auto& [page_no, data] : commit) {
+      state[page_no] = data;
+    }
+    states.push_back(state);
+  }
+  auto full = file.ReadAll();
+  ASSERT_TRUE(full.ok());
+
+  for (size_t cut = 0; cut <= full->size(); ++cut) {
+    // The committed prefix is every commit whose record ends at or before
+    // the cut.
+    size_t committed = 0;
+    while (committed < ends.size() && ends[committed] <= cut) {
+      ++committed;
+    }
+    Bytes torn(full->begin(), full->begin() + cut);
+    std::map<uint32_t, Bytes> applied = Replay(torn);
+    EXPECT_EQ(applied, states[committed])
+        << "cut=" << cut << " committed=" << committed
+        << ": torn tail must replay exactly the fully-committed prefix";
+  }
+}
+
+TEST(WalTornTailTest, TornTailDoesNotPoisonLaterAppends) {
+  // Recover over a torn tail, then append a new commit: the new commit must
+  // replay (the torn bytes are dead weight but harmless). This mirrors what
+  // Xdb::Open + a subsequent commit would do without the checkpoint
+  // truncation step.
+  MemAppendFile file;
+  Wal wal(&file);
+  ASSERT_TRUE(wal.LogCommit({{1, Val("A1")}}).ok());
+  uint64_t end1 = file.size();
+  ASSERT_TRUE(wal.LogCommit({{2, Val("B1")}}).ok());
+  auto full = file.ReadAll();
+  ASSERT_TRUE(full.ok());
+  // Cut mid-way through the second record.
+  size_t cut = end1 + (full->size() - end1) / 2;
+  Bytes torn(full->begin(), full->begin() + cut);
+  std::map<uint32_t, Bytes> applied = Replay(torn);
+  EXPECT_EQ(applied.size(), 1u);
+  EXPECT_EQ(applied[1], Val("A1"));
+}
+
+TEST(WalDeterminismTest, SameCommitSameBytes) {
+  // Insert the same pages into two unordered_maps in opposite orders (many
+  // pages, so bucket-chain order genuinely differs) and commit each. The WAL
+  // byte images must be identical.
+  std::unordered_map<uint32_t, Bytes> forward;
+  std::unordered_map<uint32_t, Bytes> reverse;
+  for (uint32_t i = 0; i < 64; ++i) {
+    forward[i * 7 + 1] = Val("v" + std::to_string(i));
+  }
+  for (uint32_t i = 64; i-- > 0;) {
+    reverse[i * 7 + 1] = Val("v" + std::to_string(i));
+  }
+  MemAppendFile f1, f2;
+  Wal w1(&f1), w2(&f2);
+  ASSERT_TRUE(w1.LogCommit(forward).ok());
+  ASSERT_TRUE(w2.LogCommit(reverse).ok());
+  auto b1 = f1.ReadAll();
+  auto b2 = f2.ReadAll();
+  ASSERT_TRUE(b1.ok() && b2.ok());
+  EXPECT_EQ(*b1, *b2)
+      << "WAL image must not depend on hash-table iteration order";
+}
+
+TEST(WalDeterminismTest, PagesReplayInPageNumberOrder) {
+  // The record stores pages sorted by page number; replay order follows it.
+  std::unordered_map<uint32_t, Bytes> pages;
+  pages[42] = Val("z");
+  pages[7] = Val("a");
+  pages[1000] = Val("m");
+  MemAppendFile file;
+  Wal wal(&file);
+  ASSERT_TRUE(wal.LogCommit(pages).ok());
+  std::vector<uint32_t> order;
+  ASSERT_TRUE(wal.Recover([&](uint32_t page_no, ByteView) {
+                    order.push_back(page_no);
+                    return OkStatus();
+                  })
+                  .ok());
+  EXPECT_EQ(order, (std::vector<uint32_t>{7, 42, 1000}));
+}
+
+}  // namespace
+}  // namespace tdb
