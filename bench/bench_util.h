@@ -48,15 +48,19 @@ struct Rig {
 // Builds a fresh store with the paper's §9.1 configuration.
 // `crypto_threads` of SIZE_MAX keeps the ChunkStoreOptions default
 // (hardware concurrency); pass 0 for the strictly serial pipeline or an
-// explicit worker count for the parallel one.
+// explicit worker count for the parallel one. A nonzero `flush_latency`
+// turns on the store's modelled device latency per Flush — for benches
+// whose subject is flush amortization rather than computational cost.
 inline Rig MakeRig(size_t segment_size = 256 * 1024,
                    uint32_t num_segments = 2048,
                    ValidationMode mode = ValidationMode::kCounter,
-                   uint32_t delta_ut = 5, size_t crypto_threads = SIZE_MAX) {
+                   uint32_t delta_ut = 5, size_t crypto_threads = SIZE_MAX,
+                   std::chrono::microseconds flush_latency = {}) {
   Rig rig;
   rig.store = std::make_unique<MemUntrustedStore>(
       UntrustedStoreOptions{.segment_size = segment_size,
-                            .num_segments = num_segments});
+                            .num_segments = num_segments,
+                            .flush_latency = flush_latency});
   rig.secret = std::make_unique<MemSecretStore>(Bytes(32, 0xA5));
   rig.reg = std::make_unique<MemTamperResistantRegister>();
   rig.counter = std::make_unique<MemMonotonicCounter>();

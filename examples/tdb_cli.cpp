@@ -1,0 +1,132 @@
+// tdb_cli: an interactive client for tdb_server.
+//
+// Reads commands from stdin and drives them over the wire protocol:
+//
+//   begin                 open a transaction
+//   insert <text>         store a new BlobValue, prints its object id
+//   get <id>              read an object (id as printed by insert)
+//   put <id> <text>       replace an object
+//   del <id>              delete an object
+//   commit | abort        finish the transaction
+//   ping                  liveness round trip
+//   quit
+//
+// Usage: tdb_cli [ip:port]             (default 127.0.0.1:7478)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/net/tcp.h"
+#include "src/server/blob.h"
+#include "src/server/client.h"
+
+using namespace tdb;
+using server::BlobValue;
+using server::ObjectId;
+
+namespace {
+
+bool ParseId(const std::string& token, ObjectId* id) {
+  char* end = nullptr;
+  unsigned long long packed = std::strtoull(token.c_str(), &end, 0);
+  if (end == token.c_str() || *end != '\0') {
+    return false;
+  }
+  *id = ChunkId::Unpack(packed);
+  return true;
+}
+
+void Report(const Status& status) {
+  std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* address = argc > 1 ? argv[1] : "127.0.0.1:7478";
+
+  TypeRegistry registry;
+  if (!RegisterType<BlobValue>(registry).ok()) {
+    return 1;
+  }
+  net::TcpTransport tcp;
+  server::TdbClient client(&registry);
+  Status connected = client.Connect(&tcp, address);
+  if (!connected.ok()) {
+    std::printf("connect %s: %s\n", address, connected.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s\n", address);
+
+  std::string line;
+  while (std::printf("tdb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) {
+      continue;
+    }
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    }
+    if (cmd == "ping") {
+      Report(client.Ping());
+    } else if (cmd == "begin") {
+      Report(client.Begin());
+    } else if (cmd == "commit") {
+      Report(client.Commit());
+    } else if (cmd == "abort") {
+      Report(client.Abort());
+    } else if (cmd == "insert") {
+      std::string text;
+      std::getline(in >> std::ws, text);
+      auto id = client.Insert(BlobValue(text));
+      if (id.ok()) {
+        std::printf("id %#llx (%s)\n",
+                    static_cast<unsigned long long>(id->Pack()),
+                    id->ToString().c_str());
+      } else {
+        Report(id.status());
+      }
+    } else if (cmd == "get") {
+      std::string token;
+      ObjectId id;
+      if (!(in >> token) || !ParseId(token, &id)) {
+        std::printf("usage: get <id>\n");
+        continue;
+      }
+      auto object = client.Get(id);
+      if (object.ok()) {
+        std::printf("\"%s\"\n",
+                    dynamic_cast<const BlobValue&>(**object).value.c_str());
+      } else {
+        Report(object.status());
+      }
+    } else if (cmd == "put") {
+      std::string token, text;
+      ObjectId id;
+      if (!(in >> token) || !ParseId(token, &id)) {
+        std::printf("usage: put <id> <text>\n");
+        continue;
+      }
+      std::getline(in >> std::ws, text);
+      Report(client.Put(id, BlobValue(text)));
+    } else if (cmd == "del") {
+      std::string token;
+      ObjectId id;
+      if (!(in >> token) || !ParseId(token, &id)) {
+        std::printf("usage: del <id>\n");
+        continue;
+      }
+      Report(client.Delete(id));
+    } else {
+      std::printf("commands: begin insert get put del commit abort ping quit\n");
+    }
+  }
+  client.Disconnect();
+  return 0;
+}

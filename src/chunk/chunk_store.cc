@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
@@ -65,6 +66,18 @@ void ChunkStore::Batch::CopyPartition(PartitionId id, PartitionId source) {
 
 void ChunkStore::Batch::DeallocatePartition(PartitionId id) {
   partition_deallocs.push_back(id);
+}
+
+void ChunkStore::Batch::Append(Batch&& other) {
+  auto splice = [](auto& dst, auto& src) {
+    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+               std::make_move_iterator(src.end()));
+    src.clear();
+  };
+  splice(partition_writes, other.partition_writes);
+  splice(chunk_writes, other.chunk_writes);
+  splice(chunk_deallocs, other.chunk_deallocs);
+  splice(partition_deallocs, other.partition_deallocs);
 }
 
 bool ChunkStore::Batch::empty() const {

@@ -90,6 +90,14 @@ class ChunkStore {
     // parameters, preserving existing chunks if the partition exists.
     void RestorePartition(PartitionId id, CryptoParams params);
 
+    // Moves every operation of `other` onto the end of this batch (per
+    // operation kind, preserving order within each kind). Used by the
+    // group-commit scheduler to coalesce transactions whose lock sets are
+    // disjoint; callers must guarantee the merged operations touch disjoint
+    // ids, as a single Commit applies them with no internal ordering
+    // between the merged transactions.
+    void Append(Batch&& other);
+
     bool empty() const;
 
    private:

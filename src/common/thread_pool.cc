@@ -1,6 +1,7 @@
 #include "src/common/thread_pool.h"
 
 #include <atomic>
+#include <cassert>
 #include <memory>
 
 namespace tdb {
@@ -42,6 +43,11 @@ void ThreadPool::WorkerLoop() {
     }
     task();
   }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  assert(!workers_.empty() && "Submit on a pool with no workers never runs");
+  Enqueue(std::move(task));
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {

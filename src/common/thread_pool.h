@@ -44,6 +44,14 @@ class ThreadPool {
   // fn must be safe to call concurrently from multiple threads.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  // Queues a standalone task for a worker. Unlike ParallelFor tasks, a
+  // submitted task may block (the server uses one per live session), so a
+  // pool shared with ParallelFor callers should be sized for the blocking
+  // load. Tasks still queued at destruction run to completion before the
+  // destructor returns; with zero workers nothing ever runs, so Submit
+  // requires num_workers() > 0.
+  void Submit(std::function<void()> task);
+
  private:
   void WorkerLoop();
   void Enqueue(std::function<void()> task);

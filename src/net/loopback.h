@@ -1,0 +1,47 @@
+// In-process loopback transport: connections are pairs of bounded-latency
+// frame queues, addresses are arbitrary strings scoped to one transport
+// instance. Deterministic and dependency-free — the transport used by the
+// server tests (including under sanitizers) and the server bench, so the
+// full client/server/request/commit path runs with no sockets involved.
+//
+// Queues are unbounded: tests drive bounded request/response traffic, and
+// the synchronous wire protocol above (one outstanding request per
+// connection) keeps depth at one in practice.
+
+#ifndef SRC_NET_LOOPBACK_H_
+#define SRC_NET_LOOPBACK_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/net/transport.h"
+
+namespace tdb::net {
+
+class LoopbackTransport : public Transport {
+ public:
+  LoopbackTransport();
+  ~LoopbackTransport() override;
+
+  // Any non-empty string is a valid address; Listen fails with
+  // kAlreadyExists if something is already listening on it.
+  Result<std::unique_ptr<Listener>> Listen(const std::string& address) override;
+
+  // Fails with kNotFound if nothing is listening at `address` (connections
+  // are never silently queued against a future listener).
+  Result<std::unique_ptr<Connection>> Connect(
+      const std::string& address, std::chrono::milliseconds timeout) override;
+
+  // Shared with the listener implementation in loopback.cc.
+  struct ListenerState;
+  struct Registry;
+
+ private:
+  std::shared_ptr<Registry> registry_;
+};
+
+}  // namespace tdb::net
+
+#endif  // SRC_NET_LOOPBACK_H_

@@ -1,0 +1,36 @@
+// POSIX TCP transport: length-prefixed binary framing (4-byte big-endian
+// frame length, then the frame body), poll-based read/write timeouts on
+// non-blocking sockets, TCP_NODELAY (frames are latency-sensitive RPCs),
+// and graceful shutdown — Close() half-closes the socket so an in-flight
+// Recv on another thread (or on the peer) unblocks, and a Listener uses a
+// self-pipe so Shutdown() wakes a blocked Accept.
+//
+// Addresses are "ip:port" with a numeric IPv4 ip, e.g. "127.0.0.1:7478";
+// port 0 binds an ephemeral port, resolved by Listener::address().
+// Frames larger than kMaxFrameBytes are rejected as corruption — an
+// untrusted network peer must not be able to make the server allocate
+// arbitrary memory from a 4-byte header.
+
+#ifndef SRC_NET_TCP_H_
+#define SRC_NET_TCP_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/net/transport.h"
+
+namespace tdb::net {
+
+inline constexpr size_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+class TcpTransport : public Transport {
+ public:
+  Result<std::unique_ptr<Listener>> Listen(const std::string& address) override;
+
+  Result<std::unique_ptr<Connection>> Connect(
+      const std::string& address, std::chrono::milliseconds timeout) override;
+};
+
+}  // namespace tdb::net
+
+#endif  // SRC_NET_TCP_H_

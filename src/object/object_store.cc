@@ -13,7 +13,12 @@ ObjectStore::ObjectStore(ChunkStore* chunks, PartitionId partition,
       partition_(partition),
       registry_(registry),
       options_(options),
-      locks_(options.lock_timeout) {}
+      locks_(options.lock_timeout) {
+  if (options_.group_commit) {
+    group_commit_ = std::make_unique<GroupCommitQueue>(
+        chunks_, options_.group_commit_max_batch);
+  }
+}
 
 std::unique_ptr<Transaction> ObjectStore::Begin() {
   return std::unique_ptr<Transaction>(
@@ -74,13 +79,21 @@ Result<ObjectPtr> ObjectStore::LoadObject(const ObjectId& id) {
 }
 
 ObjectStore::OpCounts ObjectStore::counts() const {
-  std::lock_guard<std::mutex> lock(counts_mu_);
-  return counts_;
+  OpCounts out;
+  out.reads = counts_.reads.load(std::memory_order_relaxed);
+  out.updates = counts_.updates.load(std::memory_order_relaxed);
+  out.deletes = counts_.deletes.load(std::memory_order_relaxed);
+  out.adds = counts_.adds.load(std::memory_order_relaxed);
+  out.commits = counts_.commits.load(std::memory_order_relaxed);
+  return out;
 }
 
 void ObjectStore::ResetCounts() {
-  std::lock_guard<std::mutex> lock(counts_mu_);
-  counts_ = OpCounts{};
+  counts_.reads.store(0, std::memory_order_relaxed);
+  counts_.updates.store(0, std::memory_order_relaxed);
+  counts_.deletes.store(0, std::memory_order_relaxed);
+  counts_.adds.store(0, std::memory_order_relaxed);
+  counts_.commits.store(0, std::memory_order_relaxed);
 }
 
 size_t ObjectStore::cache_size() const {
@@ -103,10 +116,7 @@ Result<ObjectPtr> Transaction::GetInternal(ObjectId id, LockMode mode) {
     return FailedPreconditionError("transaction is finished");
   }
   TDB_RETURN_IF_ERROR(store_->locks_.Acquire(txn_id_, id, mode));
-  {
-    std::lock_guard<std::mutex> lock(store_->counts_mu_);
-    ++store_->counts_.reads;
-  }
+  store_->counts_.reads.fetch_add(1, std::memory_order_relaxed);
   auto pending = write_set_.find(id);
   if (pending != write_set_.end()) {
     if (!pending->second.has_value()) {
@@ -143,8 +153,7 @@ Result<ObjectId> Transaction::Insert(ObjectPtr object) {
   TDB_RETURN_IF_ERROR(
       store_->locks_.Acquire(txn_id_, id, LockMode::kExclusive));
   write_set_[id] = std::move(object);
-  std::lock_guard<std::mutex> lock(store_->counts_mu_);
-  ++store_->counts_.adds;
+  store_->counts_.adds.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
@@ -159,8 +168,7 @@ Status Transaction::Put(ObjectId id, ObjectPtr object) {
   TDB_RETURN_IF_ERROR(
       store_->locks_.Acquire(txn_id_, id, LockMode::kExclusive));
   write_set_[id] = std::move(object);
-  std::lock_guard<std::mutex> lock(store_->counts_mu_);
-  ++store_->counts_.updates;
+  store_->counts_.updates.fetch_add(1, std::memory_order_relaxed);
   return OkStatus();
 }
 
@@ -184,8 +192,7 @@ Status Transaction::Delete(ObjectId id) {
     }
     write_set_[id] = std::nullopt;
   }
-  std::lock_guard<std::mutex> lock(store_->counts_mu_);
-  ++store_->counts_.deletes;
+  store_->counts_.deletes.fetch_add(1, std::memory_order_relaxed);
   return OkStatus();
 }
 
@@ -202,7 +209,13 @@ Status Transaction::Commit() {
       batch.DeallocateChunk(id);
     }
   }
-  Status status = store_->chunks_->Commit(std::move(batch));
+  // With group commit enabled the call parks on the queue and a leader
+  // flushes a merged batch; either way the call returns only once this
+  // transaction's writes are durable (or failed). The write locks acquired
+  // above are held across the wait, which is what makes merging safe.
+  Status status = store_->group_commit_ != nullptr
+                      ? store_->group_commit_->Commit(std::move(batch))
+                      : store_->chunks_->Commit(std::move(batch));
   if (status.ok()) {
     for (auto& [id, value] : write_set_) {
       if (value.has_value()) {
@@ -211,8 +224,7 @@ Status Transaction::Commit() {
         store_->CacheErase(id);
       }
     }
-    std::lock_guard<std::mutex> lock(store_->counts_mu_);
-    ++store_->counts_.commits;
+    store_->counts_.commits.fetch_add(1, std::memory_order_relaxed);
     obs::Count("object.txn_commits");
   }
   write_set_.clear();

@@ -9,6 +9,25 @@
 //
 // The object cache holds decrypted, validated, unpickled objects — caching
 // at this level is what makes repeated access cheap (§3).
+//
+// Threading contract (audited for the networked service layer):
+//  * ObjectStore itself is thread-safe: Begin(), the object cache, the
+//    counters, the lock manager, and the underlying ChunkStore may all be
+//    driven from many threads at once.
+//  * A Transaction is confined to one thread at a time — calls on the same
+//    transaction must not race (including its destructor). Different
+//    transactions may run on different threads concurrently; two-phase
+//    locking with timeout deadlock breaking keeps them serializable, and a
+//    caller whose operation returns kTimeout must abort and retry.
+//  * The TypeRegistry must be fully registered before the first Begin() and
+//    is read-only afterwards; ObjectPtr values are immutable, so a cached
+//    object may be handed to any number of threads.
+//  * With options.group_commit set, concurrent Transaction::Commit calls
+//    park on a GroupCommitQueue and a leader flushes them as one chunk-store
+//    batch. Each caller still holds its write locks while parked and is
+//    acknowledged only after the shared flush, so a successful Commit()
+//    implies durability exactly as in the solo path. See group_commit.h for
+//    the failure-coupling caveat.
 
 #ifndef SRC_OBJECT_OBJECT_STORE_H_
 #define SRC_OBJECT_OBJECT_STORE_H_
@@ -22,6 +41,7 @@
 #include <unordered_map>
 
 #include "src/chunk/chunk_store.h"
+#include "src/object/group_commit.h"
 #include "src/object/lock_manager.h"
 #include "src/object/pickler.h"
 
@@ -32,6 +52,13 @@ using ObjectId = ChunkId;
 struct ObjectStoreOptions {
   std::chrono::milliseconds lock_timeout{500};
   size_t cache_capacity = 4096;  // objects
+
+  // Coalesce concurrent Transaction::Commit calls into shared chunk-store
+  // batch commits (group commit). Worth it when many threads/sessions
+  // commit concurrently; a solo committer pays one extra queue hop.
+  bool group_commit = false;
+  // Most transactions one leader may merge into a single batch.
+  size_t group_commit_max_batch = 64;
 };
 
 class ObjectStore;
@@ -95,7 +122,9 @@ class ObjectStore {
   ChunkStore* chunk_store() { return chunks_; }
   const TypeRegistry& registry() const { return *registry_; }
 
-  // Operation counters in the shape of Figure 10.
+  // Operation counters in the shape of Figure 10. Maintained as relaxed
+  // atomics so concurrent transactions never contend on a counter lock;
+  // counts() is a consistent-enough snapshot for reporting, not a fence.
   struct OpCounts {
     uint64_t reads = 0;
     uint64_t updates = 0;
@@ -123,7 +152,11 @@ class ObjectStore {
   const TypeRegistry* registry_;
   ObjectStoreOptions options_;
   LockManager locks_;
+  std::unique_ptr<GroupCommitQueue> group_commit_;  // null when disabled
 
+  // mu_ guards only the object cache; it is never held while calling into
+  // the chunk store or the lock manager, so it cannot participate in a
+  // deadlock cycle with them.
   mutable std::mutex mu_;
   struct CacheEntry {
     ObjectPtr object;
@@ -133,8 +166,14 @@ class ObjectStore {
   std::list<ObjectId> lru_;
 
   std::atomic<uint64_t> next_txn_id_{1};
-  mutable std::mutex counts_mu_;
-  OpCounts counts_;
+  struct CountCells {
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> updates{0};
+    std::atomic<uint64_t> deletes{0};
+    std::atomic<uint64_t> adds{0};
+    std::atomic<uint64_t> commits{0};
+  };
+  CountCells counts_;
 };
 
 }  // namespace tdb

@@ -1,0 +1,38 @@
+// BlobValue: the untyped "bag of bytes" object used by the tdb_server /
+// tdb_cli example pair and the server bench. Real applications define their
+// own Pickled types (see tests/object_store_test.cc for a typed example);
+// the server itself is type-agnostic and only needs client and server to
+// register the same tags.
+
+#ifndef SRC_SERVER_BLOB_H_
+#define SRC_SERVER_BLOB_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/object/pickler.h"
+
+namespace tdb::server {
+
+class BlobValue final : public Pickled {
+ public:
+  static constexpr uint32_t kTypeTag = 0xB10B;
+
+  BlobValue() = default;
+  explicit BlobValue(std::string value) : value(std::move(value)) {}
+
+  std::string value;
+
+  uint32_t type_tag() const override { return kTypeTag; }
+  void PickleFields(PickleWriter& w) const override { w.WriteString(value); }
+  static Result<ObjectPtr> UnpickleFields(PickleReader& r) {
+    auto blob = std::make_shared<BlobValue>();
+    blob->value = r.ReadString();
+    return ObjectPtr(blob);
+  }
+};
+
+}  // namespace tdb::server
+
+#endif  // SRC_SERVER_BLOB_H_

@@ -1,0 +1,107 @@
+#include "src/server/client.h"
+
+namespace tdb::server {
+
+TdbClient::TdbClient(const TypeRegistry* registry, TdbClientOptions options)
+    : registry_(registry), options_(options) {}
+
+TdbClient::~TdbClient() { Disconnect(); }
+
+Status TdbClient::Connect(net::Transport* transport,
+                          const std::string& address) {
+  if (conn_ != nullptr) {
+    return FailedPreconditionError("client already connected");
+  }
+  TDB_ASSIGN_OR_RETURN(conn_,
+                       transport->Connect(address, options_.connect_timeout));
+  return OkStatus();
+}
+
+void TdbClient::Disconnect() {
+  if (conn_ != nullptr) {
+    conn_->Close();
+    conn_.reset();
+  }
+  in_transaction_ = false;
+}
+
+Result<Response> TdbClient::RoundTrip(const Request& request) {
+  if (conn_ == nullptr) {
+    return FailedPreconditionError("client is not connected");
+  }
+  TDB_RETURN_IF_ERROR(
+      conn_->Send(EncodeRequest(request), options_.request_timeout));
+  TDB_ASSIGN_OR_RETURN(Bytes frame, conn_->Recv(options_.request_timeout));
+  return DecodeResponse(frame);
+}
+
+Status TdbClient::Ping() {
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(Request{.op = Op::kPing}));
+  return StatusFromResponse(response);
+}
+
+Status TdbClient::Begin() {
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(Request{.op = Op::kBegin}));
+  Status status = StatusFromResponse(response);
+  in_transaction_ = status.ok();
+  return status;
+}
+
+Status TdbClient::Commit() {
+  TDB_ASSIGN_OR_RETURN(Response response,
+                       RoundTrip(Request{.op = Op::kCommit}));
+  // Success or not, the server-side transaction is finished.
+  in_transaction_ = false;
+  return StatusFromResponse(response);
+}
+
+Status TdbClient::Abort() {
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(Request{.op = Op::kAbort}));
+  in_transaction_ = false;
+  return StatusFromResponse(response);
+}
+
+Result<ObjectPtr> TdbClient::GetInternal(ObjectId id, Op op) {
+  Request request;
+  request.op = op;
+  request.object_id = id.Pack();
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  TDB_RETURN_IF_ERROR(StatusFromResponse(response));
+  return registry_->Unpickle(response.object);
+}
+
+Result<ObjectPtr> TdbClient::Get(ObjectId id) {
+  return GetInternal(id, Op::kGet);
+}
+
+Result<ObjectPtr> TdbClient::GetForUpdate(ObjectId id) {
+  return GetInternal(id, Op::kGetForUpdate);
+}
+
+Result<ObjectId> TdbClient::Insert(const Pickled& object) {
+  Request request;
+  request.op = Op::kInsert;
+  request.object = registry_->Pickle(object);
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  TDB_RETURN_IF_ERROR(StatusFromResponse(response));
+  return ChunkId::Unpack(response.object_id);
+}
+
+Status TdbClient::Put(ObjectId id, const Pickled& object) {
+  Request request;
+  request.op = Op::kPut;
+  request.object_id = id.Pack();
+  request.object = registry_->Pickle(object);
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return StatusFromResponse(response);
+}
+
+Status TdbClient::Delete(ObjectId id) {
+  Request request;
+  request.op = Op::kDelete;
+  request.object_id = id.Pack();
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return StatusFromResponse(response);
+}
+
+}  // namespace tdb::server

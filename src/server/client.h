@@ -1,0 +1,78 @@
+// TdbClient: the client side of the TDB service protocol.
+//
+// Mirrors the Transaction API (Begin/Get/GetForUpdate/Insert/Put/Delete/
+// Commit/Abort) over a Transport connection, one synchronous request per
+// call. Objects are pickled with the client's TypeRegistry before they
+// cross the wire and unpickled on the way back, so application code handles
+// ObjectPtr values exactly as it would against an in-process ObjectStore.
+//
+// A TdbClient drives one connection and is confined to one thread at a time
+// (the protocol allows one outstanding request per connection). For
+// concurrent traffic, open one client per thread — the server coalesces
+// their commits via group commit.
+
+#ifndef SRC_SERVER_CLIENT_H_
+#define SRC_SERVER_CLIENT_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "src/chunk/chunk_id.h"
+#include "src/net/transport.h"
+#include "src/object/pickler.h"
+#include "src/server/wire.h"
+
+namespace tdb::server {
+
+using ObjectId = ChunkId;
+
+struct TdbClientOptions {
+  // Per-request timeout: covers the round trip including server-side lock
+  // waits and the (group-) commit flush.
+  std::chrono::milliseconds request_timeout{30000};
+  std::chrono::milliseconds connect_timeout{5000};
+};
+
+class TdbClient {
+ public:
+  // `registry` must outlive the client and know every type exchanged.
+  explicit TdbClient(const TypeRegistry* registry,
+                     TdbClientOptions options = {});
+  ~TdbClient();
+
+  TdbClient(const TdbClient&) = delete;
+  TdbClient& operator=(const TdbClient&) = delete;
+
+  Status Connect(net::Transport* transport, const std::string& address);
+  void Disconnect();
+  bool connected() const { return conn_ != nullptr; }
+
+  Status Ping();
+
+  // Transaction control. The server allows one open transaction per
+  // session; Commit/Abort end it.
+  Status Begin();
+  Status Commit();
+  Status Abort();
+  bool in_transaction() const { return in_transaction_; }
+
+  Result<ObjectPtr> Get(ObjectId id);
+  Result<ObjectPtr> GetForUpdate(ObjectId id);
+  Result<ObjectId> Insert(const Pickled& object);
+  Status Put(ObjectId id, const Pickled& object);
+  Status Delete(ObjectId id);
+
+ private:
+  Result<Response> RoundTrip(const Request& request);
+  Result<ObjectPtr> GetInternal(ObjectId id, Op op);
+
+  const TypeRegistry* registry_;
+  TdbClientOptions options_;
+  std::unique_ptr<net::Connection> conn_;
+  bool in_transaction_ = false;
+};
+
+}  // namespace tdb::server
+
+#endif  // SRC_SERVER_CLIENT_H_

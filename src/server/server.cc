@@ -1,0 +1,281 @@
+#include "src/server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace tdb::server {
+
+namespace {
+
+// How long a session worker sleeps in Recv before re-checking the stop flag
+// and the idle clock; bounds shutdown latency, not request latency.
+constexpr std::chrono::milliseconds kRecvPollInterval{200};
+
+}  // namespace
+
+TdbServer::TdbServer(ChunkStore* chunks, PartitionId partition,
+                     const TypeRegistry* registry, TdbServerOptions options)
+    : registry_(registry), options_(options) {
+  ObjectStoreOptions store_options;
+  store_options.lock_timeout = options_.lock_timeout;
+  store_options.cache_capacity = options_.cache_capacity;
+  store_options.group_commit = options_.group_commit;
+  store_options.group_commit_max_batch = options_.group_commit_max_batch;
+  objects_ =
+      std::make_unique<ObjectStore>(chunks, partition, registry, store_options);
+}
+
+TdbServer::~TdbServer() { Stop(); }
+
+Status TdbServer::Start(net::Transport* transport, const std::string& address) {
+  if (started_) {
+    return FailedPreconditionError("server already started");
+  }
+  if (options_.max_sessions == 0) {
+    return InvalidArgumentError("max_sessions must be positive");
+  }
+  TDB_ASSIGN_OR_RETURN(listener_, transport->Listen(address));
+  size_t workers = options_.worker_threads != 0 ? options_.worker_threads
+                                                : options_.max_sessions;
+  workers_ = std::make_unique<ThreadPool>(workers);
+  stop_.store(false, std::memory_order_release);
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return OkStatus();
+}
+
+void TdbServer::Stop() {
+  if (!started_) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  listener_->Shutdown();
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  {
+    // Unblock every session worker parked in Recv; each aborts its open
+    // transaction on the way out.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [id, conn] : live_sessions_) {
+      conn->Close();
+    }
+  }
+  workers_.reset();  // joins the session workers (runs any never-started task)
+  listener_.reset();
+  started_ = false;
+}
+
+std::string TdbServer::address() const {
+  return listener_ != nullptr ? listener_->address() : std::string();
+}
+
+TdbServer::Stats TdbServer::GetStats() const {
+  Stats stats;
+  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  stats.sessions_rejected = sessions_rejected_.load(std::memory_order_relaxed);
+  stats.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  stats.active_sessions = live_sessions_.size();
+  return stats;
+}
+
+void TdbServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Result<std::unique_ptr<net::Connection>> accepted =
+        listener_->Accept(kRecvPollInterval);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kTimeout) {
+        continue;
+      }
+      return;  // listener shut down (or died); Stop joins us
+    }
+    std::shared_ptr<net::Connection> conn(std::move(*accepted));
+    size_t active;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      active = live_sessions_.size();
+    }
+    if (active >= options_.max_sessions) {
+      // Backpressure: answer the session's first request with a busy status
+      // before any worker is committed to it.
+      sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs::Count("server.sessions_rejected");
+      (void)conn->Send(
+          EncodeResponse(ResponseFromStatus(FailedPreconditionError(
+              "server busy: session limit reached"))),
+          options_.io_timeout);
+      conn->Close();
+      continue;
+    }
+    workers_->Submit([this, conn]() mutable { ServeSession(std::move(conn)); });
+  }
+}
+
+void TdbServer::ServeSession(std::shared_ptr<net::Connection> conn) {
+  Session session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session.id = next_session_id_++;
+    live_sessions_[session.id] = conn.get();
+    obs::SetGauge("server.active_sessions",
+                  static_cast<double>(live_sessions_.size()));
+  }
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count("server.sessions_opened");
+  session.last_activity = std::chrono::steady_clock::now();
+
+  const auto poll = std::min(options_.idle_timeout, kRecvPollInterval);
+  while (!stop_.load(std::memory_order_acquire)) {
+    Result<Bytes> frame = conn->Recv(poll);
+    if (!frame.ok()) {
+      if (frame.status().code() != StatusCode::kTimeout) {
+        break;  // peer gone
+      }
+      if (std::chrono::steady_clock::now() - session.last_activity >=
+          options_.idle_timeout) {
+        idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        obs::Count("server.idle_timeouts");
+        break;  // the epilogue below aborts the transaction, freeing locks
+      }
+      continue;
+    }
+    session.last_activity = std::chrono::steady_clock::now();
+
+    Result<Request> request = DecodeRequest(*frame);
+    if (!request.ok()) {
+      // The stream's framing can no longer be trusted; answer and hang up.
+      (void)conn->Send(EncodeResponse(ResponseFromStatus(request.status())),
+                       options_.io_timeout);
+      break;
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    obs::Count("server.requests");
+    Response response;
+    {
+      obs::LatencyTimer timer("server.request_us");
+      response = Handle(session, *request);
+    }
+    if (!conn->Send(EncodeResponse(response), options_.io_timeout).ok()) {
+      break;
+    }
+  }
+
+  if (session.txn != nullptr && session.txn->active()) {
+    session.txn->Abort();
+  }
+  conn->Close();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    live_sessions_.erase(session.id);
+    obs::SetGauge("server.active_sessions",
+                  static_cast<double>(live_sessions_.size()));
+  }
+  obs::Count("server.sessions_closed");
+}
+
+Response TdbServer::Handle(Session& session, const Request& request) {
+  switch (request.op) {
+    case Op::kPing:
+      return Response{};
+    case Op::kBegin: {
+      if (session.txn != nullptr && session.txn->active()) {
+        return ResponseFromStatus(
+            FailedPreconditionError("transaction already open"));
+      }
+      session.txn = objects_->Begin();
+      Response response;
+      response.object_id = session.txn->id();
+      return response;
+    }
+    default:
+      break;
+  }
+  if (session.txn == nullptr || !session.txn->active()) {
+    return ResponseFromStatus(
+        FailedPreconditionError("no open transaction (send begin first)"));
+  }
+
+  // Validate client-supplied object ids before they reach the stores: a
+  // session may only address data chunks of the served partition — never
+  // the system partition, another partition, or map/leader chunks.
+  auto checked_id = [&](uint64_t packed) -> Result<ObjectId> {
+    ObjectId id = ChunkId::Unpack(packed);
+    if (id.partition != objects_->partition() || id.position.height != 0) {
+      return InvalidArgumentError("object id " + id.ToString() +
+                                  " is outside the served partition");
+    }
+    return id;
+  };
+
+  switch (request.op) {
+    case Op::kGet:
+    case Op::kGetForUpdate: {
+      Result<ObjectId> id = checked_id(request.object_id);
+      if (!id.ok()) {
+        return ResponseFromStatus(id.status());
+      }
+      Result<ObjectPtr> object = request.op == Op::kGet
+                                     ? session.txn->Get(*id)
+                                     : session.txn->GetForUpdate(*id);
+      if (!object.ok()) {
+        return ResponseFromStatus(object.status());
+      }
+      Response response;
+      response.object = registry_->Pickle(**object);
+      return response;
+    }
+    case Op::kInsert: {
+      Result<ObjectPtr> object = registry_->Unpickle(request.object);
+      if (!object.ok()) {
+        return ResponseFromStatus(object.status());
+      }
+      Result<ObjectId> id = session.txn->Insert(std::move(*object));
+      if (!id.ok()) {
+        return ResponseFromStatus(id.status());
+      }
+      Response response;
+      response.object_id = id->Pack();
+      return response;
+    }
+    case Op::kPut: {
+      Result<ObjectId> id = checked_id(request.object_id);
+      if (!id.ok()) {
+        return ResponseFromStatus(id.status());
+      }
+      Result<ObjectPtr> object = registry_->Unpickle(request.object);
+      if (!object.ok()) {
+        return ResponseFromStatus(object.status());
+      }
+      return ResponseFromStatus(session.txn->Put(*id, std::move(*object)));
+    }
+    case Op::kDelete: {
+      Result<ObjectId> id = checked_id(request.object_id);
+      if (!id.ok()) {
+        return ResponseFromStatus(id.status());
+      }
+      return ResponseFromStatus(session.txn->Delete(*id));
+    }
+    case Op::kCommit: {
+      // The response is sent only after this returns, i.e. after the
+      // (possibly group-) commit flushed — acknowledgement implies
+      // durability.
+      Status status = session.txn->Commit();
+      session.txn.reset();
+      return ResponseFromStatus(status);
+    }
+    case Op::kAbort: {
+      session.txn->Abort();
+      session.txn.reset();
+      return Response{};
+    }
+    default:
+      return ResponseFromStatus(
+          InvalidArgumentError("unhandled request op"));
+  }
+}
+
+}  // namespace tdb::server

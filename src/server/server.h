@@ -1,0 +1,128 @@
+// TdbServer: the networked front end over the object store (service layer).
+//
+// Many clients connect over a Transport; each accepted connection becomes a
+// Session serviced by a worker from the shared ThreadPool. A session maps
+// its connection to at most one open ObjectStore transaction and enforces a
+// per-session idle timeout (idle sessions lose their locks: the open
+// transaction is aborted and the connection closed). New connections beyond
+// `max_sessions` are rejected with a busy response before a session or a
+// worker is committed to them — the backpressure cap.
+//
+// The throughput mechanism is group commit (see group_commit.h): the
+// server's ObjectStore is configured so concurrent session commits coalesce
+// into shared chunk-store batch commits. Every layer reports into src/obs:
+// sessions opened/rejected/idle-timed-out, requests and request latency,
+// and (from the queue itself) commit batch sizes and queue wait.
+//
+// Shutdown is graceful: Stop() stops the acceptor, closes every live
+// session connection (which aborts their open transactions), and joins the
+// workers; acknowledged commits are durable before their response is sent,
+// so a shutdown (or crash) never takes back an acknowledged commit.
+
+#ifndef SRC_SERVER_SERVER_H_
+#define SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/thread_pool.h"
+#include "src/net/transport.h"
+#include "src/object/object_store.h"
+#include "src/server/wire.h"
+
+namespace tdb::server {
+
+struct TdbServerOptions {
+  // Concurrent sessions admitted; further connections get a busy response.
+  size_t max_sessions = 64;
+  // Worker threads servicing sessions; 0 sizes the pool to max_sessions
+  // (each live session occupies one worker for its lifetime).
+  size_t worker_threads = 0;
+  // A session idle longer than this has its transaction aborted and its
+  // connection closed.
+  std::chrono::milliseconds idle_timeout{30000};
+  // Per-frame send timeout for responses.
+  std::chrono::milliseconds io_timeout{5000};
+
+  // Object-store configuration for the served partition.
+  bool group_commit = true;
+  size_t group_commit_max_batch = 64;
+  std::chrono::milliseconds lock_timeout{500};
+  size_t cache_capacity = 4096;
+};
+
+class TdbServer {
+ public:
+  // Serves objects of `partition` from `chunks`; both must outlive the
+  // server, and `registry` must know every type clients may store.
+  TdbServer(ChunkStore* chunks, PartitionId partition,
+            const TypeRegistry* registry, TdbServerOptions options = {});
+  ~TdbServer();
+
+  TdbServer(const TdbServer&) = delete;
+  TdbServer& operator=(const TdbServer&) = delete;
+
+  // Binds `address` on `transport` (which must outlive the server) and
+  // starts accepting. Call once.
+  Status Start(net::Transport* transport, const std::string& address);
+
+  // Graceful shutdown; idempotent, also run by the destructor.
+  void Stop();
+
+  // The bound address (ephemeral ports resolved) once Start succeeded.
+  std::string address() const;
+
+  // The served store — shared with in-process callers (e.g. tests driving
+  // tamper checks or local transactions against the same partition).
+  ObjectStore* object_store() { return objects_.get(); }
+
+  struct Stats {
+    uint64_t sessions_opened = 0;
+    uint64_t sessions_rejected = 0;
+    uint64_t idle_timeouts = 0;
+    uint64_t requests = 0;
+    size_t active_sessions = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  // One live connection's server-side state. Lives on its worker's stack.
+  struct Session {
+    uint64_t id = 0;
+    std::unique_ptr<Transaction> txn;
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  void AcceptLoop();
+  void ServeSession(std::shared_ptr<net::Connection> conn);
+  Response Handle(Session& session, const Request& request);
+
+  const TypeRegistry* registry_;
+  TdbServerOptions options_;
+  std::unique_ptr<ObjectStore> objects_;
+
+  std::unique_ptr<net::Listener> listener_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread acceptor_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  // Live sessions' connections, so Stop can unblock their Recv calls.
+  mutable std::mutex sessions_mu_;
+  std::map<uint64_t, net::Connection*> live_sessions_;
+  uint64_t next_session_id_ = 1;
+
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_rejected_{0};
+  std::atomic<uint64_t> idle_timeouts_{0};
+  std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace tdb::server
+
+#endif  // SRC_SERVER_SERVER_H_

@@ -1,0 +1,112 @@
+#include "src/server/wire.h"
+
+#include "src/common/pickle.h"
+
+namespace tdb::server {
+
+namespace {
+
+Status CheckHeader(PickleReader& r, const char* what) {
+  uint8_t magic = r.ReadU8();
+  uint8_t version = r.ReadU8();
+  if (!r.ok() || magic != kWireMagic) {
+    return CorruptionError(std::string("bad wire magic in ") + what);
+  }
+  if (version != kWireVersion) {
+    return UnimplementedError("unsupported wire version " +
+                              std::to_string(version));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kPing:
+      return "ping";
+    case Op::kBegin:
+      return "begin";
+    case Op::kGet:
+      return "get";
+    case Op::kGetForUpdate:
+      return "get_for_update";
+    case Op::kInsert:
+      return "insert";
+    case Op::kPut:
+      return "put";
+    case Op::kDelete:
+      return "delete";
+    case Op::kCommit:
+      return "commit";
+    case Op::kAbort:
+      return "abort";
+  }
+  return "unknown";
+}
+
+Bytes EncodeRequest(const Request& request) {
+  PickleWriter w;
+  w.WriteU8(kWireMagic);
+  w.WriteU8(kWireVersion);
+  w.WriteU8(static_cast<uint8_t>(request.op));
+  w.WriteVarint(request.object_id);
+  w.WriteBytes(request.object);
+  return w.Take();
+}
+
+Result<Request> DecodeRequest(ByteView frame) {
+  PickleReader r(frame);
+  TDB_RETURN_IF_ERROR(CheckHeader(r, "request"));
+  Request request;
+  uint8_t op = r.ReadU8();
+  if (op < static_cast<uint8_t>(Op::kPing) ||
+      op > static_cast<uint8_t>(Op::kAbort)) {
+    return CorruptionError("unknown request op " + std::to_string(op));
+  }
+  request.op = static_cast<Op>(op);
+  request.object_id = r.ReadVarint();
+  request.object = r.ReadBytes();
+  TDB_RETURN_IF_ERROR(r.Done());
+  return request;
+}
+
+Bytes EncodeResponse(const Response& response) {
+  PickleWriter w;
+  w.WriteU8(kWireMagic);
+  w.WriteU8(kWireVersion);
+  w.WriteU8(static_cast<uint8_t>(response.code));
+  w.WriteString(response.message);
+  w.WriteVarint(response.object_id);
+  w.WriteBytes(response.object);
+  return w.Take();
+}
+
+Result<Response> DecodeResponse(ByteView frame) {
+  PickleReader r(frame);
+  TDB_RETURN_IF_ERROR(CheckHeader(r, "response"));
+  Response response;
+  uint8_t code = r.ReadU8();
+  if (code > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+    return CorruptionError("unknown status code " + std::to_string(code));
+  }
+  response.code = static_cast<StatusCode>(code);
+  response.message = r.ReadString();
+  response.object_id = r.ReadVarint();
+  response.object = r.ReadBytes();
+  TDB_RETURN_IF_ERROR(r.Done());
+  return response;
+}
+
+Response ResponseFromStatus(const Status& status) {
+  Response response;
+  response.code = status.code();
+  response.message = status.message();
+  return response;
+}
+
+Status StatusFromResponse(const Response& response) {
+  return Status(response.code, response.message);
+}
+
+}  // namespace tdb::server

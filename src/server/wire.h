@@ -1,0 +1,69 @@
+// The TDB service wire format: one pickled request or response per
+// transport frame, built on the same PickleWriter/PickleReader streams used
+// for chunk headers and stored objects (src/common/pickle.h).
+//
+// Every message starts with a magic byte and a protocol version so a
+// mis-directed or corrupted frame fails decoding instead of being
+// misinterpreted. Object payloads cross the wire in their *pickled* form
+// (type tag + fields) — exactly the representation the object store
+// persists — so client and server only need a shared TypeRegistry, and the
+// server never sees plaintext-specific structure it doesn't already know.
+//
+// The protocol is synchronous per connection: one request, one response,
+// in order. A session holds at most one open transaction; Begin/Commit/
+// Abort delimit it.
+
+#ifndef SRC_SERVER_WIRE_H_
+#define SRC_SERVER_WIRE_H_
+
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace tdb::server {
+
+inline constexpr uint8_t kWireMagic = 0xDB;
+inline constexpr uint8_t kWireVersion = 1;
+
+enum class Op : uint8_t {
+  kPing = 1,
+  kBegin = 2,
+  kGet = 3,
+  kGetForUpdate = 4,
+  kInsert = 5,
+  kPut = 6,
+  kDelete = 7,
+  kCommit = 8,
+  kAbort = 9,
+};
+
+const char* OpName(Op op);
+
+struct Request {
+  Op op = Op::kPing;
+  uint64_t object_id = 0;  // packed ChunkId: Get/GetForUpdate/Put/Delete
+  Bytes object;            // pickled object: Insert/Put
+};
+
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  std::string message;     // status message when code != kOk
+  uint64_t object_id = 0;  // Insert: new id; Begin: transaction id
+  Bytes object;            // Get/GetForUpdate: pickled object
+};
+
+Bytes EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(ByteView frame);
+
+Bytes EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(ByteView frame);
+
+// Builds the error/ok response corresponding to a Status (payload fields
+// left empty), and the inverse for the client side.
+Response ResponseFromStatus(const Status& status);
+Status StatusFromResponse(const Response& response);
+
+}  // namespace tdb::server
+
+#endif  // SRC_SERVER_WIRE_H_
