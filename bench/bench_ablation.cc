@@ -26,7 +26,7 @@ void AblationValidationModes() {
                       /*delta_ut=*/5);
     PartitionId partition = MakePartition(*rig.chunks);
     ChunkId id = *rig.chunks->AllocateChunk(partition);
-    Rng rng(3);
+    Rng rng(BenchSeed() + 3);
     (void)rig.chunks->WriteChunk(id, rng.NextBytes(512));
     Profiler& profiler = Profiler::Instance();
     profiler.Reset();
@@ -58,7 +58,7 @@ void AblationDeltaUt() {
       "A2: delta_ut sweep (counter lag) with modelled trusted-store latency");
   std::printf("%8s %14s %16s %20s\n", "delta_ut", "commit_us",
               "trusted_writes", "modeled_us/commit");
-  Rng rng(4);
+  Rng rng(BenchSeed() + 4);
   const int kCommits = 200;
   for (uint32_t delta_ut : {1u, 2u, 5u, 10u, 20u}) {
     Rig rig = MakeRig(/*segment_size=*/256 * 1024, /*num_segments=*/1024,
@@ -98,7 +98,7 @@ void AblationCleaning() {
   for (double live_fraction : {0.1, 0.3, 0.6, 0.9}) {
     Rig rig = MakeRig(/*segment_size=*/64 * 1024, /*num_segments=*/1024);
     PartitionId partition = MakePartition(*rig.chunks);
-    Rng rng(5);
+    Rng rng(BenchSeed() + 5);
     // Write rounds of chunks; overwrite (1 - live_fraction) of them so that
     // roughly live_fraction of each early segment stays live.
     const int kChunks = 600;
@@ -137,7 +137,8 @@ void AblationCleaning() {
 }  // namespace
 }  // namespace tdb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  tdb::bench::BenchJson::ParseArgs(argc, argv);  // --seed, --obs
   tdb::bench::AblationValidationModes();
   tdb::bench::AblationDeltaUt();
   tdb::bench::AblationCleaning();

@@ -29,7 +29,7 @@ int Run(int argc, char** argv) {
 
   LinearRegression time_fit(2);
   LinearRegression size_fit(1);
-  Rng rng(13);
+  Rng rng(BenchSeed() + 13);
   const int kPartitionSizes[] = {256, 1024, 4096};
   const int kUpdateCounts[] = {16, 64, 256};
 

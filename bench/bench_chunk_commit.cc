@@ -31,7 +31,7 @@ namespace {
 // out of the measurement.
 RunningStats TimeCommits(size_t crypto_threads, int count, size_t size,
                          int repetitions, LinearRegression* regression) {
-  Rng rng(7);
+  Rng rng(BenchSeed() + 7);
   Rig rig = MakeRig(/*segment_size=*/512 * 1024, /*num_segments=*/2048,
                     ValidationMode::kCounter, /*delta_ut=*/5, crypto_threads);
   PartitionId partition = MakePartition(*rig.chunks);

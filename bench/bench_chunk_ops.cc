@@ -37,7 +37,7 @@ void BenchCachedRead(BenchJson& json) {
   PrintHeader("E5a: read chunk, descriptor cached (paper: 47 us + 0.18 us/B)");
   std::printf("%10s %12s %12s\n", "bytes", "read_us", "us/byte");
   LinearRegression regression(1);
-  Rng rng(3);
+  Rng rng(BenchSeed() + 3);
   for (size_t size : {128u, 512u, 2048u, 8192u, 16384u}) {
     Rig rig = MakeRig();
     PartitionId partition = MakePartition(*rig.chunks);
@@ -79,7 +79,7 @@ void BenchUncachedRead(BenchJson& json) {
   auto cs = ChunkStore::Create(rig.store.get(), rig.trusted(), rig.options);
   rig.chunks = std::move(*cs);
   PartitionId partition = MakePartition(*rig.chunks);
-  Rng rng(5);
+  Rng rng(BenchSeed() + 5);
   const int kChunks = 20000;
   std::vector<ChunkId> ids;
   ids.reserve(kChunks);

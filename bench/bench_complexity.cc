@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
+
 #ifndef TDB_SOURCE_DIR
 #define TDB_SOURCE_DIR "."
 #endif
@@ -95,7 +97,8 @@ size_t CountDirectory(const std::filesystem::path& dir) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tdb::bench::BenchJson::ParseArgs(argc, argv);  // --seed, --obs (uniformity)
   std::filesystem::path root(TDB_SOURCE_DIR);
   struct Row {
     const char* label;

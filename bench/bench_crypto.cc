@@ -21,7 +21,7 @@ namespace tdb::bench {
 namespace {
 
 Bytes TestData(size_t size) {
-  Rng rng(42);
+  Rng rng(BenchSeed());
   return rng.NextBytes(size);
 }
 

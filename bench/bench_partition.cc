@@ -40,7 +40,7 @@ void BenchCopyPartition(BenchJson& json) {
       "E6b: copy partition + commit vs source size (paper: 386 us, "
       "size-independent)");
   std::printf("%14s %14s\n", "source_chunks", "copy_us");
-  Rng rng(9);
+  Rng rng(BenchSeed() + 9);
   for (int source_chunks : {16, 64, 256, 1024, 4096}) {
     Rig rig = MakeRig(/*segment_size=*/512 * 1024, /*num_segments=*/2048);
     PartitionId source = MakePartition(*rig.chunks);

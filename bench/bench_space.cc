@@ -17,7 +17,7 @@ void BenchPerChunkOverhead() {
   PrintHeader("E8a: per-chunk space overhead (paper: ~52 B/chunk)");
   std::printf("%10s %14s %14s %12s\n", "chunk_B", "logical_B", "stored_B",
               "overhead/ch");
-  Rng rng(21);
+  Rng rng(BenchSeed() + 21);
   for (size_t chunk_size : {128u, 512u, 2048u}) {
     Rig rig = MakeRig(/*segment_size=*/512 * 1024, /*num_segments=*/2048);
     PartitionId partition = MakePartition(*rig.chunks);
@@ -49,7 +49,7 @@ void BenchLogUtilization() {
   PrintHeader("E8b: log utilization after churn and cleaning (paper: 60-90%)");
   Rig rig = MakeRig(/*segment_size=*/128 * 1024, /*num_segments=*/512);
   PartitionId partition = MakePartition(*rig.chunks);
-  Rng rng(22);
+  Rng rng(BenchSeed() + 22);
   std::vector<ChunkId> ids;
   for (int i = 0; i < 500; ++i) {
     ids.push_back(*rig.chunks->AllocateChunk(partition));
@@ -87,7 +87,8 @@ void BenchLogUtilization() {
 }  // namespace
 }  // namespace tdb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  tdb::bench::BenchJson::ParseArgs(argc, argv);  // --seed, --obs
   tdb::bench::BenchPerChunkOverhead();
   tdb::bench::BenchLogUtilization();
   return 0;

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <cstdio>
 #include <filesystem>
 
@@ -19,7 +21,7 @@ namespace {
 
 void BM_MemStoreWrite(benchmark::State& state) {
   MemUntrustedStore store({.segment_size = 256 * 1024, .num_segments = 64});
-  Rng rng(1);
+  Rng rng(bench::BenchSeed() + 1);
   Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
   uint32_t offset = 0;
   for (auto _ : state) {
@@ -54,7 +56,7 @@ void BM_FileStoreWriteAndFlush(benchmark::State& state) {
     state.SkipWithError("cannot open file store");
     return;
   }
-  Rng rng(1);
+  Rng rng(bench::BenchSeed() + 1);
   Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
   uint32_t offset = 0;
   for (auto _ : state) {
@@ -109,4 +111,25 @@ BENCHMARK(BM_MemCounterAdvance);
 }  // namespace
 }  // namespace tdb
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN so `--seed` (which google
+// benchmark would reject as unrecognized) is consumed before Initialize.
+int main(int argc, char** argv) {
+  tdb::bench::MutableBenchSeed() =
+      tdb::bench::BenchJson::SeedFromArgs(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      ++i;  // skip the flag and its value
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

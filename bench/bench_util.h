@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -31,6 +32,15 @@ namespace tdb::bench {
 // 15 ms), tamper-resistant store ≈ EEPROM at 5 ms.
 inline constexpr double kModelUntrustedFlushMs = 15.0;
 inline constexpr double kModelTrustedWriteMs = 5.0;
+
+// Process-wide bench seed, set with `--seed <n>` (default 42). Benches
+// derive every Rng stream from this value (site offsets keep the streams
+// distinct) and emitted JSON embeds it, so any run can be reproduced.
+inline uint64_t& MutableBenchSeed() {
+  static uint64_t seed = 42;
+  return seed;
+}
+inline uint64_t BenchSeed() { return MutableBenchSeed(); }
 
 struct Rig {
   std::unique_ptr<MemUntrustedStore> store;
@@ -141,12 +151,24 @@ class BenchJson {
     return false;
   }
 
+  // Returns the value following a `--seed` flag, or `def`.
+  static uint64_t SeedFromArgs(int argc, char** argv, uint64_t def = 42) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--seed") == 0) {
+        return std::strtoull(argv[i + 1], nullptr, 10);
+      }
+    }
+    return def;
+  }
+
   // Standard bench prologue: enables the full observability stack when
-  // `--obs` was passed, and returns the `--json` path (or nullptr).
+  // `--obs` was passed, installs `--seed` as the process-wide bench seed,
+  // and returns the `--json` path (or nullptr).
   static const char* ParseArgs(int argc, char** argv) {
     if (ObsFromArgs(argc, argv)) {
       obs::EnableAll();
     }
+    MutableBenchSeed() = SeedFromArgs(argc, argv);
     return PathFromArgs(argc, argv);
   }
 
@@ -165,6 +187,8 @@ class BenchJson {
       return false;
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench);
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(BenchSeed()));
     std::fprintf(f, "  \"hardware_concurrency\": %zu,\n",
                  HardwareConcurrency());
     std::fprintf(f, "  \"results\": [\n");

@@ -1,0 +1,186 @@
+// E15: the YCSB A–F mixes (Cooper et al.) over the full TDB stack, each run
+// against both access paths:
+//
+//  * local — driver threads open ObjectStore transactions in-process;
+//  * wire  — driver threads are TdbClients speaking the wire protocol to a
+//    TdbServer over the loopback transport (framing, sessions, group commit).
+//
+// The rig is the paper's §9.1 configuration with a modelled 500 us flush
+// (NVMe-class; the paper's 15 ms disk only widens the gaps), group commit
+// on, and a dataset larger than the object cache so steady-state reads take
+// the chunk read/validate path. Reported per mix×backend: throughput and
+// the committed-transaction latency distribution (p50/p95/p99/p999).
+//
+// Flags: --json <path>, --obs, --seed <n> (embedded in the JSON),
+// --ops <n>, --records <n>, --threads <n>.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/net/loopback.h"
+#include "src/server/blob.h"
+#include "src/server/server.h"
+#include "src/workload/ycsb.h"
+
+namespace tdb::bench {
+namespace {
+
+using workload::DriverOptions;
+using workload::DriverResult;
+using workload::InProcessBackend;
+using workload::KeyDistributionName;
+using workload::KeyTable;
+using workload::WireBackend;
+using workload::WorkloadSpec;
+using workload::YcsbBackend;
+using workload::YcsbDriver;
+
+constexpr std::chrono::microseconds kFlushLatency{500};
+constexpr size_t kObjectCacheCapacity = 512;  // < records: reads miss cache
+
+uint64_t FlagU64(int argc, char** argv, const char* flag, uint64_t def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return def;
+}
+
+DriverResult RunOne(const WorkloadSpec& spec, bool wire, uint64_t ops,
+                    int threads) {
+  Rig rig = MakeRig(/*segment_size=*/256 * 1024, /*num_segments=*/2048,
+                    ValidationMode::kCounter, /*delta_ut=*/5,
+                    /*crypto_threads=*/SIZE_MAX, kFlushLatency);
+  PartitionId partition = MakePartition(*rig.chunks);
+  TypeRegistry registry;
+  if (!RegisterType<server::BlobValue>(registry).ok()) {
+    std::abort();
+  }
+
+  DriverOptions options;
+  options.operations = ops;
+  options.seed = BenchSeed();
+  YcsbDriver driver(spec, options);
+  KeyTable table;
+
+  std::unique_ptr<ObjectStore> objects;
+  std::unique_ptr<net::LoopbackTransport> transport;
+  std::unique_ptr<server::TdbServer> server;
+  std::vector<std::unique_ptr<YcsbBackend>> backends;
+
+  if (wire) {
+    transport = std::make_unique<net::LoopbackTransport>();
+    server::TdbServerOptions server_options;
+    server_options.group_commit = true;
+    server_options.cache_capacity = kObjectCacheCapacity;
+    server = std::make_unique<server::TdbServer>(rig.chunks.get(), partition,
+                                                 &registry, server_options);
+    if (!server->Start(transport.get(), "bench").ok()) {
+      std::fprintf(stderr, "server start failed\n");
+      std::abort();
+    }
+    for (int t = 0; t < threads; ++t) {
+      auto backend = std::make_unique<WireBackend>(&registry);
+      if (!backend->Connect(transport.get(), server->address()).ok()) {
+        std::fprintf(stderr, "client connect failed\n");
+        std::abort();
+      }
+      backends.push_back(std::move(backend));
+    }
+  } else {
+    ObjectStoreOptions object_options;
+    object_options.group_commit = true;
+    object_options.cache_capacity = kObjectCacheCapacity;
+    objects = std::make_unique<ObjectStore>(rig.chunks.get(), partition,
+                                            &registry, object_options);
+    for (int t = 0; t < threads; ++t) {
+      backends.push_back(std::make_unique<InProcessBackend>(objects.get()));
+    }
+  }
+
+  Status loaded = driver.Load(*backends.front(), table);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", loaded.ToString().c_str());
+    std::abort();
+  }
+
+  std::vector<YcsbBackend*> ptrs;
+  for (auto& b : backends) {
+    ptrs.push_back(b.get());
+  }
+  DriverResult result = driver.Run(ptrs, table);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.status.ToString().c_str());
+    std::abort();
+  }
+  if (server != nullptr) {
+    backends.clear();  // disconnect before the server goes down
+    server->Stop();
+  }
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  const char* json_path = BenchJson::ParseArgs(argc, argv);
+  BenchJson json;
+
+  const uint64_t ops = FlagU64(argc, argv, "--ops", 2500);
+  const uint64_t records = FlagU64(argc, argv, "--records", 2000);
+  const int threads =
+      static_cast<int>(FlagU64(argc, argv, "--threads", 4));
+
+  PrintHeader("YCSB A-F, local object store vs wire client/server");
+  std::printf("%4s %-8s %-8s %10s %10s %10s %10s %10s %8s\n", "mix", "backend",
+              "dist", "ops/s", "p50 us", "p95 us", "p99 us", "p999 us",
+              "aborts");
+
+  for (char mix : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+    auto spec = WorkloadSpec::StandardMix(mix);
+    if (!spec.ok()) {
+      std::abort();
+    }
+    spec->record_count = records;
+    for (bool wire : {false, true}) {
+      DriverResult r = RunOne(*spec, wire, ops, threads);
+      const char* backend = wire ? "wire" : "local";
+      const auto& lat = r.txn_latency;
+      std::printf("%4c %-8s %-8s %10.0f %10.1f %10.1f %10.1f %10.1f %8llu\n",
+                  mix, backend, KeyDistributionName(spec->dist),
+                  r.ops_per_sec(), lat.p50_us, lat.p95_us, lat.p99_us,
+                  lat.p999_us, static_cast<unsigned long long>(r.txns_aborted));
+      char params[256];
+      std::snprintf(
+          params, sizeof(params),
+          "mix=%c,backend=%s,dist=%s,threads=%d,records=%llu,ops=%llu,"
+          "ops_per_sec=%.0f,p50_us=%.1f,p95_us=%.1f,p99_us=%.1f,p999_us=%.1f,"
+          "commit_p99_us=%.1f,aborts=%llu",
+          mix, backend, KeyDistributionName(spec->dist), threads,
+          static_cast<unsigned long long>(records),
+          static_cast<unsigned long long>(ops), r.ops_per_sec(), lat.p50_us,
+          lat.p95_us, lat.p99_us, lat.p999_us, r.commit_latency.p99_us,
+          static_cast<unsigned long long>(r.txns_aborted));
+      double bytes_per_sec =
+          r.wall_us > 0.0
+              ? 1e6 * static_cast<double>(r.bytes_read + r.bytes_written) /
+                    r.wall_us
+              : 0.0;
+      json.Add(std::string("ycsb_") + mix, params, lat.mean_us, 0.0,
+               bytes_per_sec);
+    }
+  }
+
+  if (json_path != nullptr && !json.Write(json_path, "bench_ycsb")) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tdb::bench
+
+int main(int argc, char** argv) { return tdb::bench::Run(argc, argv); }

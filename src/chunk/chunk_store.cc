@@ -932,6 +932,23 @@ Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
     d.entry->avail_ranks.push_back(d.id.position.rank);
   }
   for (PartitionId pid : dealloc_closure) {
+    // Detach the partition from its source's copies list. The cleaner (and
+    // dealloc validation) walk source→copies to gather every owner of a
+    // chunk version; a dangling entry makes that closure fail, and the
+    // cleaner then judges every version of the *surviving* source dead.
+    Result<LeaderEntry*> dead = GetLeader(pid);
+    if (dead.ok()) {
+      PartitionId src = (*dead)->leader.copied_from;
+      if (src != kSystemPartition &&
+          std::find(dealloc_closure.begin(), dealloc_closure.end(), src) ==
+              dealloc_closure.end()) {
+        Result<LeaderEntry*> source = GetLeader(src);
+        if (source.ok()) {
+          std::erase((*source)->leader.copies, pid);
+          (*source)->dirty = true;  // persisted by the next checkpoint
+        }
+      }
+    }
     Result<Descriptor> old_desc = GetDescriptor(LeaderChunkId(pid));
     if (old_desc.ok() && old_desc->written()) {
       log_.ReleaseLive(old_desc->location, old_desc->stored_size);
@@ -1465,6 +1482,22 @@ Status ChunkStore::ApplyRecoveredVersion(
       }
       TDB_ASSIGN_OR_RETURN(LeaderEntry* sys, GetLeader(kSystemPartition));
       for (PartitionId pid : rec.partitions) {
+        // Mirror CommitLocked: a recovered deallocation also detaches the
+        // partition from its source's copies list (the persisted source
+        // leader may still name it if no checkpoint intervened).
+        Result<LeaderEntry*> dead = GetLeader(pid);
+        if (dead.ok()) {
+          PartitionId src = (*dead)->leader.copied_from;
+          if (src != kSystemPartition &&
+              std::find(rec.partitions.begin(), rec.partitions.end(), src) ==
+                  rec.partitions.end()) {
+            Result<LeaderEntry*> source = GetLeader(src);
+            if (source.ok()) {
+              std::erase((*source)->leader.copies, pid);
+              (*source)->dirty = true;
+            }
+          }
+        }
         Result<Descriptor> old_desc = GetDescriptor(LeaderChunkId(pid));
         if (old_desc.ok() && old_desc->written()) {
           log_.ReleaseLive(old_desc->location, old_desc->stored_size);

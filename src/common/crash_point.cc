@@ -5,6 +5,7 @@
 namespace tdb {
 
 void CrashPointController::Arm(uint64_t crash_point, double tear_fraction) {
+  std::lock_guard<std::mutex> lock(mu_);
   armed_ = true;
   crashed_ = false;
   crash_point_ = crash_point;
@@ -15,6 +16,7 @@ void CrashPointController::Arm(uint64_t crash_point, double tear_fraction) {
 }
 
 void CrashPointController::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
   armed_ = false;
   crashed_ = false;
   crash_point_ = kNeverCrash;
@@ -23,6 +25,7 @@ void CrashPointController::Disarm() {
 }
 
 CrashPointController::Decision CrashPointController::OnPoint() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) {
     return Decision::kDead;
   }
@@ -34,7 +37,28 @@ CrashPointController::Decision CrashPointController::OnPoint() {
   return Decision::kProceed;
 }
 
+bool CrashPointController::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_;
+}
+
+bool CrashPointController::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t CrashPointController::points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_;
+}
+
+double CrashPointController::tear_fraction() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tear_fraction_;
+}
+
 size_t CrashPointController::TornPrefix(size_t size) const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t keep = static_cast<size_t>(
       std::floor(static_cast<double>(size) * tear_fraction_));
   return keep > size ? size : keep;

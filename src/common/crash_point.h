@@ -23,6 +23,7 @@
 #define SRC_COMMON_CRASH_POINT_H_
 
 #include <cstdint>
+#include <mutex>
 
 #include "src/common/status.h"
 
@@ -51,12 +52,12 @@ class CrashPointController {
   // Called by wrappers once per durability-relevant operation.
   Decision OnPoint();
 
-  bool armed() const { return armed_; }
-  bool crashed() const { return crashed_; }
+  bool armed() const;
+  bool crashed() const;
   // Operations observed since the last Arm/Disarm (the learning pass reads
   // this as the total point count N).
-  uint64_t points() const { return points_; }
-  double tear_fraction() const { return tear_fraction_; }
+  uint64_t points() const;
+  double tear_fraction() const;
 
   // How many bytes of an in-flight write of `size` bytes a kCrashNow
   // decision persists.
@@ -66,6 +67,12 @@ class CrashPointController {
   static Status CrashedStatus();
 
  private:
+  // The controller is shared by every wrapped device, and the torture
+  // harness drives those devices from traffic, maintenance, and backup
+  // threads concurrently (while another thread may be mid-Arm), so all
+  // state sits behind a mutex. The single-threaded sweep is unaffected:
+  // point numbering stays execution-ordered.
+  mutable std::mutex mu_;
   bool armed_ = false;
   bool crashed_ = false;
   uint64_t crash_point_ = kNeverCrash;

@@ -9,6 +9,7 @@
 #ifndef SRC_CRYPTO_CBC_H_
 #define SRC_CRYPTO_CBC_H_
 
+#include <atomic>
 #include <memory>
 #include <string_view>
 
@@ -28,11 +29,13 @@ class Cipher {
 
   // Splits Encrypt into its serial and parallel halves. ReserveSeqs claims
   // `n` consecutive message sequence numbers (the IV counter values Encrypt
-  // would have consumed) and returns the first; it must be called from one
-  // thread at a time. EncryptWithSeq then encrypts under a reserved number
-  // from any thread — it reads no mutable state, so a batch whose numbers
-  // were reserved in commit order yields byte-identical ciphertexts whether
-  // the encrypts run serially or fanned out across a pool.
+  // would have consumed) and returns the first; reservations are atomic, so
+  // independent reservers (e.g. a backup walking a partition while commits
+  // keep flowing) never overlap. EncryptWithSeq then encrypts under a
+  // reserved number from any thread — it reads no mutable state, so a batch
+  // whose numbers were reserved in commit order yields byte-identical
+  // ciphertexts whether the encrypts run serially or fanned out across a
+  // pool.
   virtual uint64_t ReserveSeqs(size_t n) = 0;
   virtual Bytes EncryptWithSeq(uint64_t seq, ByteView plaintext) const = 0;
 
@@ -71,10 +74,9 @@ class CbcCipher final : public Cipher {
   Bytes Encrypt(ByteView plaintext) override;
   uint64_t ReserveSeqs(size_t n) override {
     // Matches the pre-increment in the serial path: the first reserved
-    // message uses counter value iv_counter_ + 1.
-    uint64_t first = iv_counter_ + 1;
-    iv_counter_ += n;
-    return first;
+    // message uses counter value iv_counter_ + 1. fetch_add keeps ranges
+    // disjoint when reservers race (IV reuse would break CBC secrecy).
+    return iv_counter_.fetch_add(n, std::memory_order_relaxed) + 1;
   }
   Bytes EncryptWithSeq(uint64_t seq, ByteView plaintext) const override;
   Result<Bytes> Decrypt(ByteView ciphertext) const override;
@@ -90,7 +92,7 @@ class CbcCipher final : public Cipher {
  private:
   BlockCipherT block_;
   std::string_view name_;
-  uint64_t iv_counter_ = 0;
+  std::atomic<uint64_t> iv_counter_{0};
 };
 
 using DesCbc = CbcCipher<Des>;

@@ -82,9 +82,10 @@ class CryptoSuite {
   size_t digest_size() const { return HashDigestSize(params_.hash); }
 
   Bytes Encrypt(ByteView plaintext) const { return cipher_->Encrypt(plaintext); }
-  // Serial IV reservation + thread-safe deferred encryption (see Cipher).
-  // ReserveSeqs advances the shared IV counter, so call it only where
-  // Encrypt itself would be safe (i.e. under the store mutex).
+  // Atomic IV reservation + thread-safe deferred encryption (see Cipher).
+  // ReserveSeqs may be called from any thread; racing reservers get
+  // disjoint sequence ranges (commits under the store mutex can overlap a
+  // backup stream reading the same suites).
   uint64_t ReserveSeqs(size_t n) const { return cipher_->ReserveSeqs(n); }
   Bytes EncryptWithSeq(uint64_t seq, ByteView plaintext) const {
     return cipher_->EncryptWithSeq(seq, plaintext);
@@ -104,7 +105,7 @@ class CryptoSuite {
 
   CryptoParams params_;
   // shared_ptr so CryptoSuite stays copyable; the cipher is stateful only in
-  // its IV counter, which tolerates sharing (monotonic under a store mutex).
+  // its IV counter, which tolerates sharing (atomically monotonic).
   std::shared_ptr<Cipher> cipher_;
 };
 

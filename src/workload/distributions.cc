@@ -1,0 +1,127 @@
+#include "src/workload/distributions.h"
+
+#include <cmath>
+
+namespace tdb::workload {
+
+namespace {
+
+// FNV-1a over the 8 key bytes: spreads zipfian ranks across the key space
+// so "hot" does not mean "low index" (YCSB's ScrambledZipfian idea).
+uint64_t ScrambleKey(uint64_t value) {
+  uint64_t h = 14695981039346656037ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (i * 8)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+double ZetaStatic(uint64_t from, uint64_t to, double theta, double base) {
+  double sum = base;
+  for (uint64_t i = from; i < to; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : theta_(theta), alpha_(1.0 / (1.0 - theta)) {
+  if (n == 0) {
+    n = 1;
+  }
+  zeta2_ = ZetaStatic(0, 2, theta_, 0.0);
+  zetan_ = ZetaStatic(0, n, theta_, 0.0);
+  n_ = n;
+}
+
+void ZipfianGenerator::Grow(uint64_t new_n) {
+  if (new_n <= n_) {
+    return;
+  }
+  zetan_ = ZetaStatic(n_, new_n, theta_, zetan_);
+  n_ = new_n;
+}
+
+double ZipfianGenerator::Eta() const {
+  return (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  double eta = Eta();
+  uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta * u - eta + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+const char* KeyDistributionName(KeyDistributionKind kind) {
+  switch (kind) {
+    case KeyDistributionKind::kUniform:
+      return "uniform";
+    case KeyDistributionKind::kZipfian:
+      return "zipfian";
+    case KeyDistributionKind::kHotspot:
+      return "hotspot";
+    case KeyDistributionKind::kLatest:
+      return "latest";
+  }
+  return "unknown";
+}
+
+KeyDistribution::KeyDistribution(KeyDistributionKind kind, uint64_t initial_n,
+                                 HotspotParams hotspot)
+    : kind_(kind), zipf_(initial_n), hotspot_(hotspot) {}
+
+uint64_t KeyDistribution::Next(Rng& rng, uint64_t n) {
+  if (n == 0) {
+    n = 1;
+  }
+  switch (kind_) {
+    case KeyDistributionKind::kUniform:
+      return rng.NextBelow(n);
+    case KeyDistributionKind::kZipfian: {
+      zipf_.Grow(n);
+      uint64_t rank = zipf_.Next(rng);
+      return ScrambleKey(rank) % n;
+    }
+    case KeyDistributionKind::kHotspot: {
+      uint64_t hot_n = static_cast<uint64_t>(
+          static_cast<double>(n) * hotspot_.hot_key_fraction);
+      if (hot_n == 0) {
+        hot_n = 1;
+      }
+      if (hot_n >= n) {
+        return rng.NextBelow(n);
+      }
+      if (rng.NextDouble() < hotspot_.hot_op_fraction) {
+        return rng.NextBelow(hot_n);
+      }
+      return hot_n + rng.NextBelow(n - hot_n);
+    }
+    case KeyDistributionKind::kLatest: {
+      zipf_.Grow(n);
+      uint64_t rank = zipf_.Next(rng);
+      // Rank 0 = the newest key. Ranks are unscrambled on purpose: recency
+      // is the axis of skew.
+      if (rank >= n) {
+        rank = n - 1;
+      }
+      return n - 1 - rank;
+    }
+  }
+  return 0;
+}
+
+}  // namespace tdb::workload

@@ -1,0 +1,107 @@
+// Key and value-size distributions for the YCSB-style workload driver
+// (Cooper et al., "Benchmarking Cloud Serving Systems with YCSB").
+//
+// All generators draw from a caller-owned seeded Rng (src/common/rng.h), so
+// a fixed seed reproduces the exact key sequence — which is what makes
+// checked-in bench runs and the torture harness replayable.
+//
+//  * Uniform  — every key equally likely.
+//  * Zipfian  — rank-skewed (theta 0.99 like YCSB); ranks are scrambled
+//    across the key space with an FNV hash so the hot keys are not all
+//    clustered at the low indexes (YCSB's "scrambled zipfian").
+//  * Hotspot  — a fraction of operations (default 80%) hit a fraction of
+//    the key space (default 20%), uniformly within each region.
+//  * Latest   — zipfian over recency: the most recently inserted keys are
+//    the hottest (YCSB workload D's read side).
+//
+// Every generator is asked for a key below a caller-supplied bound `n` so
+// the key space may grow between calls (inserts during the run); the
+// zipfian harmonic sums are extended incrementally when n grows.
+
+#ifndef SRC_WORKLOAD_DISTRIBUTIONS_H_
+#define SRC_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace tdb::workload {
+
+// Bare zipfian over ranks [0, n): rank 0 is the most popular. The Gray et
+// al. rejection-free inversion used by YCSB, with the harmonic sum zeta(n)
+// extended incrementally as n grows.
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  explicit ZipfianGenerator(uint64_t n, double theta = kDefaultTheta);
+
+  // Draws a rank in [0, current n).
+  uint64_t Next(Rng& rng);
+
+  // Extends the key space; no-op if new_n <= n. Shrinking is not supported.
+  void Grow(uint64_t new_n);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  double Eta() const;
+
+  uint64_t n_ = 0;
+  double theta_;
+  double zetan_ = 0.0;   // zeta(n, theta), extended incrementally
+  double zeta2_ = 0.0;   // zeta(2, theta), fixed
+  double alpha_;
+};
+
+enum class KeyDistributionKind : uint8_t {
+  kUniform,
+  kZipfian,
+  kHotspot,
+  kLatest,
+};
+
+const char* KeyDistributionName(KeyDistributionKind kind);
+
+struct HotspotParams {
+  double hot_key_fraction = 0.2;  // fraction of the key space that is hot
+  double hot_op_fraction = 0.8;   // fraction of operations aimed at it
+};
+
+// Facade over the four kinds. Not thread-safe: each driver thread owns one
+// (plus its own Rng), which is also what keeps the per-thread op sequence
+// deterministic under a fixed seed.
+class KeyDistribution {
+ public:
+  KeyDistribution(KeyDistributionKind kind, uint64_t initial_n,
+                  HotspotParams hotspot = {});
+
+  // A key index in [0, n); n may differ between calls (key space growth).
+  uint64_t Next(Rng& rng, uint64_t n);
+
+  KeyDistributionKind kind() const { return kind_; }
+
+ private:
+  KeyDistributionKind kind_;
+  ZipfianGenerator zipf_;
+  HotspotParams hotspot_;
+};
+
+// Uniform value sizes in [min_bytes, max_bytes].
+class ValueSizeDistribution {
+ public:
+  ValueSizeDistribution(uint64_t min_bytes, uint64_t max_bytes)
+      : min_(min_bytes), max_(max_bytes < min_bytes ? min_bytes : max_bytes) {}
+
+  uint64_t Next(Rng& rng) {
+    return min_ == max_ ? min_ : rng.NextInRange(min_, max_);
+  }
+
+ private:
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace tdb::workload
+
+#endif  // SRC_WORKLOAD_DISTRIBUTIONS_H_

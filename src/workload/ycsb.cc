@@ -1,0 +1,537 @@
+#include "src/workload/ycsb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "src/server/blob.h"
+
+namespace tdb::workload {
+
+namespace {
+
+using server::BlobValue;
+
+const BlobValue* AsBlob(const ObjectPtr& object) {
+  return dynamic_cast<const BlobValue*>(object.get());
+}
+
+Result<size_t> BlobSize(const Result<ObjectPtr>& object) {
+  TDB_RETURN_IF_ERROR(object.status());
+  const BlobValue* blob = AsBlob(*object);
+  if (blob == nullptr) {
+    return CorruptionError("workload read returned a non-blob object");
+  }
+  return blob->value.size();
+}
+
+Result<std::string> BlobString(const Result<ObjectPtr>& object) {
+  TDB_RETURN_IF_ERROR(object.status());
+  const BlobValue* blob = AsBlob(*object);
+  if (blob == nullptr) {
+    return CorruptionError("workload read returned a non-blob object");
+  }
+  return blob->value;
+}
+
+}  // namespace
+
+const char* YcsbOpName(YcsbOpKind kind) {
+  switch (kind) {
+    case YcsbOpKind::kRead:
+      return "read";
+    case YcsbOpKind::kUpdate:
+      return "update";
+    case YcsbOpKind::kInsert:
+      return "insert";
+    case YcsbOpKind::kScan:
+      return "scan";
+    case YcsbOpKind::kRmw:
+      return "rmw";
+  }
+  return "unknown";
+}
+
+Result<WorkloadSpec> WorkloadSpec::StandardMix(char mix) {
+  if (mix >= 'a' && mix <= 'z') {
+    mix = static_cast<char>(mix - 'a' + 'A');
+  }
+  WorkloadSpec spec;
+  spec.read = spec.update = spec.insert = spec.scan = spec.rmw = 0.0;
+  spec.dist = KeyDistributionKind::kZipfian;
+  switch (mix) {
+    case 'A':
+      spec.read = 0.5;
+      spec.update = 0.5;
+      break;
+    case 'B':
+      spec.read = 0.95;
+      spec.update = 0.05;
+      break;
+    case 'C':
+      spec.read = 1.0;
+      break;
+    case 'D':
+      spec.read = 0.95;
+      spec.insert = 0.05;
+      spec.dist = KeyDistributionKind::kLatest;
+      break;
+    case 'E':
+      spec.scan = 0.95;
+      spec.insert = 0.05;
+      break;
+    case 'F':
+      spec.read = 0.5;
+      spec.rmw = 0.5;
+      break;
+    default:
+      return InvalidArgumentError(std::string("unknown YCSB mix '") + mix +
+                                  "' (expected A..F)");
+  }
+  spec.name = std::string(1, mix);
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Backends
+
+InProcessBackend::~InProcessBackend() { Abort(); }
+
+Status InProcessBackend::Begin() {
+  if (txn_ != nullptr && txn_->active()) {
+    return FailedPreconditionError("transaction already open");
+  }
+  txn_ = store_->Begin();
+  return OkStatus();
+}
+
+Status InProcessBackend::Commit() {
+  if (txn_ == nullptr) {
+    return FailedPreconditionError("no open transaction");
+  }
+  Status status = txn_->Commit();
+  txn_.reset();
+  return status;
+}
+
+void InProcessBackend::Abort() {
+  if (txn_ != nullptr) {
+    if (txn_->active()) {
+      txn_->Abort();
+    }
+    txn_.reset();
+  }
+}
+
+Result<uint64_t> InProcessBackend::Insert(const std::string& value) {
+  if (txn_ == nullptr) {
+    return FailedPreconditionError("no open transaction");
+  }
+  TDB_ASSIGN_OR_RETURN(ObjectId id,
+                       txn_->Insert(std::make_shared<BlobValue>(value)));
+  return id.Pack();
+}
+
+Result<size_t> InProcessBackend::Read(uint64_t packed_id) {
+  if (txn_ == nullptr) {
+    return FailedPreconditionError("no open transaction");
+  }
+  return BlobSize(txn_->Get(ChunkId::Unpack(packed_id)));
+}
+
+Result<size_t> InProcessBackend::ReadForUpdate(uint64_t packed_id) {
+  if (txn_ == nullptr) {
+    return FailedPreconditionError("no open transaction");
+  }
+  return BlobSize(txn_->GetForUpdate(ChunkId::Unpack(packed_id)));
+}
+
+Result<std::string> InProcessBackend::ReadValueForUpdate(uint64_t packed_id) {
+  if (txn_ == nullptr) {
+    return FailedPreconditionError("no open transaction");
+  }
+  return BlobString(txn_->GetForUpdate(ChunkId::Unpack(packed_id)));
+}
+
+Status InProcessBackend::Update(uint64_t packed_id, const std::string& value) {
+  if (txn_ == nullptr) {
+    return FailedPreconditionError("no open transaction");
+  }
+  return txn_->Put(ChunkId::Unpack(packed_id),
+                   std::make_shared<BlobValue>(value));
+}
+
+void WireBackend::Abort() {
+  if (client_.in_transaction()) {
+    (void)client_.Abort();
+  }
+}
+
+Result<uint64_t> WireBackend::Insert(const std::string& value) {
+  TDB_ASSIGN_OR_RETURN(ObjectId id, client_.Insert(BlobValue(value)));
+  return id.Pack();
+}
+
+Result<size_t> WireBackend::Read(uint64_t packed_id) {
+  return BlobSize(client_.Get(ChunkId::Unpack(packed_id)));
+}
+
+Result<size_t> WireBackend::ReadForUpdate(uint64_t packed_id) {
+  return BlobSize(client_.GetForUpdate(ChunkId::Unpack(packed_id)));
+}
+
+Result<std::string> WireBackend::ReadValueForUpdate(uint64_t packed_id) {
+  return BlobString(client_.GetForUpdate(ChunkId::Unpack(packed_id)));
+}
+
+Status WireBackend::Update(uint64_t packed_id, const std::string& value) {
+  return client_.Put(ChunkId::Unpack(packed_id), BlobValue(value));
+}
+
+// ---------------------------------------------------------------------------
+// KeyTable
+
+void KeyTable::Reset(std::vector<uint64_t> ids) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ids_ = std::move(ids);
+}
+
+uint64_t KeyTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_.size();
+}
+
+uint64_t KeyTable::Get(uint64_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index < ids_.size() ? ids_[index] : 0;
+}
+
+void KeyTable::Publish(uint64_t packed_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ids_.push_back(packed_id);
+}
+
+std::vector<uint64_t> KeyTable::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_;
+}
+
+// ---------------------------------------------------------------------------
+// Latency summary
+
+LatencySummary LatencySummary::FromSamples(std::vector<double> samples_us) {
+  LatencySummary out;
+  if (samples_us.empty()) {
+    return out;
+  }
+  std::sort(samples_us.begin(), samples_us.end());
+  out.count = samples_us.size();
+  double sum = 0.0;
+  for (double s : samples_us) {
+    sum += s;
+  }
+  out.mean_us = sum / static_cast<double>(out.count);
+  auto quantile = [&](double q) {
+    double pos = q * static_cast<double>(out.count - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = lo + 1 < out.count ? lo + 1 : lo;
+    double frac = pos - static_cast<double>(lo);
+    return samples_us[lo] * (1.0 - frac) + samples_us[hi] * frac;
+  };
+  out.p50_us = quantile(0.50);
+  out.p95_us = quantile(0.95);
+  out.p99_us = quantile(0.99);
+  out.p999_us = quantile(0.999);
+  out.max_us = samples_us.back();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+YcsbDriver::YcsbDriver(WorkloadSpec spec, DriverOptions options)
+    : spec_(std::move(spec)), options_(options) {}
+
+namespace {
+
+// A payload whose first bytes carry a sequence stamp so repeated updates of
+// one key produce distinct values; the tail is a fixed fill (generating
+// random bytes per op would benchmark the generator, not the store).
+std::string MakeValue(uint64_t stamp, uint64_t size) {
+  std::string value(static_cast<size_t>(size < 8 ? 8 : size), 'v');
+  for (int i = 0; i < 8; ++i) {
+    value[i] = static_cast<char>((stamp >> (i * 8)) & 0xFF);
+  }
+  return value;
+}
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Status YcsbDriver::Load(YcsbBackend& backend, KeyTable& table) {
+  constexpr uint64_t kLoadBatch = 128;
+  Rng rng(options_.seed);
+  ValueSizeDistribution vsize(spec_.value_min, spec_.value_max);
+  std::vector<uint64_t> ids;
+  ids.reserve(spec_.record_count);
+  uint64_t loaded = 0;
+  while (loaded < spec_.record_count) {
+    uint64_t batch = std::min(kLoadBatch, spec_.record_count - loaded);
+    TDB_RETURN_IF_ERROR(backend.Begin());
+    std::vector<uint64_t> pending;
+    pending.reserve(batch);
+    for (uint64_t i = 0; i < batch; ++i) {
+      auto id = backend.Insert(MakeValue(loaded + i, vsize.Next(rng)));
+      if (!id.ok()) {
+        backend.Abort();
+        return id.status();
+      }
+      pending.push_back(*id);
+    }
+    TDB_RETURN_IF_ERROR(backend.Commit());
+    ids.insert(ids.end(), pending.begin(), pending.end());
+    loaded += batch;
+  }
+  table.Reset(std::move(ids));
+  return OkStatus();
+}
+
+struct YcsbDriver::ThreadResult {
+  Status hard_failure = OkStatus();  // non-timeout backend failure
+  bool halted = false;               // stopped early (tolerated failure)
+  uint64_t reads = 0;
+  uint64_t updates = 0;
+  uint64_t inserts = 0;
+  uint64_t scans = 0;
+  uint64_t scan_items = 0;
+  uint64_t rmws = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  std::vector<double> txn_latency_us;
+  std::vector<double> commit_latency_us;
+};
+
+void YcsbDriver::RunThread(int thread_index, uint64_t op_budget,
+                           YcsbBackend& backend, KeyTable& table,
+                           ThreadResult& out) {
+  Rng rng(options_.seed + 0x9E3779B97F4A7C15ULL *
+                              static_cast<uint64_t>(thread_index + 1));
+  KeyDistribution dist(spec_.dist, std::max<uint64_t>(table.size(), 1),
+                       spec_.hotspot);
+  ValueSizeDistribution vsize(spec_.value_min, spec_.value_max);
+
+  const double t_read = spec_.read;
+  const double t_update = t_read + spec_.update;
+  const double t_insert = t_update + spec_.insert;
+  const double t_scan = t_insert + spec_.scan;
+
+  auto stopped = [&] {
+    return internal_stop_.load(std::memory_order_relaxed) ||
+           (options_.stop != nullptr &&
+            options_.stop->load(std::memory_order_relaxed));
+  };
+  // A backend failure that is not a lock timeout: under tolerate_failures
+  // (torture with crash injection) the thread halts with a partial result;
+  // otherwise it fails the whole run.
+  auto hard_fail = [&](const Status& status) {
+    if (options_.tolerate_failures) {
+      out.halted = true;
+    } else {
+      out.hard_failure = status;
+      internal_stop_.store(true, std::memory_order_relaxed);
+    }
+    backend.Abort();
+  };
+
+  uint64_t done = 0;
+  uint64_t stamp = static_cast<uint64_t>(thread_index) << 48;
+  while (done < op_budget && !stopped()) {
+    uint64_t batch = std::min<uint64_t>(
+        std::max<uint64_t>(options_.ops_per_txn, 1), op_budget - done);
+    bool committed = false;
+    for (int attempt = 0; attempt <= options_.txn_retry_limit; ++attempt) {
+      if (stopped()) {
+        return;
+      }
+      ThreadResult staged;  // applied only if this attempt commits
+      std::vector<uint64_t> pending_inserts;
+      double txn_start = NowUs();
+      Status status = backend.Begin();
+      if (!status.ok()) {
+        hard_fail(status);
+        return;
+      }
+      bool timeout = false;
+      for (uint64_t op = 0; op < batch && !timeout; ++op) {
+        uint64_t n = table.size();
+        double p = rng.NextDouble();
+        Status op_status = OkStatus();
+        if (p < t_read) {
+          auto size = backend.Read(table.Get(dist.Next(rng, n)));
+          if (size.ok()) {
+            ++staged.reads;
+            staged.bytes_read += *size;
+          }
+          op_status = size.status();
+        } else if (p < t_update) {
+          std::string value = MakeValue(++stamp, vsize.Next(rng));
+          staged.bytes_written += value.size();
+          op_status = backend.Update(table.Get(dist.Next(rng, n)), value);
+          if (op_status.ok()) {
+            ++staged.updates;
+          }
+        } else if (p < t_insert) {
+          std::string value = MakeValue(++stamp, vsize.Next(rng));
+          staged.bytes_written += value.size();
+          auto id = backend.Insert(value);
+          if (id.ok()) {
+            ++staged.inserts;
+            pending_inserts.push_back(*id);
+          }
+          op_status = id.status();
+        } else if (p < t_scan) {
+          uint64_t start = dist.Next(rng, n);
+          uint64_t len = 1 + rng.NextBelow(std::max<uint64_t>(
+                                 spec_.max_scan_len, 1));
+          uint64_t end = std::min(start + len, n);
+          for (uint64_t k = start; k < end; ++k) {
+            auto size = backend.Read(table.Get(k));
+            if (!size.ok()) {
+              op_status = size.status();
+              break;
+            }
+            ++staged.scan_items;
+            staged.bytes_read += *size;
+          }
+          if (op_status.ok()) {
+            ++staged.scans;
+          }
+        } else {
+          uint64_t key = table.Get(dist.Next(rng, n));
+          auto size = backend.ReadForUpdate(key);
+          op_status = size.status();
+          if (op_status.ok()) {
+            staged.bytes_read += *size;
+            std::string value = MakeValue(++stamp, vsize.Next(rng));
+            staged.bytes_written += value.size();
+            op_status = backend.Update(key, value);
+            if (op_status.ok()) {
+              ++staged.rmws;
+            }
+          }
+        }
+        if (!op_status.ok()) {
+          if (op_status.code() == StatusCode::kTimeout) {
+            timeout = true;  // deadlock broken under us: retry the txn
+          } else {
+            hard_fail(op_status);
+            return;
+          }
+        }
+      }
+      if (timeout) {
+        backend.Abort();
+        ++out.txns_aborted;
+        continue;
+      }
+      double commit_start = NowUs();
+      status = backend.Commit();
+      double txn_end = NowUs();
+      if (status.ok()) {
+        for (uint64_t id : pending_inserts) {
+          table.Publish(id);
+        }
+        out.reads += staged.reads;
+        out.updates += staged.updates;
+        out.inserts += staged.inserts;
+        out.scans += staged.scans;
+        out.scan_items += staged.scan_items;
+        out.rmws += staged.rmws;
+        out.bytes_read += staged.bytes_read;
+        out.bytes_written += staged.bytes_written;
+        ++out.txns_committed;
+        out.txn_latency_us.push_back(txn_end - txn_start);
+        out.commit_latency_us.push_back(txn_end - commit_start);
+        committed = true;
+        break;
+      }
+      ++out.txns_aborted;
+      if (status.code() != StatusCode::kTimeout) {
+        hard_fail(status);
+        return;
+      }
+    }
+    // Whether this batch committed or exhausted its retries, the budget is
+    // spent: the driver models an open workload, not a must-succeed queue.
+    (void)committed;
+    done += batch;
+  }
+}
+
+DriverResult YcsbDriver::Run(const std::vector<YcsbBackend*>& backends,
+                             KeyTable& table) {
+  DriverResult result;
+  if (backends.empty()) {
+    result.status = InvalidArgumentError("no backends supplied");
+    return result;
+  }
+  internal_stop_.store(false, std::memory_order_relaxed);
+  const int threads = static_cast<int>(backends.size());
+  std::vector<ThreadResult> per_thread(threads);
+
+  uint64_t per = options_.operations / threads;
+  uint64_t extra = options_.operations % threads;
+
+  auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      uint64_t budget = per + (static_cast<uint64_t>(t) < extra ? 1 : 0);
+      workers.emplace_back([this, t, budget, &backends, &table, &per_thread] {
+        RunThread(t, budget, *backends[t], table, per_thread[t]);
+      });
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  result.wall_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+
+  std::vector<double> txn_lat;
+  std::vector<double> commit_lat;
+  for (ThreadResult& tr : per_thread) {
+    if (!tr.hard_failure.ok() && result.status.ok()) {
+      result.status = tr.hard_failure;
+    }
+    result.reads += tr.reads;
+    result.updates += tr.updates;
+    result.inserts += tr.inserts;
+    result.scans += tr.scans;
+    result.scan_items += tr.scan_items;
+    result.rmws += tr.rmws;
+    result.txns_committed += tr.txns_committed;
+    result.txns_aborted += tr.txns_aborted;
+    result.bytes_read += tr.bytes_read;
+    result.bytes_written += tr.bytes_written;
+    txn_lat.insert(txn_lat.end(), tr.txn_latency_us.begin(),
+                   tr.txn_latency_us.end());
+    commit_lat.insert(commit_lat.end(), tr.commit_latency_us.begin(),
+                      tr.commit_latency_us.end());
+  }
+  result.txn_latency = LatencySummary::FromSamples(std::move(txn_lat));
+  result.commit_latency = LatencySummary::FromSamples(std::move(commit_lat));
+  return result;
+}
+
+}  // namespace tdb::workload

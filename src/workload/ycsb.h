@@ -1,0 +1,246 @@
+// YCSB-style workload engine (Cooper et al., PAPERS.md): the standard A–F
+// operation mixes over the key distributions in distributions.h, generated
+// deterministically from a seed and runnable against two backends —
+//
+//  * InProcessBackend: ObjectStore transactions in this process, and
+//  * WireBackend: TdbClient over a net::Transport (loopback or TCP), so the
+//    same traffic exercises framing, sessions, 2PL, and group commit.
+//
+// The driver loads a dataset (one object per key, variable value sizes),
+// then runs N operations across worker threads. Each operation runs in its
+// own transaction by default (ops_per_txn batches more); scans are L
+// consecutive key reads inside one transaction. Lock-timeout aborts are
+// retried with fresh keys, like a client would. Latency is sampled per
+// committed transaction and per backend call, and the result reports
+// p50/p95/p99/p999.
+//
+// The torture harness (torture.h) reuses the driver with `stop` and
+// `tolerate_failures` to keep traffic flowing while maintenance and crash
+// injection run underneath.
+
+#ifndef SRC_WORKLOAD_YCSB_H_
+#define SRC_WORKLOAD_YCSB_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/object/object_store.h"
+#include "src/server/client.h"
+#include "src/workload/distributions.h"
+
+namespace tdb::workload {
+
+// ---------------------------------------------------------------------------
+// Workload specification
+
+enum class YcsbOpKind : uint8_t { kRead, kUpdate, kInsert, kScan, kRmw };
+
+const char* YcsbOpName(YcsbOpKind kind);
+
+struct WorkloadSpec {
+  std::string name = "custom";
+  // Operation mix; must sum to ~1.0.
+  double read = 1.0;
+  double update = 0.0;
+  double insert = 0.0;
+  double scan = 0.0;
+  double rmw = 0.0;
+
+  KeyDistributionKind dist = KeyDistributionKind::kZipfian;
+  HotspotParams hotspot;
+
+  uint64_t record_count = 1000;  // loaded before the run
+  uint64_t value_min = 100;      // payload bytes
+  uint64_t value_max = 100;
+  uint64_t max_scan_len = 20;    // scan length uniform in [1, max_scan_len]
+
+  // The standard YCSB mixes:
+  //   A 50/50 read/update zipfian     B 95/5 read/update zipfian
+  //   C 100 read zipfian              D 95/5 read/insert latest
+  //   E 95/5 scan/insert zipfian      F 50/50 read/rmw zipfian
+  static Result<WorkloadSpec> StandardMix(char mix);
+};
+
+// ---------------------------------------------------------------------------
+// Backends
+
+// One driver thread's connection to the system under test. Object ids cross
+// this interface packed (ChunkId::Pack), exactly as they cross the wire.
+class YcsbBackend {
+ public:
+  virtual ~YcsbBackend() = default;
+
+  virtual Status Begin() = 0;
+  virtual Status Commit() = 0;
+  virtual void Abort() = 0;
+
+  virtual Result<uint64_t> Insert(const std::string& value) = 0;
+  // Both reads return the value size so the driver can sanity-check data
+  // actually moved.
+  virtual Result<size_t> Read(uint64_t packed_id) = 0;
+  virtual Result<size_t> ReadForUpdate(uint64_t packed_id) = 0;
+  // Exclusive-locked read returning the value itself — what a
+  // read-modify-write that depends on the old value (e.g. a balance
+  // transfer) needs.
+  virtual Result<std::string> ReadValueForUpdate(uint64_t packed_id) = 0;
+  virtual Status Update(uint64_t packed_id, const std::string& value) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Direct ObjectStore transactions (the store is thread-safe; each backend
+// instance is one thread's transaction stream).
+class InProcessBackend final : public YcsbBackend {
+ public:
+  explicit InProcessBackend(ObjectStore* store) : store_(store) {}
+  ~InProcessBackend() override;
+
+  Status Begin() override;
+  Status Commit() override;
+  void Abort() override;
+  Result<uint64_t> Insert(const std::string& value) override;
+  Result<size_t> Read(uint64_t packed_id) override;
+  Result<size_t> ReadForUpdate(uint64_t packed_id) override;
+  Result<std::string> ReadValueForUpdate(uint64_t packed_id) override;
+  Status Update(uint64_t packed_id, const std::string& value) override;
+  const char* name() const override { return "local"; }
+
+ private:
+  ObjectStore* store_;
+  std::unique_ptr<Transaction> txn_;
+};
+
+// TdbClient over a transport; Connect before use. The registry must have
+// server::BlobValue registered (the driver's value type).
+class WireBackend final : public YcsbBackend {
+ public:
+  explicit WireBackend(const TypeRegistry* registry,
+                       server::TdbClientOptions options = {})
+      : client_(registry, options) {}
+
+  Status Connect(net::Transport* transport, const std::string& address) {
+    return client_.Connect(transport, address);
+  }
+
+  Status Begin() override { return client_.Begin(); }
+  Status Commit() override { return client_.Commit(); }
+  void Abort() override;
+  Result<uint64_t> Insert(const std::string& value) override;
+  Result<size_t> Read(uint64_t packed_id) override;
+  Result<size_t> ReadForUpdate(uint64_t packed_id) override;
+  Result<std::string> ReadValueForUpdate(uint64_t packed_id) override;
+  Status Update(uint64_t packed_id, const std::string& value) override;
+  const char* name() const override { return "wire"; }
+
+ private:
+  server::TdbClient client_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared key table
+
+// The published key space: index -> packed object id. Loads and committed
+// inserts publish here; readers pick indexes below size(). Thread-safe.
+class KeyTable {
+ public:
+  void Reset(std::vector<uint64_t> ids);
+  uint64_t size() const;
+  uint64_t Get(uint64_t index) const;
+  void Publish(uint64_t packed_id);
+  std::vector<uint64_t> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint64_t> ids_;
+};
+
+// ---------------------------------------------------------------------------
+// Driver
+
+struct DriverOptions {
+  uint64_t operations = 10000;  // total across all threads
+  int threads = 1;
+  uint64_t seed = 42;
+  uint64_t ops_per_txn = 1;
+  // A lock-timeout abort retries the transaction with fresh keys up to this
+  // many times before the attempt is dropped (conservation-safe either way).
+  int txn_retry_limit = 16;
+
+  // Torture hooks: stop early when *stop becomes true; treat backend
+  // failures as "system went down" (stop the thread, keep the partial
+  // result) instead of failing the run.
+  const std::atomic<bool>* stop = nullptr;
+  bool tolerate_failures = false;
+};
+
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+
+  static LatencySummary FromSamples(std::vector<double> samples_us);
+};
+
+struct DriverResult {
+  Status status = OkStatus();  // first hard failure (always ok if tolerated)
+  double wall_us = 0.0;
+
+  uint64_t reads = 0;
+  uint64_t updates = 0;
+  uint64_t inserts = 0;
+  uint64_t scans = 0;
+  uint64_t scan_items = 0;  // keys touched by scans
+  uint64_t rmws = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;  // lock-timeout retries + dropped attempts
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  // End-to-end transaction latency (begin..commit ack) — the user-visible
+  // number — plus commit-call latency on its own.
+  LatencySummary txn_latency;
+  LatencySummary commit_latency;
+
+  uint64_t ops() const { return reads + updates + inserts + scans + rmws; }
+  double ops_per_sec() const {
+    return wall_us > 0.0 ? 1e6 * static_cast<double>(ops()) / wall_us : 0.0;
+  }
+};
+
+class YcsbDriver {
+ public:
+  YcsbDriver(WorkloadSpec spec, DriverOptions options);
+
+  // Loads spec.record_count records through `backend` (batched commits) and
+  // publishes their ids into `table`.
+  Status Load(YcsbBackend& backend, KeyTable& table);
+
+  // Runs options.operations across the backends (one per thread;
+  // backends.size() overrides options.threads).
+  DriverResult Run(const std::vector<YcsbBackend*>& backends, KeyTable& table);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  struct ThreadResult;
+  void RunThread(int thread_index, uint64_t op_budget, YcsbBackend& backend,
+                 KeyTable& table, ThreadResult& out);
+
+  WorkloadSpec spec_;
+  DriverOptions options_;
+  std::atomic<bool> internal_stop_{false};
+};
+
+}  // namespace tdb::workload
+
+#endif  // SRC_WORKLOAD_YCSB_H_

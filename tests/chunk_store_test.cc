@@ -627,6 +627,118 @@ TEST_P(ChunkStoreTest, CleanerPreservesSnapshotSharing) {
   }
 }
 
+// Regression: deallocating a copy used to leave a dangling entry in the
+// source's copies list. The cleaner walks source→copies to decide whether a
+// chunk version is still live, treated the broken walk as "owner
+// deallocated", and reclaimed current chunks of the *surviving* source —
+// surfaced by the workload torture harness as tamper-detected reads of
+// acknowledged keys after backup-snapshot rotation.
+TEST_P(ChunkStoreTest, CleanerKeepsLiveChunksAfterACopyIsDeallocated) {
+  // The backup rotation pattern: every round takes a fresh snapshot, drops
+  // the previous one, churns, checkpoints, and cleans. The rounds matter —
+  // a mis-cleaned segment still holds its old bytes until it is *reused*,
+  // so the corruption only becomes visible a few cycles in.
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  std::vector<ChunkId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(*(*cs)->AllocateChunk(p));
+    ASSERT_TRUE((*cs)->WriteChunk(ids.back(), BytesFromString("v0")).ok());
+  }
+  Rng rng(17);
+  PartitionId old_snap = 0;
+  for (int round = 0; round < 12; ++round) {
+    PartitionId snap = *(*cs)->AllocatePartition();
+    {
+      ChunkStore::Batch batch;
+      batch.CopyPartition(snap, p);
+      ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+    }
+    if (old_snap != 0) {
+      ChunkStore::Batch batch;
+      batch.DeallocatePartition(old_snap);
+      ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+    }
+    old_snap = snap;
+    for (int b = 0; b < 4; ++b) {
+      ChunkStore::Batch batch;
+      for (size_t i = 0; i < ids.size(); i += 2) {
+        batch.WriteChunk(ids[i], rng.NextBytes(300));
+      }
+      ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+    }
+    ASSERT_TRUE((*cs)->Checkpoint().ok());
+    ASSERT_TRUE((*cs)->Clean(2).ok());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto body = (*cs)->Read(ids[i]);
+      ASSERT_TRUE(body.ok())
+          << "round " << round << " chunk " << i << ": " << body.status();
+    }
+  }
+  EXPECT_GT((*cs)->GetStats().segments_cleaned, 0u);
+}
+
+// Same dangling-copies defect, seen from the deallocation validator: with a
+// stale entry, deallocating the source partition failed its closure walk.
+TEST_P(ChunkStoreTest, DeallocatingACopyDetachesItFromItsSource) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("x")).ok());
+  PartitionId snap = *(*cs)->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.CopyPartition(snap, p);
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  {
+    ChunkStore::Batch batch;
+    batch.DeallocatePartition(snap);
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  {
+    ChunkStore::Batch batch;
+    batch.DeallocatePartition(p);
+    EXPECT_TRUE((*cs)->Commit(std::move(batch)).ok())
+        << "source still names its deallocated copy";
+  }
+  EXPECT_FALSE((*cs)->PartitionExists(p));
+}
+
+// And the recovery path: a copy deallocation replayed from the log (no
+// intervening checkpoint) must detach from the source as well.
+TEST_P(ChunkStoreTest, RecoveredCopyDeallocationDetachesFromItsSource) {
+  auto cs = rig_.Create();
+  ASSERT_TRUE(cs.ok());
+  PartitionId p = MakePartition(**cs);
+  ChunkId id = *(*cs)->AllocateChunk(p);
+  ASSERT_TRUE((*cs)->WriteChunk(id, BytesFromString("x")).ok());
+  PartitionId snap = *(*cs)->AllocatePartition();
+  {
+    ChunkStore::Batch batch;
+    batch.CopyPartition(snap, p);
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  ASSERT_TRUE((*cs)->Checkpoint().ok());
+  {
+    ChunkStore::Batch batch;
+    batch.DeallocatePartition(snap);
+    ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  }
+  cs->reset();  // restart: the deallocation above is replayed from the log
+  auto reopened = rig_.Open();
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_FALSE((*reopened)->PartitionExists(snap));
+  {
+    ChunkStore::Batch batch;
+    batch.DeallocatePartition(p);
+    EXPECT_TRUE((*reopened)->Commit(std::move(batch)).ok())
+        << "recovered source still names its deallocated copy";
+  }
+}
+
 TEST_P(ChunkStoreTest, AutoCheckpointTriggersOnDirtyThreshold) {
   rig_.options().checkpoint_dirty_threshold = 50;
   auto cs = rig_.Create();

@@ -221,30 +221,40 @@ TEST(LinearRegressionTest, SingularSystemReturnsEmpty) {
 }
 
 TEST(ProfilerTest, NestedScopesExcludeChildren) {
+  // Wall-clock comparison, so a preemption mid-loop (common when the whole
+  // suite runs in parallel) can inflate one side arbitrarily. Retry a few
+  // times; the exclusion property only has to hold on an undisturbed run.
   Profiler& p = Profiler::Instance();
-  p.Reset();
-  p.Enable();
-  {
-    ProfileScope outer("outer_module");
-    volatile double sink = 0;
-    for (int i = 0; i < 100000; ++i) {
-      sink += std::sqrt(static_cast<double>(i));
-    }
+  double outer_us = 0, inner_us = 0;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    p.Reset();
+    p.Enable();
     {
-      ProfileScope inner("inner_module");
+      ProfileScope outer("outer_module");
+      volatile double sink = 0;
       for (int i = 0; i < 100000; ++i) {
         sink += std::sqrt(static_cast<double>(i));
       }
+      {
+        ProfileScope inner("inner_module");
+        for (int i = 0; i < 100000; ++i) {
+          sink += std::sqrt(static_cast<double>(i));
+        }
+      }
     }
-  }
-  p.Disable();
-  auto snapshot = p.Snapshot();
-  double outer_us = 0, inner_us = 0;
-  for (const auto& e : snapshot) {
-    if (e.module == "outer_module") {
-      outer_us = e.total_us;
-    } else if (e.module == "inner_module") {
-      inner_us = e.total_us;
+    p.Disable();
+    auto snapshot = p.Snapshot();
+    outer_us = 0;
+    inner_us = 0;
+    for (const auto& e : snapshot) {
+      if (e.module == "outer_module") {
+        outer_us = e.total_us;
+      } else if (e.module == "inner_module") {
+        inner_us = e.total_us;
+      }
+    }
+    if (outer_us > 0.0 && inner_us > 0.0 && outer_us < inner_us * 1.8) {
+      break;
     }
   }
   EXPECT_GT(outer_us, 0.0);

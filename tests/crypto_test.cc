@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+#include <vector>
+
 #include "src/common/bytes.h"
 #include "src/crypto/aes.h"
 #include "src/crypto/cbc.h"
@@ -234,6 +238,42 @@ TEST(CbcTest, WrongKeyFailsPaddingOrGarbles) {
   auto back = dec.Decrypt(ct);
   if (back.ok()) {
     EXPECT_NE(*back, plain);  // 1/256 chance padding accidentally validates
+  }
+}
+
+// Regression: ReserveSeqs used a plain counter, so a backup stream reserving
+// IVs while commits reserved from the same shared suite could hand out
+// overlapping sequence ranges (CBC IV reuse). Racing reservers must get
+// disjoint ranges; TSan additionally flags the old unsynchronized counter.
+TEST(CbcTest, ConcurrentSeqReservationsAreDisjoint) {
+  auto aes = Aes128::Create(Bytes(16, 1));
+  ASSERT_TRUE(aes.ok());
+  Aes128Cbc cbc(*aes, "aes128-cbc");
+
+  constexpr int kThreads = 8;
+  constexpr int kReservesPerThread = 2000;
+  constexpr size_t kSpan = 3;  // each reservation claims seqs [first, first+2]
+  std::vector<std::vector<uint64_t>> firsts(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cbc, &firsts, t] {
+      firsts[t].reserve(kReservesPerThread);
+      for (int i = 0; i < kReservesPerThread; ++i) {
+        firsts[t].push_back(cbc.ReserveSeqs(kSpan));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<uint64_t> all;
+  for (const auto& per_thread : firsts) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<size_t>(kThreads * kReservesPerThread));
+  EXPECT_EQ(all.front(), 1u);  // first reservation continues the serial path
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], all[i - 1] + kSpan) << "overlapping IV ranges at " << i;
   }
 }
 

@@ -5,7 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -384,6 +392,34 @@ TEST_F(ServerTest, StatsCountSessionsAndRequests) {
   EXPECT_EQ(stats.active_sessions, 0u);
 }
 
+// The loopback transport exchanges whole frames, so attacks on the framing
+// layer itself — a length prefix past the kMaxFrameBytes cap, a connection
+// torn down mid-frame — can only be expressed against the TCP transport
+// with a raw socket. Returns -1 if the connect fails.
+int RawConnect(const std::string& address) {
+  auto colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return -1;
+  }
+  std::string host = address.substr(0, colon);
+  int port = std::atoi(address.c_str() + colon + 1);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  timeval timeout{.tv_sec = 3, .tv_usec = 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  return fd;
+}
+
 TEST_F(ServerTest, TcpTransportSmokeTest) {
   net::TcpTransport tcp;
   TdbServer server(chunks_.get(), partition_, &registry_, {});
@@ -404,6 +440,128 @@ TEST_F(ServerTest, TcpTransportSmokeTest) {
   EXPECT_EQ(AsBlob(*blob).value, "over real sockets");
   client.Disconnect();
   server.Stop();
+}
+
+TEST_F(ServerTest, OversizedFrameClosesTheConnectionWithoutServingIt) {
+  net::TcpTransport tcp;
+  TdbServer server(chunks_.get(), partition_, &registry_, {});
+  Status started = server.Start(&tcp, "127.0.0.1:0");
+  if (!started.ok()) {
+    GTEST_SKIP() << "TCP unavailable in this environment: " << started;
+  }
+
+  int fd = RawConnect(server.address());
+  ASSERT_GE(fd, 0);
+  // A 4-byte big-endian length prefix one past the 16MB cap. The server must
+  // reject it from the header alone — never allocate the body, never wait
+  // for it to arrive — and drop the connection.
+  uint32_t claimed = static_cast<uint32_t>(net::kMaxFrameBytes + 1);
+  unsigned char prefix[4] = {static_cast<unsigned char>(claimed >> 24),
+                             static_cast<unsigned char>(claimed >> 16),
+                             static_cast<unsigned char>(claimed >> 8),
+                             static_cast<unsigned char>(claimed)};
+  ASSERT_EQ(::send(fd, prefix, sizeof(prefix), 0),
+            static_cast<ssize_t>(sizeof(prefix)));
+
+  // Drain until the server hangs up. It owes us nothing (no body ever
+  // followed the header), so anything beyond a small error response means
+  // the cap was not enforced.
+  size_t received = 0;
+  bool closed = false;
+  char buffer[512];
+  for (int i = 0; i < 64; ++i) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      closed = n == 0;
+      break;
+    }
+    received += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  EXPECT_TRUE(closed) << "server kept the poisoned connection open";
+  EXPECT_LT(received, size_t{4096});
+
+  // The server itself is unharmed: a well-formed client is still served.
+  TdbClient client(&registry_);
+  ASSERT_TRUE(client.Connect(&tcp, server.address()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  client.Disconnect();
+  server.Stop();
+}
+
+TEST_F(ServerTest, MidFrameDisconnectLeavesOtherSessionsServed) {
+  net::TcpTransport tcp;
+  TdbServer server(chunks_.get(), partition_, &registry_, {});
+  Status started = server.Start(&tcp, "127.0.0.1:0");
+  if (!started.ok()) {
+    GTEST_SKIP() << "TCP unavailable in this environment: " << started;
+  }
+
+  // A healthy session with an open transaction, established first so it is
+  // mid-flight while the malformed peer comes and goes.
+  TdbClient healthy(&registry_);
+  ASSERT_TRUE(healthy.Connect(&tcp, server.address()).ok());
+  ASSERT_TRUE(healthy.Begin().ok());
+  auto id = healthy.Insert(BlobValue("survives the rude neighbor"));
+  ASSERT_TRUE(id.ok());
+
+  // Promise a 64-byte frame, deliver 10 bytes, vanish.
+  int fd = RawConnect(server.address());
+  ASSERT_GE(fd, 0);
+  unsigned char partial[14] = {0, 0, 0, 64, 'h', 'a', 'l', 'f',
+                               ' ', 'a', ' ', 'f', 'r', 'a'};
+  ASSERT_EQ(::send(fd, partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  ::close(fd);
+
+  // The abandoned read must not wedge a worker or poison shared state: the
+  // healthy session finishes its transaction and new sessions are accepted.
+  ASSERT_TRUE(healthy.Commit().ok());
+  ASSERT_TRUE(healthy.Begin().ok());
+  auto blob = healthy.Get(*id);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(AsBlob(*blob).value, "survives the rude neighbor");
+  ASSERT_TRUE(healthy.Abort().ok());
+
+  TdbClient late(&registry_);
+  ASSERT_TRUE(late.Connect(&tcp, server.address()).ok());
+  EXPECT_TRUE(late.Ping().ok());
+
+  healthy.Disconnect();
+  late.Disconnect();
+  server.Stop();
+}
+
+TEST_F(ServerTest, ScanOverNeverWrittenIdsFailsCleanlyPerKey) {
+  StartServer();
+  auto writer = NewClient();
+  ASSERT_TRUE(writer->Begin().ok());
+  auto id = writer->Insert(BlobValue("the only record"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(writer->Commit().ok());
+
+  // A scan is issued as consecutive point reads (the wire protocol has no
+  // range op), so a scan that runs off the end of the written key space is
+  // a burst of Gets on allocated-but-never-written ranks. Each one must
+  // come back kNotFound without disturbing the session.
+  auto reader = NewClient();
+  ASSERT_TRUE(reader->Begin().ok());
+  for (uint32_t rank = 50000; rank < 50008; ++rank) {
+    EXPECT_EQ(reader->Get(ObjectId(partition_, 0, rank)).status().code(),
+              StatusCode::kNotFound)
+        << "rank " << rank;
+  }
+  // The locking read path answers the same way.
+  EXPECT_EQ(
+      reader->GetForUpdate(ObjectId(partition_, 0, 50008)).status().code(),
+      StatusCode::kNotFound);
+
+  // kNotFound is advisory, not fatal: the same transaction still reads real
+  // data and commits.
+  auto blob = reader->Get(*id);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(AsBlob(*blob).value, "the only record");
+  EXPECT_TRUE(reader->Commit().ok());
 }
 
 }  // namespace

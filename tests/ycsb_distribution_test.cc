@@ -1,0 +1,210 @@
+// Tests for the workload key/value distributions: determinism under a fixed
+// seed, bound safety (including key-space growth mid-stream), and skew
+// sanity — zipfian and hotspot must concentrate mass the way they claim, and
+// uniform must pass a chi-square-style evenness check.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/distributions.h"
+
+namespace tdb::workload {
+namespace {
+
+constexpr uint64_t kN = 1000;
+constexpr int kDraws = 100000;
+
+std::vector<uint64_t> Draw(KeyDistributionKind kind, uint64_t seed, int count,
+                           uint64_t n) {
+  Rng rng(seed);
+  KeyDistribution dist(kind, n);
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(dist.Next(rng, n));
+  }
+  return out;
+}
+
+TEST(Distributions, DeterministicUnderFixedSeed) {
+  for (KeyDistributionKind kind :
+       {KeyDistributionKind::kUniform, KeyDistributionKind::kZipfian,
+        KeyDistributionKind::kHotspot, KeyDistributionKind::kLatest}) {
+    EXPECT_EQ(Draw(kind, 7, 2000, kN), Draw(kind, 7, 2000, kN))
+        << KeyDistributionName(kind);
+    EXPECT_NE(Draw(kind, 7, 2000, kN), Draw(kind, 8, 2000, kN))
+        << KeyDistributionName(kind) << " ignores its seed";
+  }
+}
+
+TEST(Distributions, EveryDrawIsInBounds) {
+  for (KeyDistributionKind kind :
+       {KeyDistributionKind::kUniform, KeyDistributionKind::kZipfian,
+        KeyDistributionKind::kHotspot, KeyDistributionKind::kLatest}) {
+    for (uint64_t n : {uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{17}, kN}) {
+      Rng rng(11);
+      KeyDistribution dist(kind, n);
+      for (int i = 0; i < 5000; ++i) {
+        EXPECT_LT(dist.Next(rng, n), n) << KeyDistributionName(kind);
+      }
+    }
+  }
+}
+
+TEST(Distributions, BoundsHoldWhileKeySpaceGrows) {
+  for (KeyDistributionKind kind :
+       {KeyDistributionKind::kUniform, KeyDistributionKind::kZipfian,
+        KeyDistributionKind::kHotspot, KeyDistributionKind::kLatest}) {
+    Rng rng(13);
+    KeyDistribution dist(kind, 10);
+    uint64_t n = 10;
+    for (int i = 0; i < 20000; ++i) {
+      if (i % 37 == 0) {
+        ++n;  // an insert was acknowledged
+      }
+      EXPECT_LT(dist.Next(rng, n), n) << KeyDistributionName(kind);
+    }
+  }
+}
+
+TEST(Distributions, UniformPassesChiSquare) {
+  // 20 equal-width buckets over [0, kN). With 100k draws the expected count
+  // is 5000 per bucket; the chi-square statistic over 19 degrees of freedom
+  // has a 99.9% quantile of ~43.8. A generous 60 keeps the test stable
+  // across seeds while still catching a broken generator by miles.
+  std::vector<uint64_t> draws =
+      Draw(KeyDistributionKind::kUniform, 17, kDraws, kN);
+  constexpr int kBuckets = 20;
+  double expected = static_cast<double>(kDraws) / kBuckets;
+  std::vector<int> counts(kBuckets, 0);
+  for (uint64_t d : draws) {
+    ++counts[d * kBuckets / kN];
+  }
+  double chi2 = 0.0;
+  for (int c : counts) {
+    double diff = c - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 60.0);
+}
+
+TEST(Distributions, ZipfianIsSkewedAndSpreadByScrambling) {
+  std::vector<uint64_t> draws =
+      Draw(KeyDistributionKind::kZipfian, 19, kDraws, kN);
+  std::map<uint64_t, int> counts;
+  for (uint64_t d : draws) {
+    ++counts[d];
+  }
+  std::vector<int> sorted;
+  for (const auto& [key, count] : counts) {
+    sorted.push_back(count);
+  }
+  std::sort(sorted.rbegin(), sorted.rend());
+
+  // YCSB zipfian theta .99 puts a large share of mass on few keys: the top
+  // 10 of 1000 keys should cover well over 15% of draws (theory ~ 30%),
+  // where uniform would give them 1%.
+  int top10 = 0;
+  for (size_t i = 0; i < 10 && i < sorted.size(); ++i) {
+    top10 += sorted[i];
+  }
+  EXPECT_GT(top10, kDraws * 15 / 100);
+
+  // Scrambling spreads the hot ranks across the key space: the hottest key
+  // should usually NOT be index 0 (unscrambled zipfian pins it there), and
+  // hot keys must not all cluster in the lowest decile.
+  uint64_t hottest = 0;
+  int hottest_count = 0;
+  int hot_in_low_decile = 0;
+  std::vector<std::pair<int, uint64_t>> by_count;
+  for (const auto& [key, count] : counts) {
+    by_count.push_back({count, key});
+    if (count > hottest_count) {
+      hottest_count = count;
+      hottest = key;
+    }
+  }
+  std::sort(by_count.rbegin(), by_count.rend());
+  for (size_t i = 0; i < 10 && i < by_count.size(); ++i) {
+    if (by_count[i].second < kN / 10) {
+      ++hot_in_low_decile;
+    }
+  }
+  EXPECT_LT(hot_in_low_decile, 10);
+  (void)hottest;
+}
+
+TEST(Distributions, HotspotRespectsItsFractions) {
+  std::vector<uint64_t> draws =
+      Draw(KeyDistributionKind::kHotspot, 23, kDraws, kN);
+  // Defaults: 80% of ops inside the first 20% of the key space.
+  uint64_t hot_n = kN / 5;
+  int hot = 0;
+  for (uint64_t d : draws) {
+    if (d < hot_n) {
+      ++hot;
+    }
+  }
+  // 80% target (plus the uniform 20% that lands there by chance: expected
+  // 0.8 + 0.2*0.2 = 84%). Accept a wide [78%, 90%] band.
+  EXPECT_GT(hot, kDraws * 78 / 100);
+  EXPECT_LT(hot, kDraws * 90 / 100);
+}
+
+TEST(Distributions, LatestFavorsTheNewestKeys) {
+  std::vector<uint64_t> draws =
+      Draw(KeyDistributionKind::kLatest, 29, kDraws, kN);
+  // Workload D semantics: the most recently inserted (highest) indexes are
+  // the hottest. The top decile of the key space should absorb most draws.
+  int newest_decile = 0;
+  for (uint64_t d : draws) {
+    if (d >= kN - kN / 10) {
+      ++newest_decile;
+    }
+  }
+  EXPECT_GT(newest_decile, kDraws / 2);
+}
+
+TEST(Distributions, ZipfianGrowExtendsTheHarmonicSum) {
+  ZipfianGenerator zipf(100);
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 100u);
+  }
+  zipf.Grow(1000);
+  EXPECT_EQ(zipf.n(), 1000u);
+  bool saw_past_old_n = false;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t rank = zipf.Next(rng);
+    EXPECT_LT(rank, 1000u);
+    saw_past_old_n = saw_past_old_n || rank >= 100;
+  }
+  EXPECT_TRUE(saw_past_old_n);
+  zipf.Grow(10);  // shrinking is a no-op
+  EXPECT_EQ(zipf.n(), 1000u);
+}
+
+TEST(Distributions, ValueSizesStayInRange) {
+  Rng rng(37);
+  ValueSizeDistribution vsize(64, 512);
+  bool saw_low = false;
+  bool saw_high = false;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t size = vsize.Next(rng);
+    EXPECT_GE(size, 64u);
+    EXPECT_LE(size, 512u);
+    saw_low = saw_low || size < 128;
+    saw_high = saw_high || size > 448;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+  ValueSizeDistribution fixed(100, 100);
+  EXPECT_EQ(fixed.Next(rng), 100u);
+}
+
+}  // namespace
+}  // namespace tdb::workload

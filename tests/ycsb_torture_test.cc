@@ -1,0 +1,106 @@
+// The soak/torture suite: driver traffic + balance transfers overlapping
+// checkpoints, segment cleaning, chained incremental backups (with restore
+// verification), and crash-point injection, in both local and wire modes.
+// Short by default; set TDB_SOAK_SECONDS for a long soak.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/workload/torture.h"
+
+namespace tdb::workload {
+namespace {
+
+TortureOptions BaseOptions(uint64_t seed) {
+  TortureOptions options;
+  options.seed = seed;
+  options.duration = std::chrono::milliseconds(2000);
+  options.epoch = std::chrono::milliseconds(400);
+  options.records = 256;
+  options.accounts = 12;
+  options.driver_threads = 3;
+  options.transfer_threads = 2;
+  options.ApplySoakEnv();
+  return options;
+}
+
+TEST(TortureOptionsTest, SoakEnvOverridesDuration) {
+  TortureOptions options;
+  auto original = options.duration;
+  // Restore any caller-supplied soak setting afterwards so the soak tests
+  // below still honor it.
+  const char* prior = std::getenv("TDB_SOAK_SECONDS");
+  std::string saved = prior != nullptr ? prior : "";
+  bool had_prior = prior != nullptr;
+
+  ASSERT_EQ(setenv("TDB_SOAK_SECONDS", "7", 1), 0);
+  options.ApplySoakEnv();
+  EXPECT_EQ(options.duration, std::chrono::milliseconds(7000));
+
+  ASSERT_EQ(setenv("TDB_SOAK_SECONDS", "not-a-number", 1), 0);
+  TortureOptions garbage;
+  garbage.ApplySoakEnv();
+  EXPECT_EQ(garbage.duration, original);
+
+  ASSERT_EQ(setenv("TDB_SOAK_SECONDS", "-3", 1), 0);
+  TortureOptions negative;
+  negative.ApplySoakEnv();
+  EXPECT_EQ(negative.duration, original);
+
+  ASSERT_EQ(unsetenv("TDB_SOAK_SECONDS"), 0);
+  TortureOptions unset;
+  unset.ApplySoakEnv();
+  EXPECT_EQ(unset.duration, original);
+
+  if (had_prior) {
+    ASSERT_EQ(setenv("TDB_SOAK_SECONDS", saved.c_str(), 1), 0);
+  }
+}
+
+TEST(TortureTest, LocalModeSurvivesTheSoak) {
+  TortureOptions options = BaseOptions(/*seed=*/42);
+  options.mode = TortureMode::kLocal;
+  TortureHarness harness(options);
+  auto report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_GE(report->epochs, 1u);
+  EXPECT_GT(report->driver_txns_committed, 0u) << report->Summary();
+  EXPECT_GT(report->transfers_committed, 0u) << report->Summary();
+  EXPECT_EQ(report->crashes, report->recoveries) << report->Summary();
+}
+
+TEST(TortureTest, WireModeSurvivesTheSoak) {
+  TortureOptions options = BaseOptions(/*seed=*/1042);
+  options.mode = TortureMode::kWire;
+  TortureHarness harness(options);
+  auto report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_GE(report->epochs, 1u);
+  EXPECT_GT(report->driver_txns_committed, 0u) << report->Summary();
+  EXPECT_GT(report->transfers_committed, 0u) << report->Summary();
+  EXPECT_EQ(report->crashes, report->recoveries) << report->Summary();
+}
+
+TEST(TortureTest, CrashFreeSoakStillOverlapsMaintenance) {
+  // With injection off the harness must come out clean *and* have done real
+  // maintenance work under traffic (checkpoints, cleaning, backups).
+  TortureOptions options = BaseOptions(/*seed=*/7);
+  options.mode = TortureMode::kLocal;
+  options.crash_injection = false;
+  options.duration = std::chrono::milliseconds(1200);
+  TortureHarness harness(options);
+  auto report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->crashes, 0u);
+  EXPECT_GT(report->checkpoints, 0u) << report->Summary();
+  EXPECT_GT(report->backups, 0u) << report->Summary();
+  EXPECT_GT(report->restores_verified, 0u) << report->Summary();
+}
+
+}  // namespace
+}  // namespace tdb::workload
