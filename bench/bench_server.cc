@@ -42,9 +42,12 @@ using server::TdbServerOptions;
 struct RunResult {
   double wall_us = 0.0;
   uint64_t commits = 0;
+  // Per-transaction begin..commit latencies, merged across clients.
+  std::vector<double> latencies_us;
 
   double commits_per_sec() const { return 1e6 * commits / wall_us; }
-  double mean_us() const { return wall_us / commits; }
+  double mean_us() const { return Mean(latencies_us); }
+  double stddev_us() const { return SampleStddev(latencies_us); }
 };
 
 constexpr std::chrono::microseconds kFlushLatency{500};
@@ -88,6 +91,7 @@ RunResult RunClients(int clients, bool group_commit, int commits_per_client) {
 
   RunResult result;
   result.commits = static_cast<uint64_t>(clients) * commits_per_client;
+  std::vector<std::vector<double>> per_client(clients);
   result.wall_us = TimeUs([&] {
     std::vector<std::thread> threads;
     threads.reserve(clients);
@@ -97,13 +101,17 @@ RunResult RunClients(int clients, bool group_commit, int commits_per_client) {
         if (!client.Connect(&transport, server.address()).ok()) {
           std::abort();
         }
+        per_client[c].reserve(commits_per_client);
         for (int i = 0; i < commits_per_client; ++i) {
-          if (!client.Begin().ok() ||
-              !client.Put(ids[c], BlobValue("v" + std::to_string(i))).ok() ||
-              !client.Commit().ok()) {
-            std::fprintf(stderr, "client %d commit %d failed\n", c, i);
-            std::abort();
-          }
+          double us = TimeUs([&] {
+            if (!client.Begin().ok() ||
+                !client.Put(ids[c], BlobValue("v" + std::to_string(i))).ok() ||
+                !client.Commit().ok()) {
+              std::fprintf(stderr, "client %d commit %d failed\n", c, i);
+              std::abort();
+            }
+          });
+          per_client[c].push_back(us);
         }
       });
     }
@@ -112,6 +120,100 @@ RunResult RunClients(int clients, bool group_commit, int commits_per_client) {
     }
   });
   server.Stop();
+  for (auto& samples : per_client) {
+    result.latencies_us.insert(result.latencies_us.end(), samples.begin(),
+                               samples.end());
+  }
+  return result;
+}
+
+// Read-mostly sweep: each transaction is a begin, `reads_per_txn` Gets over
+// this client's objects, and a commit — with the begin either a classic 2PL
+// Begin (shared locks per Get) or a lock-free snapshot BeginReadOnly. The
+// spread between the two is the read path's locking + single-mutex-cache
+// cost at each client count.
+RunResult RunReaders(int clients, bool snapshot, int txns_per_client,
+                     int reads_per_txn) {
+  Rig rig = MakeRig(/*segment_size=*/256 * 1024, /*num_segments=*/2048,
+                    ValidationMode::kCounter, /*delta_ut=*/5,
+                    /*crypto_threads=*/SIZE_MAX, kFlushLatency);
+  PartitionId partition = MakePartition(*rig.chunks);
+  TypeRegistry registry;
+  if (!RegisterType<BlobValue>(registry).ok()) {
+    std::abort();
+  }
+
+  net::LoopbackTransport transport;
+  TdbServerOptions options;
+  options.group_commit = true;
+  TdbServer server(rig.chunks.get(), partition, &registry, options);
+  if (!server.Start(&transport, "bench").ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    std::abort();
+  }
+
+  std::vector<ObjectId> ids(clients);
+  {
+    TdbClient setup(&registry);
+    (void)setup.Connect(&transport, server.address());
+    (void)setup.Begin();
+    for (int c = 0; c < clients; ++c) {
+      auto id = setup.Insert(BlobValue("seed"));
+      if (!id.ok()) {
+        std::abort();
+      }
+      ids[c] = *id;
+    }
+    if (!setup.Commit().ok()) {
+      std::abort();
+    }
+  }
+
+  RunResult result;
+  result.commits = static_cast<uint64_t>(clients) * txns_per_client;
+  std::vector<std::vector<double>> per_client(clients);
+  result.wall_us = TimeUs([&] {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        TdbClient client(&registry);
+        if (!client.Connect(&transport, server.address()).ok()) {
+          std::abort();
+        }
+        per_client[c].reserve(txns_per_client);
+        for (int i = 0; i < txns_per_client; ++i) {
+          double us = TimeUs([&] {
+            Status begin =
+                snapshot ? client.BeginReadOnly() : client.Begin();
+            if (!begin.ok()) {
+              std::fprintf(stderr, "client %d begin failed\n", c);
+              std::abort();
+            }
+            for (int r = 0; r < reads_per_txn; ++r) {
+              if (!client.Get(ids[c]).ok()) {
+                std::fprintf(stderr, "client %d read failed\n", c);
+                std::abort();
+              }
+            }
+            if (!client.Commit().ok()) {
+              std::fprintf(stderr, "client %d commit failed\n", c);
+              std::abort();
+            }
+          });
+          per_client[c].push_back(us);
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  });
+  server.Stop();
+  for (auto& samples : per_client) {
+    result.latencies_us.insert(result.latencies_us.end(), samples.begin(),
+                               samples.end());
+  }
   return result;
 }
 
@@ -139,7 +241,33 @@ int Run(int argc, char** argv) {
       std::snprintf(params, sizeof(params),
                     "clients=%d,group_commit=%s,commits_per_sec=%.0f", clients,
                     group ? "on" : "off", r.commits_per_sec());
-      json.Add("server_commit", params, r.mean_us(), 0.0);
+      json.Add("server_commit", params, r.mean_us(), r.stddev_us());
+    }
+  }
+
+  constexpr int kTxnsPerClient = 200;
+  constexpr int kReadsPerTxn = 8;
+  PrintHeader("server: read-only txns vs clients, snapshot off/on");
+  std::printf("%8s %8s %14s %14s %14s %12s\n", "clients", "snap", "reads/s",
+              "txns/s", "mean us/txn", "speedup");
+  for (int clients : kClientCounts) {
+    double off_rate = 0.0;
+    for (bool snapshot : {false, true}) {
+      RunResult r = RunReaders(clients, snapshot, kTxnsPerClient, kReadsPerTxn);
+      if (!snapshot) {
+        off_rate = r.commits_per_sec();
+      }
+      double reads_per_sec = r.commits_per_sec() * kReadsPerTxn;
+      std::printf("%8d %8s %14.0f %14.0f %14.1f %11.2fx\n", clients,
+                  snapshot ? "on" : "off", reads_per_sec, r.commits_per_sec(),
+                  r.mean_us(), r.commits_per_sec() / off_rate);
+      char params[128];
+      std::snprintf(params, sizeof(params),
+                    "clients=%d,snapshot=%s,reads_per_txn=%d,reads_per_sec="
+                    "%.0f,txns_per_sec=%.0f",
+                    clients, snapshot ? "on" : "off", kReadsPerTxn,
+                    reads_per_sec, r.commits_per_sec());
+      json.Add("server_read", params, r.mean_us(), r.stddev_us());
     }
   }
 

@@ -13,6 +13,7 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -114,6 +115,34 @@ inline double TimeUs(const std::function<void()>& fn) {
   fn();
   auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+inline double Mean(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+// Sample standard deviation (n-1 denominator); 0 with fewer than 2 samples.
+// Benches feed this per-repetition means, or per-thread/per-txn samples when
+// a configuration is only run once, so emitted stddev_us is never a
+// placeholder zero.
+inline double SampleStddev(const std::vector<double>& samples) {
+  if (samples.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean(samples);
+  double var = 0.0;
+  for (double s : samples) {
+    double d = s - mean;
+    var += d * d;
+  }
+  return std::sqrt(var / static_cast<double>(samples.size() - 1));
 }
 
 inline void PrintHeader(const char* title) {

@@ -12,7 +12,8 @@
 // the committed-transaction latency distribution (p50/p95/p99/p999).
 //
 // Flags: --json <path>, --obs, --seed <n> (embedded in the JSON),
-// --ops <n>, --records <n>, --threads <n>.
+// --ops <n>, --records <n>, --threads <n>, --sweep-only 1 (skip the A-F
+// matrix and run just the scaling sweeps).
 
 #include <cstdio>
 #include <cstring>
@@ -52,7 +53,8 @@ uint64_t FlagU64(int argc, char** argv, const char* flag, uint64_t def) {
 }
 
 DriverResult RunOne(const WorkloadSpec& spec, bool wire, uint64_t ops,
-                    int threads) {
+                    int threads, bool snapshot_reads = false,
+                    uint64_t ops_per_txn = 1) {
   Rig rig = MakeRig(/*segment_size=*/256 * 1024, /*num_segments=*/2048,
                     ValidationMode::kCounter, /*delta_ut=*/5,
                     /*crypto_threads=*/SIZE_MAX, kFlushLatency);
@@ -65,6 +67,8 @@ DriverResult RunOne(const WorkloadSpec& spec, bool wire, uint64_t ops,
   DriverOptions options;
   options.operations = ops;
   options.seed = BenchSeed();
+  options.snapshot_reads = snapshot_reads;
+  options.ops_per_txn = ops_per_txn;
   YcsbDriver driver(spec, options);
   KeyTable table;
 
@@ -133,44 +137,137 @@ int Run(int argc, char** argv) {
   const uint64_t records = FlagU64(argc, argv, "--records", 2000);
   const int threads =
       static_cast<int>(FlagU64(argc, argv, "--threads", 4));
+  const bool sweep_only = FlagU64(argc, argv, "--sweep-only", 0) != 0;
 
-  PrintHeader("YCSB A-F, local object store vs wire client/server");
-  std::printf("%4s %-8s %-8s %10s %10s %10s %10s %10s %8s\n", "mix", "backend",
-              "dist", "ops/s", "p50 us", "p95 us", "p99 us", "p999 us",
-              "aborts");
+  if (!sweep_only) {
+    PrintHeader("YCSB A-F, local object store vs wire client/server");
+    std::printf("%4s %-8s %-8s %10s %10s %10s %10s %10s %8s\n", "mix", "backend",
+                "dist", "ops/s", "p50 us", "p95 us", "p99 us", "p999 us",
+                "aborts");
 
-  for (char mix : {'A', 'B', 'C', 'D', 'E', 'F'}) {
-    auto spec = WorkloadSpec::StandardMix(mix);
-    if (!spec.ok()) {
-      std::abort();
+    for (char mix : {'A', 'B', 'C', 'D', 'E', 'F'}) {
+      auto spec = WorkloadSpec::StandardMix(mix);
+      if (!spec.ok()) {
+        std::abort();
+      }
+      spec->record_count = records;
+      for (bool wire : {false, true}) {
+        DriverResult r = RunOne(*spec, wire, ops, threads);
+        const char* backend = wire ? "wire" : "local";
+        const auto& lat = r.txn_latency;
+        std::printf("%4c %-8s %-8s %10.0f %10.1f %10.1f %10.1f %10.1f %8llu\n",
+                    mix, backend, KeyDistributionName(spec->dist),
+                    r.ops_per_sec(), lat.p50_us, lat.p95_us, lat.p99_us,
+                    lat.p999_us, static_cast<unsigned long long>(r.txns_aborted));
+        char params[256];
+        std::snprintf(
+            params, sizeof(params),
+            "mix=%c,backend=%s,dist=%s,threads=%d,records=%llu,ops=%llu,"
+            "ops_per_sec=%.0f,p50_us=%.1f,p95_us=%.1f,p99_us=%.1f,p999_us=%.1f,"
+            "commit_p99_us=%.1f,aborts=%llu",
+            mix, backend, KeyDistributionName(spec->dist), threads,
+            static_cast<unsigned long long>(records),
+            static_cast<unsigned long long>(ops), r.ops_per_sec(), lat.p50_us,
+            lat.p95_us, lat.p99_us, lat.p999_us, r.commit_latency.p99_us,
+            static_cast<unsigned long long>(r.txns_aborted));
+        double bytes_per_sec =
+            r.wall_us > 0.0
+                ? 1e6 * static_cast<double>(r.bytes_read + r.bytes_written) /
+                      r.wall_us
+                : 0.0;
+        json.Add(std::string("ycsb_") + mix, params, lat.mean_us, lat.stddev_us,
+                 bytes_per_sec);
+      }
     }
-    spec->record_count = records;
-    for (bool wire : {false, true}) {
-      DriverResult r = RunOne(*spec, wire, ops, threads);
-      const char* backend = wire ? "wire" : "local";
-      const auto& lat = r.txn_latency;
-      std::printf("%4c %-8s %-8s %10.0f %10.1f %10.1f %10.1f %10.1f %8llu\n",
-                  mix, backend, KeyDistributionName(spec->dist),
-                  r.ops_per_sec(), lat.p50_us, lat.p95_us, lat.p99_us,
-                  lat.p999_us, static_cast<unsigned long long>(r.txns_aborted));
-      char params[256];
-      std::snprintf(
-          params, sizeof(params),
-          "mix=%c,backend=%s,dist=%s,threads=%d,records=%llu,ops=%llu,"
-          "ops_per_sec=%.0f,p50_us=%.1f,p95_us=%.1f,p99_us=%.1f,p999_us=%.1f,"
-          "commit_p99_us=%.1f,aborts=%llu",
-          mix, backend, KeyDistributionName(spec->dist), threads,
-          static_cast<unsigned long long>(records),
-          static_cast<unsigned long long>(ops), r.ops_per_sec(), lat.p50_us,
-          lat.p95_us, lat.p99_us, lat.p999_us, r.commit_latency.p99_us,
-          static_cast<unsigned long long>(r.txns_aborted));
-      double bytes_per_sec =
-          r.wall_us > 0.0
-              ? 1e6 * static_cast<double>(r.bytes_read + r.bytes_written) /
-                    r.wall_us
-              : 0.0;
-      json.Add(std::string("ycsb_") + mix, params, lat.mean_us, 0.0,
-               bytes_per_sec);
+  }
+
+  // Read-mostly client scaling: mix C (pure reads) across client counts,
+  // with the classic 2PL path and with lock-free snapshot reads. The spread
+  // between the two columns is the cost of shared locks + the single-mutex
+  // caches this sweep exists to watch.
+  PrintHeader("YCSB C read scaling: clients x snapshot off/on");
+  std::printf("%-8s %8s %10s %12s %12s %10s\n", "backend", "clients", "snap",
+              "ops/s", "p99 us", "speedup");
+  auto spec_c = WorkloadSpec::StandardMix('C');
+  if (!spec_c.ok()) {
+    std::abort();
+  }
+  spec_c->record_count = records;
+  for (bool wire : {false, true}) {
+    for (int clients : {1, 2, 4, 8}) {
+      double off_rate = 0.0;
+      for (bool snapshot : {false, true}) {
+        DriverResult r = RunOne(*spec_c, wire, ops, clients, snapshot);
+        if (!snapshot) {
+          off_rate = r.ops_per_sec();
+        }
+        const auto& lat = r.txn_latency;
+        std::printf("%-8s %8d %10s %12.0f %12.1f %9.2fx\n",
+                    wire ? "wire" : "local", clients, snapshot ? "on" : "off",
+                    r.ops_per_sec(), lat.p99_us,
+                    off_rate > 0.0 ? r.ops_per_sec() / off_rate : 1.0);
+        char params[256];
+        std::snprintf(params, sizeof(params),
+                      "mix=C,backend=%s,clients=%d,snapshot=%s,records=%llu,"
+                      "ops=%llu,ops_per_sec=%.0f,p50_us=%.1f,p99_us=%.1f,"
+                      "p999_us=%.1f",
+                      wire ? "wire" : "local", clients, snapshot ? "on" : "off",
+                      static_cast<unsigned long long>(records),
+                      static_cast<unsigned long long>(ops), r.ops_per_sec(),
+                      lat.p50_us, lat.p99_us, lat.p999_us);
+        double bytes_per_sec =
+            r.wall_us > 0.0
+                ? 1e6 * static_cast<double>(r.bytes_read + r.bytes_written) /
+                      r.wall_us
+                : 0.0;
+        json.Add("ycsb_scale_C", params, lat.mean_us, lat.stddev_us,
+                 bytes_per_sec);
+      }
+    }
+  }
+
+  // Contended read-mostly scaling: mix B (95/5) batched 8 ops per
+  // transaction, so most transactions are all-read (eligible for snapshot
+  // mode) while updates keep retiring the snapshot and X-locking the zipfian
+  // hot keys. With 2PL the readers queue behind those X locks (watch p99 and
+  // aborts climb with clients); snapshot readers never touch the lock table
+  // and pay instead with periodic partition copies.
+  PrintHeader("YCSB B contended scaling (8 ops/txn): clients x snapshot");
+  std::printf("%-8s %8s %10s %12s %12s %12s %8s\n", "backend", "clients",
+              "snap", "ops/s", "p99 us", "p999 us", "aborts");
+  auto spec_b = WorkloadSpec::StandardMix('B');
+  if (!spec_b.ok()) {
+    std::abort();
+  }
+  spec_b->record_count = records;
+  for (bool wire : {false, true}) {
+    for (int clients : {1, 2, 4, 8}) {
+      for (bool snapshot : {false, true}) {
+        DriverResult r =
+            RunOne(*spec_b, wire, ops, clients, snapshot, /*ops_per_txn=*/8);
+        const auto& lat = r.txn_latency;
+        std::printf("%-8s %8d %10s %12.0f %12.1f %12.1f %8llu\n",
+                    wire ? "wire" : "local", clients, snapshot ? "on" : "off",
+                    r.ops_per_sec(), lat.p99_us, lat.p999_us,
+                    static_cast<unsigned long long>(r.txns_aborted));
+        char params[256];
+        std::snprintf(params, sizeof(params),
+                      "mix=B,backend=%s,clients=%d,snapshot=%s,ops_per_txn=8,"
+                      "records=%llu,ops=%llu,ops_per_sec=%.0f,p50_us=%.1f,"
+                      "p99_us=%.1f,p999_us=%.1f,aborts=%llu",
+                      wire ? "wire" : "local", clients, snapshot ? "on" : "off",
+                      static_cast<unsigned long long>(records),
+                      static_cast<unsigned long long>(ops), r.ops_per_sec(),
+                      lat.p50_us, lat.p99_us, lat.p999_us,
+                      static_cast<unsigned long long>(r.txns_aborted));
+        double bytes_per_sec =
+            r.wall_us > 0.0
+                ? 1e6 * static_cast<double>(r.bytes_read + r.bytes_written) /
+                      r.wall_us
+                : 0.0;
+        json.Add("ycsb_contended_B", params, lat.mean_us, lat.stddev_us,
+                 bytes_per_sec);
+      }
     }
   }
 

@@ -87,11 +87,21 @@ int main() {
   std::printf("recovered after restart: balance=\"%s\"\n",
               StringFromBytes(*(*reopened)->Read(balance)).c_str());
 
-  // The attack: flip one bit of the stored chunk in the untrusted store.
+  // The attack: flip one bit of the stored chunk in the untrusted store. The
+  // read above left a validated copy in the store's in-memory validated-chunk
+  // cache — trusted memory the adversary cannot reach — so to show the device
+  // actually being re-validated we restart once more (cold caches) before
+  // flipping the bit.
   auto where = (*reopened)->DebugChunkLocation(balance);
+  reopened->reset();
+  auto attacked = ChunkStore::Open(&disk, trusted, options);
+  if (!attacked.ok()) {
+    std::printf("recovery failed: %s\n", attacked.status().ToString().c_str());
+    return 1;
+  }
   disk.CorruptByte(where->first.segment, where->first.offset + where->second / 2,
                    0x01);
-  Status tampered = (*reopened)->Read(balance).status();
+  Status tampered = (*attacked)->Read(balance).status();
   std::printf("after flipping one stored bit, read says: %s\n",
               tampered.ToString().c_str());
   return tampered.code() == StatusCode::kTamperDetected ? 0 : 1;

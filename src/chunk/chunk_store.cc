@@ -95,7 +95,9 @@ ChunkStore::ChunkStore(UntrustedStore* store, TrustedServices trusted,
       options_(options),
       system_suite_(std::make_unique<CryptoSuite>(std::move(system_suite))),
       log_(store, system_suite_.get()),
-      cache_(options.descriptor_cache_capacity) {
+      cache_(options.descriptor_cache_capacity),
+      vcache_(options.validated_cache_capacity, options.validated_cache_shards,
+              {"chunk.vcache_evictions", "chunk_vcache"}) {
   if (options_.validation.mode == ValidationMode::kDirectHash) {
     direct_.emplace(trusted_.register_store, system_suite_->hash_alg());
   } else {
@@ -284,22 +286,27 @@ Result<Descriptor> ChunkStore::GetDescriptor(const ChunkId& id) {
 
 Result<Bytes> ChunkStore::ReadVersion(const ChunkId& id,
                                       const Descriptor& desc,
-                                      const CryptoSuite& suite) {
+                                      const CryptoSuite& suite,
+                                      bool raise_alarm) {
+  auto invalid = [raise_alarm](std::string message) {
+    return raise_alarm ? TamperDetectedError(std::move(message))
+                       : CorruptionError(std::move(message));
+  };
   size_t header_size = HeaderCipherSize(*system_suite_);
   TDB_ASSIGN_OR_RETURN(
       Bytes header_ct,
       store_->Read(desc.location.segment, desc.location.offset, header_size));
   Result<VersionHeader> header = DecodeHeader(*system_suite_, header_ct);
   if (!header.ok()) {
-    return TamperDetectedError("chunk header fails to decode at " +
-                               desc.location.ToString());
+    return invalid("chunk header fails to decode at " +
+                   desc.location.ToString());
   }
   if (header->unnamed || header->id.position != id.position) {
-    return TamperDetectedError("chunk at " + desc.location.ToString() +
-                               " does not match id " + id.ToString());
+    return invalid("chunk at " + desc.location.ToString() +
+                   " does not match id " + id.ToString());
   }
   if (header_size + header->body_size != desc.stored_size) {
-    return TamperDetectedError("chunk size mismatch for " + id.ToString());
+    return invalid("chunk size mismatch for " + id.ToString());
   }
   TDB_ASSIGN_OR_RETURN(
       Bytes body_ct,
@@ -311,8 +318,7 @@ Result<Bytes> ChunkStore::ReadVersion(const ChunkId& id,
     return suite.Decrypt(body_ct);
   }();
   if (!plain.ok()) {
-    return TamperDetectedError("chunk body fails to decrypt for " +
-                               id.ToString());
+    return invalid("chunk body fails to decrypt for " + id.ToString());
   }
   Bytes computed_hash;
   {
@@ -320,7 +326,7 @@ Result<Bytes> ChunkStore::ReadVersion(const ChunkId& id,
     computed_hash = suite.Hash(*plain);
   }
   if (!ConstantTimeEqual(computed_hash, desc.hash)) {
-    return TamperDetectedError("hash mismatch for chunk " + id.ToString());
+    return invalid("hash mismatch for chunk " + id.ToString());
   }
   return plain;
 }
@@ -329,9 +335,75 @@ Result<Bytes> ChunkStore::ReadVersion(const ChunkId& id,
 // Public reads and queries
 
 Result<Bytes> ChunkStore::Read(ChunkId id) {
+  if (vcache_.enabled()) {
+    // Lock-free fast path: a hit returns validated plaintext without mu_,
+    // decryption, or hash verification. The generation check rejects entries
+    // that a clean/restore/recovery may have invalidated wholesale; precise
+    // per-id invalidation at commit time handles overwrites and deallocs.
+    uint64_t gen = read_gen_.load(std::memory_order_acquire);
+    std::optional<ValidatedChunk> hit = vcache_.Get(id);
+    if (hit.has_value() && hit->gen == gen &&
+        !failed_.load(std::memory_order_acquire)) {
+      obs::Count("cache.shard_hits");
+      obs::Count("chunk.vcache_hits");
+      obs::TraceEmit(obs::TraceKind::kCacheHit, "chunk_vcache",
+                     id.position.rank);
+      return Bytes(*hit->plain);
+    }
+    obs::Count("cache.shard_misses");
+    obs::Count("chunk.vcache_misses");
+    obs::TraceEmit(obs::TraceKind::kCacheMiss, "chunk_vcache",
+                   id.position.rank);
+  }
+  // Cold path: resolve the descriptor under mu_, then run the expensive part
+  // (device read + decrypt + hash verify) outside it so concurrent cold reads
+  // validate in parallel instead of serializing on the store mutex.
+  Descriptor desc;
+  std::optional<CryptoSuite> suite;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ProfileScope scope("chunk_store");
+    TDB_RETURN_IF_ERROR(CheckUsable());
+    if (id.partition == kUnnamedPartition || id.position.height != 0) {
+      return InvalidArgumentError("not a data chunk id: " + id.ToString());
+    }
+    TDB_ASSIGN_OR_RETURN(desc, GetDescriptor(id));
+    if (!desc.written()) {
+      return NotFoundError("chunk " + id.ToString() + " is not written");
+    }
+    TDB_ASSIGN_OR_RETURN(LeaderEntry * entry, GetLeader(id.partition));
+    suite = entry->suite;
+  }
+  Result<Bytes> out = ReadVersion(id, desc, *suite, /*raise_alarm=*/false);
   std::lock_guard<std::mutex> lock(mu_);
   ProfileScope scope("chunk_store");
-  return ReadLocked(id);
+  if (!out.ok()) {
+    // A concurrent clean may have relocated the chunk between descriptor
+    // resolution and the device read, leaving stale bytes at the old
+    // location. Retry under mu_, where descriptor and device state are
+    // consistent; only this authoritative attempt raises tamper alarms.
+    out = ReadLocked(id);
+    if (!out.ok()) {
+      return out;
+    }
+  } else if (vcache_.enabled()) {
+    // Fill only if the descriptor is unchanged: an overwrite committed while
+    // we validated outside mu_ must not be resurrected with the superseded
+    // plaintext. (Returning the old plaintext itself is fine — the read
+    // linearizes at descriptor-resolution time.)
+    Result<Descriptor> now = GetDescriptor(id);
+    if (!now.ok() || !(*now == desc)) {
+      return out;
+    }
+  }
+  if (vcache_.enabled()) {
+    // Fill under mu_: a commit that invalidates this id also runs under mu_,
+    // so a fill can never resurrect a superseded version.
+    vcache_.Put(id,
+                ValidatedChunk{read_gen_.load(std::memory_order_relaxed),
+                               std::make_shared<const Bytes>(*out)});
+  }
+  return out;
 }
 
 Result<Bytes> ChunkStore::ReadLocked(ChunkId id) {
@@ -908,6 +980,7 @@ Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
     desc.stored_size = bv.stored_size;
     desc.hash = bv.hash;
     cache_.PutDirty(w.id, desc);
+    vcache_.Erase(w.id);
     if (w.old_desc.written()) {
       log_.ReleaseLive(w.old_desc.location, w.old_desc.stored_size);
     }
@@ -928,6 +1001,7 @@ Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
     Descriptor free_desc;
     free_desc.status = ChunkStatus::kFree;
     cache_.PutDirty(d.id, free_desc);
+    vcache_.Erase(d.id);
     log_.ReleaseLive(d.old_desc.location, d.old_desc.stored_size);
     d.entry->avail_ranks.push_back(d.id.position.rank);
   }
@@ -957,8 +1031,21 @@ Status ChunkStore::CommitLocked(Batch& batch, bool is_cleaner_commit) {
     free_desc.status = ChunkStatus::kFree;
     cache_.PutDirty(LeaderChunkId(pid), free_desc);
     cache_.DropPartition(pid);
+    vcache_.ErasePartition(pid);
     leaders_.erase(pid);
     sys->avail_ranks.push_back(pid);
+  }
+  // Restores may rewrite arbitrary positions (and partition parameters), so
+  // invalidate the validated cache wholesale rather than auditing the set.
+  bool has_restore = false;
+  for (const Batch::PartitionOp& op : batch.partition_writes) {
+    has_restore = has_restore || op.is_restore;
+  }
+  for (const Batch::ChunkWrite& w : batch.chunk_writes) {
+    has_restore = has_restore || w.is_restore;
+  }
+  if (has_restore) {
+    read_gen_.fetch_add(1, std::memory_order_acq_rel);
   }
 
   TDB_RETURN_IF_ERROR(FinishCommitSet());
@@ -1267,6 +1354,9 @@ Status ChunkStore::CheckpointLocked() {
 // Recovery
 
 Status ChunkStore::RecoverLocked() {
+  // Replay may change any chunk; drop all validated-cache claims (the store
+  // is freshly opened so the cache is empty today — this guards refactors).
+  read_gen_.fetch_add(1, std::memory_order_acq_rel);
   // Locate the head (leader) of the residual log.
   Location head;
   uint32_t leader_size_hint = 0;
@@ -1669,6 +1759,7 @@ ChunkStore::Stats ChunkStore::GetStats() {
                 static_cast<double>(s.live_log_bytes));
   obs::SetGauge("chunk.used_log_bytes",
                 static_cast<double>(s.used_log_bytes));
+  obs::SetGauge("chunk.vcache_size", static_cast<double>(vcache_.size()));
   return s;
 }
 

@@ -6,8 +6,12 @@
 // rooted in a tamper-resistant register or monotonic counter; checkpointed,
 // log-structured storage with roll-forward crash recovery and cleaning.
 //
-// All operations are serialized by an internal mutex (§4.2: serializability
-// via mutual exclusion, geared to low concurrency).
+// Mutating operations are serialized by an internal mutex (§4.2:
+// serializability via mutual exclusion, geared to low concurrency). Reads of
+// recently validated chunks are served from a sharded validated-chunk cache
+// without that mutex: entries are decrypted, hash-verified plaintexts,
+// invalidated precisely when a commit overwrites or deallocates them and
+// coarsely (via a generation counter) on clean/restore/recovery.
 
 #ifndef SRC_CHUNK_CHUNK_STORE_H_
 #define SRC_CHUNK_CHUNK_STORE_H_
@@ -24,6 +28,7 @@
 #include "src/chunk/log_manager.h"
 #include "src/chunk/validator.h"
 #include "src/common/bytes.h"
+#include "src/common/sharded_cache.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/crypto/suite.h"
@@ -57,6 +62,13 @@ struct ChunkStoreOptions {
 
   // Clean when free segments drop below this fraction of the store.
   double clean_low_water = 0.125;
+
+  // Validated-chunk cache: decrypted, hash-verified chunk plaintexts served
+  // on repeat reads without the store mutex (and without redoing decrypt +
+  // hash verification). 0 disables it. Shards: 0 = next power of two >=
+  // hardware concurrency.
+  size_t validated_cache_capacity = 8192;  // chunks
+  size_t validated_cache_shards = 0;
 
   // Threads used for per-chunk crypto (hashing + encryption) during commit,
   // checkpoint materialization, cleaning, and backup. 0 (or 1) runs strictly
@@ -212,8 +224,14 @@ class ChunkStore {
   // --- shared plumbing ---
   Result<LeaderEntry*> GetLeader(PartitionId id);
   Result<Descriptor> GetDescriptor(const ChunkId& id);
+  // Reads, decrypts and hash-verifies one stored version. Touches only the
+  // device and the (thread-safe) suite, so callers holding a consistent
+  // descriptor may run it outside mu_. With raise_alarm=false a validation
+  // failure returns kCorruption without emitting a tamper alarm — used by the
+  // optimistic read path, whose failures are retried authoritatively under
+  // mu_ (a concurrent clean may have relocated the chunk mid-read).
   Result<Bytes> ReadVersion(const ChunkId& id, const Descriptor& desc,
-                            const CryptoSuite& suite);
+                            const CryptoSuite& suite, bool raise_alarm = true);
   Result<Bytes> ReadLocked(ChunkId id);
   Result<Descriptor> LeaderChunkDescriptor(PartitionId id);
 
@@ -294,8 +312,24 @@ class ChunkStore {
   Location last_leader_loc_;
   uint32_t last_leader_size_ = 0;
 
-  bool failed_ = false;  // poisoned by a mid-commit I/O failure
+  // Poisoned by a mid-commit I/O failure. Atomic because the lock-free
+  // validated-cache hit path consults it without mu_.
+  std::atomic<bool> failed_{false};
   bool in_checkpoint_ = false;
+
+  // Validated-chunk cache (see ChunkStoreOptions). Lookups take only the
+  // shard mutex; fills happen under mu_ right after ReadLocked so a fill can
+  // never reinstall data that a concurrent commit just invalidated
+  // (invalidation also runs under mu_). An entry is served only while its
+  // generation matches read_gen_; the generation is bumped by coarse events
+  // (clean, restore, recovery replay) whose precise invalidation set is not
+  // worth auditing, while commit overwrites/deallocations erase precisely.
+  struct ValidatedChunk {
+    uint64_t gen = 0;
+    std::shared_ptr<const Bytes> plain;
+  };
+  ShardedLruCache<ValidatedChunk> vcache_;
+  std::atomic<uint64_t> read_gen_{1};
 
   // Monotonic counters behind GetStats(). All writers hold mu_ today, but
   // the cells are relaxed atomics so they can be read without the store

@@ -41,6 +41,10 @@ Result<size_t> ChunkStore::CleanLocked(size_t max_segments) {
     // Checkpointing supersedes all references into the cleaned segments and
     // releases them for reuse.
     TDB_RETURN_IF_ERROR(CheckpointLocked());
+    // Defensive: cleaning only relocates versions (plaintext is unchanged),
+    // but the validated cache does not assume that — cached entries are
+    // re-verified against the moved versions on their next read.
+    read_gen_.fetch_add(1, std::memory_order_acq_rel);
   }
   return cleaned;
 }

@@ -13,10 +13,20 @@ ObjectStore::ObjectStore(ChunkStore* chunks, PartitionId partition,
       partition_(partition),
       registry_(registry),
       options_(options),
-      locks_(options.lock_timeout) {
+      locks_(options.lock_timeout),
+      cache_(options.cache_capacity, options.cache_shards,
+             {"object.cache_evictions", "object_cache"}) {
   if (options_.group_commit) {
     group_commit_ = std::make_unique<GroupCommitQueue>(
         chunks_, options_.group_commit_max_batch);
+  }
+  obs::SetGauge("cache.shards", cache_.shard_count());
+}
+
+ObjectStore::~ObjectStore() {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (snapshot_ != nullptr && snapshot_->refs == 0) {
+    DeallocSnapshotLocked(*snapshot_);
   }
 }
 
@@ -25,53 +35,87 @@ std::unique_ptr<Transaction> ObjectStore::Begin() {
       new Transaction(this, next_txn_id_.fetch_add(1)));
 }
 
+Result<std::unique_ptr<Transaction>> ObjectStore::BeginReadOnly() {
+  std::shared_ptr<SnapshotState> snap;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    uint64_t version = data_version_.load(std::memory_order_acquire);
+    if (snapshot_ != nullptr && snapshot_->version != version) {
+      // A write commit moved the partition past this snapshot. Retire it;
+      // the last pinned reader (or this call, if none is left) deallocates.
+      snapshot_->retired = true;
+      if (snapshot_->refs == 0) {
+        DeallocSnapshotLocked(*snapshot_);
+      }
+      snapshot_ = nullptr;
+    }
+    if (snapshot_ == nullptr) {
+      TDB_ASSIGN_OR_RETURN(PartitionId copy_id, chunks_->AllocatePartition());
+      ChunkStore::Batch batch;
+      batch.CopyPartition(copy_id, partition_);
+      TDB_RETURN_IF_ERROR(chunks_->Commit(std::move(batch)));
+      snapshot_ = std::make_shared<SnapshotState>();
+      snapshot_->copy_id = copy_id;
+      snapshot_->version = version;
+      obs::Count("snapshot.created");
+    } else {
+      obs::Count("snapshot.reused");
+    }
+    snapshot_->refs++;
+    snap = snapshot_;
+  }
+  obs::SetGauge("snapshot.pins", pins_.fetch_add(1) + 1);
+  return std::unique_ptr<Transaction>(
+      new Transaction(this, next_txn_id_.fetch_add(1), std::move(snap)));
+}
+
+void ObjectStore::ReleaseSnapshot(const std::shared_ptr<SnapshotState>& snap) {
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    snap->refs--;
+    if (snap->refs == 0 && snap->retired) {
+      DeallocSnapshotLocked(*snap);
+    }
+  }
+  obs::SetGauge("snapshot.pins", pins_.fetch_sub(1) - 1);
+}
+
+void ObjectStore::DeallocSnapshotLocked(const SnapshotState& snap) {
+  // Best effort: a failed deallocation (e.g. poisoned store) strands the
+  // copy until the store reopens, which recovery handles anyway.
+  ChunkStore::Batch batch;
+  batch.DeallocatePartition(snap.copy_id);
+  Status st = chunks_->Commit(std::move(batch));
+  (void)st;
+  cache_.ErasePartition(snap.copy_id);
+  obs::Count("snapshot.deallocated");
+}
+
+size_t ObjectStore::snapshot_pins() const {
+  return pins_.load(std::memory_order_relaxed);
+}
+
 std::optional<ObjectPtr> ObjectStore::CacheGet(const ObjectId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(id);
-  if (it == cache_.end()) {
+  std::optional<ObjectPtr> hit = cache_.Get(id);
+  if (hit.has_value()) {
+    obs::Count("cache.shard_hits");
+    obs::Count("object.cache_hits");
+    obs::TraceEmit(obs::TraceKind::kCacheHit, "object_cache",
+                   id.position.rank);
+  } else {
+    obs::Count("cache.shard_misses");
     obs::Count("object.cache_misses");
     obs::TraceEmit(obs::TraceKind::kCacheMiss, "object_cache",
                    id.position.rank);
-    return std::nullopt;
   }
-  lru_.erase(it->second.lru_it);
-  lru_.push_front(id);
-  it->second.lru_it = lru_.begin();
-  obs::Count("object.cache_hits");
-  obs::TraceEmit(obs::TraceKind::kCacheHit, "object_cache", id.position.rank);
-  return it->second.object;
+  return hit;
 }
 
 void ObjectStore::CachePut(const ObjectId& id, ObjectPtr object) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(id);
-  if (it != cache_.end()) {
-    it->second.object = std::move(object);
-    lru_.erase(it->second.lru_it);
-    lru_.push_front(id);
-    it->second.lru_it = lru_.begin();
-    return;
-  }
-  lru_.push_front(id);
-  cache_[id] = CacheEntry{std::move(object), lru_.begin()};
-  while (cache_.size() > options_.cache_capacity && !lru_.empty()) {
-    ObjectId victim = lru_.back();
-    lru_.pop_back();
-    obs::Count("object.cache_evictions");
-    obs::TraceEmit(obs::TraceKind::kCacheEviction, "object_cache",
-                   victim.position.rank);
-    cache_.erase(victim);
-  }
+  cache_.Put(id, std::move(object));
 }
 
-void ObjectStore::CacheErase(const ObjectId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(id);
-  if (it != cache_.end()) {
-    lru_.erase(it->second.lru_it);
-    cache_.erase(it);
-  }
-}
+void ObjectStore::CacheErase(const ObjectId& id) { cache_.Erase(id); }
 
 Result<ObjectPtr> ObjectStore::LoadObject(const ObjectId& id) {
   TDB_ASSIGN_OR_RETURN(Bytes pickled, chunks_->Read(id));
@@ -96,10 +140,7 @@ void ObjectStore::ResetCounts() {
   counts_.commits.store(0, std::memory_order_relaxed);
 }
 
-size_t ObjectStore::cache_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_.size();
-}
+size_t ObjectStore::cache_size() const { return cache_.size(); }
 
 // ---------------------------------------------------------------------------
 // Transaction
@@ -110,10 +151,38 @@ Transaction::~Transaction() {
   }
 }
 
+void Transaction::ReleasePin() {
+  if (snapshot_ != nullptr) {
+    store_->ReleaseSnapshot(snapshot_);
+    snapshot_.reset();
+  }
+}
+
+Result<ObjectPtr> Transaction::GetSnapshot(ObjectId id) {
+  // The snapshot copy shares positions with the source partition, so the
+  // caller-visible id maps to the copy by swapping the partition. No locks:
+  // the copy is immutable while pinned.
+  ObjectId snap_id(snapshot_->copy_id, id.position);
+  store_->counts_.reads.fetch_add(1, std::memory_order_relaxed);
+  if (std::optional<ObjectPtr> cached = store_->CacheGet(snap_id)) {
+    return *cached;
+  }
+  TDB_ASSIGN_OR_RETURN(ObjectPtr object, store_->LoadObject(snap_id));
+  store_->CachePut(snap_id, object);
+  return object;
+}
+
 Result<ObjectPtr> Transaction::GetInternal(ObjectId id, LockMode mode) {
   ProfileScope scope("object_store");
   if (!active_) {
     return FailedPreconditionError("transaction is finished");
+  }
+  if (read_only_) {
+    if (mode != LockMode::kShared) {
+      return FailedPreconditionError(
+          "cannot lock for update in a read-only transaction");
+    }
+    return GetSnapshot(id);
   }
   TDB_RETURN_IF_ERROR(store_->locks_.Acquire(txn_id_, id, mode));
   store_->counts_.reads.fetch_add(1, std::memory_order_relaxed);
@@ -145,6 +214,9 @@ Result<ObjectId> Transaction::Insert(ObjectPtr object) {
   if (!active_) {
     return FailedPreconditionError("transaction is finished");
   }
+  if (read_only_) {
+    return FailedPreconditionError("read-only transaction cannot insert");
+  }
   if (object == nullptr) {
     return InvalidArgumentError("cannot insert a null object");
   }
@@ -162,6 +234,9 @@ Status Transaction::Put(ObjectId id, ObjectPtr object) {
   if (!active_) {
     return FailedPreconditionError("transaction is finished");
   }
+  if (read_only_) {
+    return FailedPreconditionError("read-only transaction cannot put");
+  }
   if (object == nullptr) {
     return InvalidArgumentError("cannot put a null object");
   }
@@ -176,6 +251,9 @@ Status Transaction::Delete(ObjectId id) {
   ProfileScope scope("object_store");
   if (!active_) {
     return FailedPreconditionError("transaction is finished");
+  }
+  if (read_only_) {
+    return FailedPreconditionError("read-only transaction cannot delete");
   }
   TDB_RETURN_IF_ERROR(
       store_->locks_.Acquire(txn_id_, id, LockMode::kExclusive));
@@ -201,6 +279,11 @@ Status Transaction::Commit() {
   if (!active_) {
     return FailedPreconditionError("transaction is finished");
   }
+  if (read_only_) {
+    ReleasePin();
+    active_ = false;
+    return OkStatus();
+  }
   ChunkStore::Batch batch;
   for (const auto& [id, value] : write_set_) {
     if (value.has_value()) {
@@ -209,6 +292,7 @@ Status Transaction::Commit() {
       batch.DeallocateChunk(id);
     }
   }
+  bool wrote = !batch.empty();
   // With group commit enabled the call parks on the queue and a leader
   // flushes a merged batch; either way the call returns only once this
   // transaction's writes are durable (or failed). The write locks acquired
@@ -224,6 +308,12 @@ Status Transaction::Commit() {
         store_->CacheErase(id);
       }
     }
+    if (wrote) {
+      // Retires the current read snapshot: the next BeginReadOnly copies
+      // afresh. An atomic bump, not snap_mu_ — writers never wait on
+      // snapshot bookkeeping.
+      store_->data_version_.fetch_add(1, std::memory_order_acq_rel);
+    }
     store_->counts_.commits.fetch_add(1, std::memory_order_relaxed);
     obs::Count("object.txn_commits");
   }
@@ -234,6 +324,11 @@ Status Transaction::Commit() {
 }
 
 void Transaction::Abort() {
+  if (read_only_) {
+    ReleasePin();
+    active_ = false;
+    return;
+  }
   write_set_.clear();
   store_->locks_.ReleaseAll(txn_id_);
   active_ = false;

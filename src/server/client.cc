@@ -47,6 +47,14 @@ Status TdbClient::Begin() {
   return status;
 }
 
+Status TdbClient::BeginReadOnly() {
+  TDB_ASSIGN_OR_RETURN(Response response,
+                       RoundTrip(Request{.op = Op::kBeginReadOnly}));
+  Status status = StatusFromResponse(response);
+  in_transaction_ = status.ok();
+  return status;
+}
+
 Status TdbClient::Commit() {
   TDB_ASSIGN_OR_RETURN(Response response,
                        RoundTrip(Request{.op = Op::kCommit}));

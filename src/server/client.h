@@ -53,6 +53,10 @@ class TdbClient {
   // Transaction control. The server allows one open transaction per
   // session; Commit/Abort end it.
   Status Begin();
+  // Begins a read-only snapshot transaction: the server serves every Get
+  // from a pinned COW partition copy without taking locks; GetForUpdate and
+  // writes are rejected until Commit/Abort.
+  Status BeginReadOnly();
   Status Commit();
   Status Abort();
   bool in_transaction() const { return in_transaction_; }

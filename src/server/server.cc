@@ -191,6 +191,20 @@ Response TdbServer::Handle(Session& session, const Request& request) {
       response.object_id = session.txn->id();
       return response;
     }
+    case Op::kBeginReadOnly: {
+      if (session.txn != nullptr && session.txn->active()) {
+        return ResponseFromStatus(
+            FailedPreconditionError("transaction already open"));
+      }
+      Result<std::unique_ptr<Transaction>> txn = objects_->BeginReadOnly();
+      if (!txn.ok()) {
+        return ResponseFromStatus(txn.status());
+      }
+      session.txn = std::move(*txn);
+      Response response;
+      response.object_id = session.txn->id();
+      return response;
+    }
     default:
       break;
   }

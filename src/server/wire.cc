@@ -41,6 +41,8 @@ const char* OpName(Op op) {
       return "commit";
     case Op::kAbort:
       return "abort";
+    case Op::kBeginReadOnly:
+      return "begin_read_only";
   }
   return "unknown";
 }
@@ -61,7 +63,7 @@ Result<Request> DecodeRequest(ByteView frame) {
   Request request;
   uint8_t op = r.ReadU8();
   if (op < static_cast<uint8_t>(Op::kPing) ||
-      op > static_cast<uint8_t>(Op::kAbort)) {
+      op > static_cast<uint8_t>(Op::kBeginReadOnly)) {
     return CorruptionError("unknown request op " + std::to_string(op));
   }
   request.op = static_cast<Op>(op);

@@ -36,6 +36,9 @@ enum class Op : uint8_t {
   kDelete = 7,
   kCommit = 8,
   kAbort = 9,
+  // Begins a read-only snapshot transaction (lock-free reads; writes and
+  // GetForUpdate are rejected server-side).
+  kBeginReadOnly = 10,
 };
 
 const char* OpName(Op op);

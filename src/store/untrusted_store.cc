@@ -37,6 +37,7 @@ Status MemUntrustedStore::CheckRange(uint32_t segment, uint32_t offset,
 Result<Bytes> MemUntrustedStore::Read(uint32_t segment, uint32_t offset,
                                       size_t len) const {
   TDB_RETURN_IF_ERROR(CheckRange(segment, offset, len));
+  std::shared_lock<std::shared_mutex> lock(io_mu_);
   ProfileCount("untrusted_store.reads");
   ProfileCount("untrusted_store.bytes_read", len);
   const Bytes& seg = segments_[segment];
@@ -46,6 +47,7 @@ Result<Bytes> MemUntrustedStore::Read(uint32_t segment, uint32_t offset,
 Status MemUntrustedStore::Write(uint32_t segment, uint32_t offset,
                                 ByteView data) {
   TDB_RETURN_IF_ERROR(CheckRange(segment, offset, data.size()));
+  std::unique_lock<std::shared_mutex> lock(io_mu_);
   std::memcpy(segments_[segment].data() + offset, data.data(), data.size());
   dirty_[segment] = true;
   bytes_written_ += data.size();
@@ -57,6 +59,7 @@ Status MemUntrustedStore::Flush() {
   if (options_.flush_latency.count() > 0) {
     std::this_thread::sleep_for(options_.flush_latency);
   }
+  std::unique_lock<std::shared_mutex> lock(io_mu_);
   for (uint32_t i = 0; i < options_.num_segments; ++i) {
     if (dirty_[i]) {
       durable_segments_[i] = segments_[i];
@@ -68,15 +71,20 @@ Status MemUntrustedStore::Flush() {
   return OkStatus();
 }
 
-Result<Bytes> MemUntrustedStore::ReadSuperblock() const { return superblock_; }
+Result<Bytes> MemUntrustedStore::ReadSuperblock() const {
+  std::shared_lock<std::shared_mutex> lock(io_mu_);
+  return superblock_;
+}
 
 Status MemUntrustedStore::WriteSuperblock(ByteView data) {
+  std::unique_lock<std::shared_mutex> lock(io_mu_);
   superblock_.assign(data.begin(), data.end());
   ProfileCount("untrusted_store.superblock_writes");
   return OkStatus();
 }
 
 void MemUntrustedStore::Crash() {
+  std::unique_lock<std::shared_mutex> lock(io_mu_);
   for (uint32_t i = 0; i < options_.num_segments; ++i) {
     if (dirty_[i]) {
       segments_[i] = durable_segments_[i];
@@ -87,28 +95,33 @@ void MemUntrustedStore::Crash() {
 
 void MemUntrustedStore::CorruptByte(uint32_t segment, uint32_t offset,
                                     uint8_t xor_mask) {
+  std::unique_lock<std::shared_mutex> lock(io_mu_);
   segments_[segment][offset] ^= xor_mask;
   durable_segments_[segment][offset] = segments_[segment][offset];
 }
 
 void MemUntrustedStore::CorruptRange(uint32_t segment, uint32_t offset,
                                      ByteView replacement) {
+  std::unique_lock<std::shared_mutex> lock(io_mu_);
   std::memcpy(segments_[segment].data() + offset, replacement.data(),
               replacement.size());
   durable_segments_[segment] = segments_[segment];
 }
 
 Bytes MemUntrustedStore::DumpSegment(uint32_t segment) const {
+  std::shared_lock<std::shared_mutex> lock(io_mu_);
   return segments_[segment];
 }
 
 void MemUntrustedStore::RestoreSegment(uint32_t segment, ByteView content) {
+  std::unique_lock<std::shared_mutex> lock(io_mu_);
   segments_[segment].assign(content.begin(), content.end());
   segments_[segment].resize(options_.segment_size, 0);
   durable_segments_[segment] = segments_[segment];
 }
 
 void MemUntrustedStore::RestoreSuperblock(ByteView content) {
+  std::unique_lock<std::shared_mutex> lock(io_mu_);
   superblock_.assign(content.begin(), content.end());
 }
 

@@ -8,12 +8,19 @@
 // durable only after Flush() returns. MemUntrustedStore models this
 // faithfully (Crash() discards unflushed writes), which the crash-recovery
 // tests rely on. WriteSuperblock() is atomic and durable on return.
+//
+// Concurrency: Read() must be safe to call concurrently with other Reads and
+// with Write()/Flush() — the chunk store validates cold reads outside its
+// mutex, so device reads overlap commits. A Read that overlaps a Write to the
+// same range may return a mix of old and new bytes; the caller's
+// cryptographic validation rejects such torn reads.
 
 #ifndef SRC_STORE_UNTRUSTED_STORE_H_
 #define SRC_STORE_UNTRUSTED_STORE_H_
 
 #include <chrono>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -78,12 +85,21 @@ class MemUntrustedStore final : public UntrustedStore {
   Bytes DumpSuperblock() const { return superblock_; }
   void RestoreSuperblock(ByteView content);
 
-  uint64_t flush_count() const { return flush_count_; }
-  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t flush_count() const {
+    std::shared_lock<std::shared_mutex> lock(io_mu_);
+    return flush_count_;
+  }
+  uint64_t bytes_written() const {
+    std::shared_lock<std::shared_mutex> lock(io_mu_);
+    return bytes_written_;
+  }
 
  private:
   Status CheckRange(uint32_t segment, uint32_t offset, size_t len) const;
 
+  // Readers share; Write/Flush/Crash/Corrupt*/Restore* are exclusive. The
+  // file-backed store needs no equivalent (pread/pwrite on one fd).
+  mutable std::shared_mutex io_mu_;
   UntrustedStoreOptions options_;
   std::vector<Bytes> segments_;          // current view (includes unflushed)
   std::vector<Bytes> durable_segments_;  // survives Crash()

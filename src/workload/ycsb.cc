@@ -106,6 +106,14 @@ Status InProcessBackend::Begin() {
   return OkStatus();
 }
 
+Status InProcessBackend::BeginReadOnly() {
+  if (txn_ != nullptr && txn_->active()) {
+    return FailedPreconditionError("transaction already open");
+  }
+  TDB_ASSIGN_OR_RETURN(txn_, store_->BeginReadOnly());
+  return OkStatus();
+}
+
 Status InProcessBackend::Commit() {
   if (txn_ == nullptr) {
     return FailedPreconditionError("no open transaction");
@@ -232,6 +240,14 @@ LatencySummary LatencySummary::FromSamples(std::vector<double> samples_us) {
     sum += s;
   }
   out.mean_us = sum / static_cast<double>(out.count);
+  if (out.count > 1) {
+    double var = 0.0;
+    for (double s : samples_us) {
+      double d = s - out.mean_us;
+      var += d * d;
+    }
+    out.stddev_us = std::sqrt(var / static_cast<double>(out.count - 1));
+  }
   auto quantile = [&](double q) {
     double pos = q * static_cast<double>(out.count - 1);
     size_t lo = static_cast<size_t>(pos);
@@ -363,8 +379,24 @@ void YcsbDriver::RunThread(int thread_index, uint64_t op_budget,
       }
       ThreadResult staged;  // applied only if this attempt commits
       std::vector<uint64_t> pending_inserts;
+      // Draw every operation's kind up front (one NextDouble per op, as
+      // before) so a transaction known to be all reads/scans can run as a
+      // lock-free snapshot transaction.
+      std::vector<YcsbOpKind> kinds(batch);
+      bool all_reads = true;
+      for (uint64_t op = 0; op < batch; ++op) {
+        double p = rng.NextDouble();
+        kinds[op] = p < t_read     ? YcsbOpKind::kRead
+                    : p < t_update ? YcsbOpKind::kUpdate
+                    : p < t_insert ? YcsbOpKind::kInsert
+                    : p < t_scan   ? YcsbOpKind::kScan
+                                   : YcsbOpKind::kRmw;
+        all_reads = all_reads && (kinds[op] == YcsbOpKind::kRead ||
+                                  kinds[op] == YcsbOpKind::kScan);
+      }
+      bool use_snapshot = options_.snapshot_reads && all_reads;
       double txn_start = NowUs();
-      Status status = backend.Begin();
+      Status status = use_snapshot ? backend.BeginReadOnly() : backend.Begin();
       if (!status.ok()) {
         hard_fail(status);
         return;
@@ -372,23 +404,22 @@ void YcsbDriver::RunThread(int thread_index, uint64_t op_budget,
       bool timeout = false;
       for (uint64_t op = 0; op < batch && !timeout; ++op) {
         uint64_t n = table.size();
-        double p = rng.NextDouble();
         Status op_status = OkStatus();
-        if (p < t_read) {
+        if (kinds[op] == YcsbOpKind::kRead) {
           auto size = backend.Read(table.Get(dist.Next(rng, n)));
           if (size.ok()) {
             ++staged.reads;
             staged.bytes_read += *size;
           }
           op_status = size.status();
-        } else if (p < t_update) {
+        } else if (kinds[op] == YcsbOpKind::kUpdate) {
           std::string value = MakeValue(++stamp, vsize.Next(rng));
           staged.bytes_written += value.size();
           op_status = backend.Update(table.Get(dist.Next(rng, n)), value);
           if (op_status.ok()) {
             ++staged.updates;
           }
-        } else if (p < t_insert) {
+        } else if (kinds[op] == YcsbOpKind::kInsert) {
           std::string value = MakeValue(++stamp, vsize.Next(rng));
           staged.bytes_written += value.size();
           auto id = backend.Insert(value);
@@ -397,7 +428,7 @@ void YcsbDriver::RunThread(int thread_index, uint64_t op_budget,
             pending_inserts.push_back(*id);
           }
           op_status = id.status();
-        } else if (p < t_scan) {
+        } else if (kinds[op] == YcsbOpKind::kScan) {
           uint64_t start = dist.Next(rng, n);
           uint64_t len = 1 + rng.NextBelow(std::max<uint64_t>(
                                  spec_.max_scan_len, 1));

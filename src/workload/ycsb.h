@@ -77,6 +77,9 @@ class YcsbBackend {
   virtual ~YcsbBackend() = default;
 
   virtual Status Begin() = 0;
+  // Begins a read-only snapshot transaction where the backend supports one;
+  // the default falls back to a regular transaction.
+  virtual Status BeginReadOnly() { return Begin(); }
   virtual Status Commit() = 0;
   virtual void Abort() = 0;
 
@@ -102,6 +105,7 @@ class InProcessBackend final : public YcsbBackend {
   ~InProcessBackend() override;
 
   Status Begin() override;
+  Status BeginReadOnly() override;
   Status Commit() override;
   void Abort() override;
   Result<uint64_t> Insert(const std::string& value) override;
@@ -129,6 +133,7 @@ class WireBackend final : public YcsbBackend {
   }
 
   Status Begin() override { return client_.Begin(); }
+  Status BeginReadOnly() override { return client_.BeginReadOnly(); }
   Status Commit() override { return client_.Commit(); }
   void Abort() override;
   Result<uint64_t> Insert(const std::string& value) override;
@@ -172,6 +177,10 @@ struct DriverOptions {
   // many times before the attempt is dropped (conservation-safe either way).
   int txn_retry_limit = 16;
 
+  // Run transactions whose drawn operations are all reads/scans as
+  // lock-free snapshot transactions (BeginReadOnly) instead of 2PL.
+  bool snapshot_reads = false;
+
   // Torture hooks: stop early when *stop becomes true; treat backend
   // failures as "system went down" (stop the thread, keep the partial
   // result) instead of failing the run.
@@ -182,6 +191,7 @@ struct DriverOptions {
 struct LatencySummary {
   uint64_t count = 0;
   double mean_us = 0.0;
+  double stddev_us = 0.0;  // sample stddev (n-1); 0 with fewer than 2 samples
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;

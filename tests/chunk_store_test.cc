@@ -408,6 +408,10 @@ TEST_P(ChunkStoreTest, PartitionsAreIsolated) {
 }
 
 TEST_P(ChunkStoreTest, PartitionWithNullCipherAndSha1) {
+  // The validated-chunk cache would (correctly) serve the pre-corruption
+  // read's verified plaintext below; disable it so the second Read goes back
+  // to the device and exercises detection.
+  rig_.options().validated_cache_capacity = 0;
   auto cs = rig_.Create();
   ASSERT_TRUE(cs.ok());
   auto pid = (*cs)->AllocatePartition();

@@ -10,10 +10,14 @@
 #include <thread>
 #include <vector>
 
+#include "src/object/object_store.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/obs/snapshot.h"
 #include "src/obs/trace.h"
+#include "src/platform/trusted_store.h"
+#include "src/server/blob.h"
+#include "src/store/untrusted_store.h"
 
 namespace tdb::obs {
 namespace {
@@ -242,6 +246,59 @@ TEST_F(ObsTest, SnapshotJsonEscapesDetailStrings) {
   EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n done"),
             std::string::npos)
       << json;
+}
+
+// The read-path schema: a real store driven through a snapshot read must
+// emit the sharded-cache counters and the snapshot gauges, and they must
+// ride along in SnapshotJson for dashboards (tdb_stats) to pick up.
+TEST_F(ObsTest, ReadPathCountersAppearInSnapshotJson) {
+  MemUntrustedStore store({.segment_size = 16384, .num_segments = 256});
+  MemSecretStore secret(Bytes(32, 0xA5));
+  MemMonotonicCounter counter;
+  ChunkStoreOptions options;
+  options.validation.mode = ValidationMode::kCounter;
+  auto cs = ChunkStore::Create(
+      &store, TrustedServices{&secret, nullptr, &counter}, options);
+  ASSERT_TRUE(cs.ok());
+  TypeRegistry registry;
+  ASSERT_TRUE(RegisterType<server::BlobValue>(registry).ok());
+  auto pid = (*cs)->AllocatePartition();
+  ChunkStore::Batch batch;
+  batch.WritePartition(
+      *pid, CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, 1)});
+  ASSERT_TRUE((*cs)->Commit(std::move(batch)).ok());
+  ObjectStore objects(cs->get(), *pid, &registry);
+
+  auto txn = objects.Begin();
+  auto id = txn->Insert(std::make_shared<server::BlobValue>("obs"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto ro = objects.BeginReadOnly();
+  ASSERT_TRUE(ro.ok());
+  ASSERT_TRUE((*ro)->Get(*id).ok());
+  ASSERT_TRUE((*ro)->Get(*id).ok());  // repeat: sharded-cache hit
+  ASSERT_TRUE((*ro)->Commit().ok());
+  // Repeat chunk reads below the object cache: the second is a
+  // validated-chunk-cache hit (ObjectId is a ChunkId).
+  ASSERT_TRUE((*cs)->Read(*id).ok());
+  ASSERT_TRUE((*cs)->Read(*id).ok());
+  (void)(*cs)->GetStats();  // refreshes the size gauges
+
+  MetricsRegistry& m = MetricsRegistry::Instance();
+  EXPECT_GT(m.GetCounter("cache.shard_hits"), 0u);
+  EXPECT_GT(m.GetCounter("cache.shard_misses"), 0u);
+  EXPECT_GT(m.GetCounter("snapshot.created"), 0u);
+  EXPECT_EQ(m.Gauges().at("snapshot.pins"), 0.0);  // reader drained
+
+  std::string json = SnapshotJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  for (const char* key :
+       {"\"cache.shard_hits\"", "\"cache.shard_misses\"", "\"cache.shards\"",
+        "\"object.cache_hits\"", "\"chunk.vcache_hits\"",
+        "\"chunk.vcache_size\"", "\"snapshot.pins\"", "\"snapshot.created\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
 }
 
 TEST_F(ObsTest, DerivedRatiosComeFromCounters) {

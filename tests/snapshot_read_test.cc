@@ -1,0 +1,381 @@
+// Tests for the lock-free read path: read-only snapshot transactions
+// (ObjectStore::BeginReadOnly) and the caches under them.
+//
+//  * isolation — a reader sees the state as of its Begin, not later commits;
+//  * liveness — readers touch no LockManager state and never block writers;
+//  * lifecycle — snapshots are shared while current, retired by the next
+//    write commit, and their COW partition is deallocated when the last
+//    reader drains;
+//  * integrity — tampering with a snapshot chunk is still detected (the
+//    lock-free path never skips validation for bytes it has not verified);
+//  * caching — the validated-chunk cache serves repeat reads and is
+//    invalidated by overwrites;
+//  * a stress mix of readers, writers, and the cleaner (labeled tsan).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/object/object_store.h"
+#include "src/obs/metrics.h"
+#include "src/platform/trusted_store.h"
+#include "src/store/untrusted_store.h"
+
+namespace tdb {
+namespace {
+
+class Account final : public Pickled {
+ public:
+  static constexpr uint32_t kTypeTag = 100;
+
+  Account() = default;
+  Account(std::string owner, int64_t balance)
+      : owner(std::move(owner)), balance(balance) {}
+
+  std::string owner;
+  int64_t balance = 0;
+
+  uint32_t type_tag() const override { return kTypeTag; }
+  void PickleFields(PickleWriter& w) const override {
+    w.WriteString(owner);
+    w.WriteI64(balance);
+  }
+  static Result<ObjectPtr> UnpickleFields(PickleReader& r) {
+    auto account = std::make_shared<Account>();
+    account->owner = r.ReadString();
+    account->balance = r.ReadI64();
+    return ObjectPtr(account);
+  }
+};
+
+const Account& AsAccount(const ObjectPtr& object) {
+  return dynamic_cast<const Account&>(*object);
+}
+
+class SnapshotReadTest : public ::testing::Test {
+ protected:
+  SnapshotReadTest()
+      : store_({.segment_size = 16384, .num_segments = 1024}),
+        secret_(Bytes(32, 0xA5)) {
+    options_.validation.mode = ValidationMode::kCounter;
+    options_.validated_cache_capacity = 64;  // small: exercise eviction
+    auto cs = ChunkStore::Create(
+        &store_, TrustedServices{&secret_, nullptr, &counter_}, options_);
+    EXPECT_TRUE(cs.ok());
+    chunks_ = std::move(*cs);
+    EXPECT_TRUE(RegisterType<Account>(registry_).ok());
+    auto pid = chunks_->AllocatePartition();
+    ChunkStore::Batch batch;
+    batch.WritePartition(
+        *pid, CryptoParams{CipherAlg::kAes128, HashAlg::kSha256, Bytes(16, 1)});
+    EXPECT_TRUE(chunks_->Commit(std::move(batch)).ok());
+    partition_ = *pid;
+    object_options_.lock_timeout = std::chrono::milliseconds(100);
+    object_options_.cache_capacity = 32;  // small: force chunk reads
+    objects_ = std::make_unique<ObjectStore>(chunks_.get(), partition_,
+                                             &registry_, object_options_);
+  }
+
+  ObjectId MustInsert(const std::string& owner, int64_t balance) {
+    auto txn = objects_->Begin();
+    auto id = txn->Insert(std::make_shared<Account>(owner, balance));
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(txn->Commit().ok());
+    return *id;
+  }
+
+  void MustPut(ObjectId id, const std::string& owner, int64_t balance) {
+    auto txn = objects_->Begin();
+    ASSERT_TRUE(txn->Put(id, std::make_shared<Account>(owner, balance)).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  MemUntrustedStore store_;
+  MemSecretStore secret_;
+  MemMonotonicCounter counter_;
+  ChunkStoreOptions options_;
+  ObjectStoreOptions object_options_;
+  TypeRegistry registry_;
+  std::unique_ptr<ChunkStore> chunks_;
+  PartitionId partition_ = 0;
+  std::unique_ptr<ObjectStore> objects_;
+};
+
+TEST_F(SnapshotReadTest, ReaderSeesStateAsOfItsBegin) {
+  ObjectId id = MustInsert("alice", 100);
+
+  auto ro = objects_->BeginReadOnly();
+  ASSERT_TRUE(ro.ok());
+  EXPECT_TRUE((*ro)->read_only());
+  EXPECT_EQ(AsAccount(*(*ro)->Get(id)).balance, 100);
+
+  // A writer commits underneath the open reader.
+  MustPut(id, "alice", 200);
+
+  // The reader still sees its snapshot; a fresh reader sees the new state.
+  EXPECT_EQ(AsAccount(*(*ro)->Get(id)).balance, 100);
+  auto ro2 = objects_->BeginReadOnly();
+  ASSERT_TRUE(ro2.ok());
+  EXPECT_EQ(AsAccount(*(*ro2)->Get(id)).balance, 200);
+
+  EXPECT_TRUE((*ro)->Commit().ok());
+  EXPECT_TRUE((*ro2)->Commit().ok());
+}
+
+TEST_F(SnapshotReadTest, ReadOnlyPathTakesNoLocks) {
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(MustInsert("acct", i));
+  }
+
+  auto& metrics = obs::MetricsRegistry::Instance();
+  metrics.Enable();
+  metrics.Reset();
+
+  auto ro = objects_->BeginReadOnly();
+  ASSERT_TRUE(ro.ok());
+  for (const ObjectId& id : ids) {
+    ASSERT_TRUE((*ro)->Get(id).ok());
+    ASSERT_TRUE((*ro)->Get(id).ok());  // repeat: sharded-cache hit
+  }
+  EXPECT_TRUE((*ro)->Commit().ok());
+
+  EXPECT_EQ(metrics.GetCounter("lock.acquires"), 0u)
+      << "read-only transactions must never touch the LockManager";
+  EXPECT_EQ(metrics.GetCounter("lock.contended"), 0u);
+  EXPECT_GT(metrics.GetCounter("cache.shard_hits"), 0u)
+      << "repeat reads must hit the sharded caches";
+  metrics.Disable();
+}
+
+TEST_F(SnapshotReadTest, ReadOnlyTransactionRejectsWrites) {
+  ObjectId id = MustInsert("ro", 1);
+  auto ro = objects_->BeginReadOnly();
+  ASSERT_TRUE(ro.ok());
+  EXPECT_FALSE((*ro)->GetForUpdate(id).ok());
+  EXPECT_FALSE((*ro)->Put(id, std::make_shared<Account>("x", 2)).ok());
+  EXPECT_FALSE((*ro)->Insert(std::make_shared<Account>("x", 3)).ok());
+  EXPECT_FALSE((*ro)->Delete(id).ok());
+  // The transaction is still usable for reads and commits cleanly.
+  EXPECT_EQ(AsAccount(*(*ro)->Get(id)).balance, 1);
+  EXPECT_TRUE((*ro)->Commit().ok());
+}
+
+TEST_F(SnapshotReadTest, OpenReaderDoesNotBlockWriters) {
+  ObjectId id = MustInsert("w", 10);
+
+  auto ro = objects_->BeginReadOnly();
+  ASSERT_TRUE(ro.ok());
+  ASSERT_TRUE((*ro)->Get(id).ok());
+
+  // With the reader holding its snapshot open, an exclusive-mode writer
+  // must get straight through (lock_timeout is 100 ms; a shared lock held
+  // by the reader would time this out).
+  auto writer = objects_->Begin();
+  ASSERT_TRUE(writer->GetForUpdate(id).ok());
+  ASSERT_TRUE(writer->Put(id, std::make_shared<Account>("w", 11)).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+
+  EXPECT_EQ(AsAccount(*(*ro)->Get(id)).balance, 10);
+  EXPECT_TRUE((*ro)->Commit().ok());
+}
+
+TEST_F(SnapshotReadTest, SnapshotSharedWhileCurrentAndDeallocatedWhenDrained) {
+  ObjectId id = MustInsert("s", 1);
+
+  // Two concurrent readers share one COW copy.
+  auto ro1 = objects_->BeginReadOnly();
+  auto ro2 = objects_->BeginReadOnly();
+  ASSERT_TRUE(ro1.ok() && ro2.ok());
+  PartitionId copy = (*ro1)->snapshot_partition();
+  EXPECT_NE(copy, 0);
+  EXPECT_EQ(copy, (*ro2)->snapshot_partition());
+  EXPECT_EQ(objects_->snapshot_pins(), 2u);
+  EXPECT_TRUE(chunks_->PartitionExists(copy));
+
+  // A write commit retires the copy; the next reader gets a fresh one.
+  MustPut(id, "s", 2);
+  auto ro3 = objects_->BeginReadOnly();
+  ASSERT_TRUE(ro3.ok());
+  PartitionId copy2 = (*ro3)->snapshot_partition();
+  EXPECT_NE(copy2, copy);
+
+  // The retired copy survives until its last reader drains, then goes away.
+  EXPECT_TRUE((*ro1)->Commit().ok());
+  EXPECT_TRUE(chunks_->PartitionExists(copy));
+  EXPECT_TRUE((*ro2)->Commit().ok());
+  EXPECT_FALSE(chunks_->PartitionExists(copy))
+      << "retired snapshot must be deallocated when the last reader drains";
+
+  EXPECT_TRUE((*ro3)->Commit().ok());
+  EXPECT_EQ(objects_->snapshot_pins(), 0u);
+  // The current (non-retired) copy stays pinned-free but alive for reuse.
+  EXPECT_TRUE(chunks_->PartitionExists(copy2));
+  auto ro4 = objects_->BeginReadOnly();
+  ASSERT_TRUE(ro4.ok());
+  EXPECT_EQ((*ro4)->snapshot_partition(), copy2);
+  EXPECT_TRUE((*ro4)->Commit().ok());
+}
+
+TEST_F(SnapshotReadTest, AbortReleasesThePin) {
+  MustInsert("a", 1);
+  auto ro = objects_->BeginReadOnly();
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(objects_->snapshot_pins(), 1u);
+  (*ro)->Abort();
+  EXPECT_EQ(objects_->snapshot_pins(), 0u);
+}
+
+TEST_F(SnapshotReadTest, TamperOnSnapshotChunkIsDetected) {
+  ObjectId id = MustInsert("victim", 7);
+
+  auto ro = objects_->BeginReadOnly();
+  ASSERT_TRUE(ro.ok());
+  PartitionId copy = (*ro)->snapshot_partition();
+
+  // Corrupt the stored bytes of the snapshot's version of the chunk before
+  // the reader has validated (and so cached) them.
+  ObjectId snap_chunk(copy, id.position);
+  auto loc = chunks_->DebugChunkLocation(snap_chunk);
+  ASSERT_TRUE(loc.ok());
+  store_.CorruptByte(loc->first.segment, loc->first.offset + loc->second / 2,
+                     0xFF);
+
+  auto read = (*ro)->Get(id);
+  ASSERT_FALSE(read.ok()) << "tampered snapshot chunk read succeeded";
+  (*ro)->Abort();
+}
+
+TEST_F(SnapshotReadTest, ValidatedCacheInvalidatedByOverwrite) {
+  auto& metrics = obs::MetricsRegistry::Instance();
+  metrics.Enable();
+  metrics.Reset();
+
+  auto cid = chunks_->AllocateChunk(partition_);
+  ASSERT_TRUE(cid.ok());
+  ASSERT_TRUE(chunks_->WriteChunk(*cid, Bytes{1, 2, 3}).ok());
+
+  auto first = chunks_->Read(*cid);   // miss: fills the validated cache
+  auto second = chunks_->Read(*cid);  // hit: served without the store mutex
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_GE(metrics.GetCounter("chunk.vcache_hits"), 1u);
+
+  // An overwrite must invalidate the cached plaintext.
+  ASSERT_TRUE(chunks_->WriteChunk(*cid, Bytes{9, 9, 9}).ok());
+  auto third = chunks_->Read(*cid);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*third, (Bytes{9, 9, 9}));
+  metrics.Disable();
+}
+
+// Concurrent readers, two writers, and a cleaner/checkpointer hammering the
+// same store. Readers check snapshot consistency: the sum of the two
+// transfer accounts is invariant within any single snapshot. Primarily a
+// TSan workload (the sharded caches, the snapshot lifecycle, and the
+// lock-free vcache hit path all cross threads here).
+TEST_F(SnapshotReadTest, StressReadersWritersCleaner) {
+  constexpr int64_t kTotal = 1000;
+  ObjectId a = MustInsert("a", 600);
+  ObjectId b = MustInsert("b", kTotal - 600);
+  ObjectId c = MustInsert("c", 0);
+
+  constexpr int kReaderTxns = 120;
+  constexpr int kWriterTxns = 120;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  auto reader = [&] {
+    for (int i = 0; i < kReaderTxns; ++i) {
+      auto ro = objects_->BeginReadOnly();
+      if (!ro.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto va = (*ro)->Get(a);
+      auto vb = (*ro)->Get(b);
+      if (!va.ok() || !vb.ok() ||
+          AsAccount(*va).balance + AsAccount(*vb).balance != kTotal) {
+        failures.fetch_add(1);
+        return;
+      }
+      if (!(*ro)->Commit().ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  };
+
+  // Transfers between a and b (locks taken in a fixed order, so the two
+  // write streams cannot deadlock with each other).
+  auto transferer = [&] {
+    for (int i = 0; i < kWriterTxns; ++i) {
+      auto txn = objects_->Begin();
+      auto va = txn->GetForUpdate(a);
+      auto vb = txn->GetForUpdate(b);
+      if (!va.ok() || !vb.ok()) {
+        txn->Abort();
+        continue;  // lock timeout: retry budget comes from the loop
+      }
+      int64_t delta = (i % 7) - 3;
+      if (!txn->Put(a, std::make_shared<Account>(
+                           "a", AsAccount(*va).balance - delta))
+               .ok() ||
+          !txn->Put(b, std::make_shared<Account>(
+                           "b", AsAccount(*vb).balance + delta))
+               .ok() ||
+          !txn->Commit().ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  };
+
+  auto updater = [&] {
+    for (int i = 0; i < kWriterTxns; ++i) {
+      auto txn = objects_->Begin();
+      if (!txn->Put(c, std::make_shared<Account>("c", i)).ok() ||
+          !txn->Commit().ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  };
+
+  auto cleaner = [&] {
+    while (!done.load()) {
+      (void)chunks_->Clean(1);
+      (void)chunks_->Checkpoint();
+      std::this_thread::yield();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(cleaner);
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back(reader);
+  }
+  threads.emplace_back(transferer);
+  threads.emplace_back(updater);
+  for (size_t i = 1; i < threads.size(); ++i) {
+    threads[i].join();
+  }
+  done.store(true);
+  threads[0].join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(objects_->snapshot_pins(), 0u);
+
+  // Final state is consistent through a fresh snapshot.
+  auto ro = objects_->BeginReadOnly();
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(AsAccount(*(*ro)->Get(a)).balance +
+                AsAccount(*(*ro)->Get(b)).balance,
+            kTotal);
+  EXPECT_TRUE((*ro)->Commit().ok());
+}
+
+}  // namespace
+}  // namespace tdb

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "src/net/loopback.h"
+#include "src/obs/metrics.h"
 #include "src/server/blob.h"
 #include "src/server/server.h"
 #include "src/workload/ycsb.h"
@@ -208,6 +210,65 @@ TEST_F(YcsbDriverTest, SingleThreadOpStreamIsDeterministic) {
   };
   EXPECT_EQ(run(99), run(99));
   EXPECT_NE(run(99), run(100));
+}
+
+TEST_F(YcsbDriverTest, SnapshotReadsServeReadOnlyMixes) {
+  WorkloadSpec spec = SmallSpec('C');
+  DriverOptions options;
+  options.operations = 400;
+  options.snapshot_reads = true;
+  YcsbDriver driver(spec, options);
+  KeyTable table;
+  InProcessBackend loader(objects_.get());
+  ASSERT_TRUE(driver.Load(loader, table).ok());
+
+  auto& metrics = obs::MetricsRegistry::Instance();
+  metrics.Enable();
+  metrics.Reset();
+  InProcessBackend b0(objects_.get());
+  InProcessBackend b1(objects_.get());
+  DriverResult result = driver.Run({&b0, &b1}, table);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.ops(), result.reads);
+  EXPECT_GT(result.txns_committed, 0u);
+  // Mix C is pure reads, so every transaction ran as a snapshot
+  // transaction and the LockManager was never touched.
+  EXPECT_EQ(metrics.GetCounter("lock.acquires"), 0u);
+  metrics.Disable();
+}
+
+TEST_F(YcsbDriverTest, ReadTailLatencyIsBounded) {
+  // Regression guard for the read-path tail: pure reads must not queue
+  // behind commit-side maintenance (checkpoint/clean under the chunk-store
+  // mutex), which once pushed p999 three orders of magnitude past p99. The
+  // bound is deliberately loose (scheduler noise, sanitizer builds) and the
+  // run is retried, so only a systematic stall can fail it.
+  WorkloadSpec spec = SmallSpec('C');
+  constexpr double kP999BoundUs = 20000.0;  // 20 ms; healthy runs sit ~100x under
+  double best = 0.0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    DriverOptions options;
+    options.operations = 1000;
+    options.seed = 42 + attempt;
+    options.snapshot_reads = true;
+    YcsbDriver driver(spec, options);
+    KeyTable table;
+    InProcessBackend loader(objects_.get());
+    ASSERT_TRUE(driver.Load(loader, table).ok());
+    InProcessBackend b0(objects_.get());
+    InProcessBackend b1(objects_.get());
+    InProcessBackend b2(objects_.get());
+    InProcessBackend b3(objects_.get());
+    DriverResult result = driver.Run({&b0, &b1, &b2, &b3}, table);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    best = attempt == 0 ? result.txn_latency.p999_us
+                        : std::min(best, result.txn_latency.p999_us);
+    if (best <= kP999BoundUs) {
+      return;
+    }
+  }
+  FAIL() << "read-only p999 stayed above " << kP999BoundUs
+         << " us across 3 runs (best " << best << " us)";
 }
 
 TEST_F(YcsbDriverTest, StopFlagHaltsAnOpenEndedRun) {
