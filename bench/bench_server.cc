@@ -15,9 +15,12 @@
 // Each client owns a distinct object, so transactions never conflict and
 // lock waits stay out of the measurement.
 //
-// `--json <path>` writes every measured configuration; `--obs` additionally
-// enables the metrics registry so the commit batch-size histogram rides
-// along in the snapshot.
+// The metrics registry is always on for this bench: the per-op wire
+// histograms (wire.op.commit.us, wire.op.get.us) are where the reported
+// tail latencies come from — the registry is reset before each timed
+// configuration so its tails are per-config. `--json <path>` writes every
+// measured configuration; `--obs` additionally enables the profiler and
+// trace journal for the embedded snapshot.
 
 #include <cstdio>
 #include <memory>
@@ -44,6 +47,9 @@ struct RunResult {
   uint64_t commits = 0;
   // Per-transaction begin..commit latencies, merged across clients.
   std::vector<double> latencies_us;
+  // Registry histogram for the run's dominant op (server handle+send time),
+  // captured after the timed section; tails are read from its buckets.
+  obs::MetricsRegistry::HistogramSnapshot op_hist;
 
   double commits_per_sec() const { return 1e6 * commits / wall_us; }
   double mean_us() const { return Mean(latencies_us); }
@@ -92,6 +98,7 @@ RunResult RunClients(int clients, bool group_commit, int commits_per_client) {
   RunResult result;
   result.commits = static_cast<uint64_t>(clients) * commits_per_client;
   std::vector<std::vector<double>> per_client(clients);
+  obs::MetricsRegistry::Instance().Reset();  // per-config tails
   result.wall_us = TimeUs([&] {
     std::vector<std::thread> threads;
     threads.reserve(clients);
@@ -120,6 +127,7 @@ RunResult RunClients(int clients, bool group_commit, int commits_per_client) {
     }
   });
   server.Stop();
+  result.op_hist = RegistryHistogram("wire.op.commit.us");
   for (auto& samples : per_client) {
     result.latencies_us.insert(result.latencies_us.end(), samples.begin(),
                                samples.end());
@@ -172,6 +180,7 @@ RunResult RunReaders(int clients, bool snapshot, int txns_per_client,
   RunResult result;
   result.commits = static_cast<uint64_t>(clients) * txns_per_client;
   std::vector<std::vector<double>> per_client(clients);
+  obs::MetricsRegistry::Instance().Reset();  // per-config tails
   result.wall_us = TimeUs([&] {
     std::vector<std::thread> threads;
     threads.reserve(clients);
@@ -210,6 +219,7 @@ RunResult RunReaders(int clients, bool snapshot, int txns_per_client,
     }
   });
   server.Stop();
+  result.op_hist = RegistryHistogram("wire.op.get.us");
   for (auto& samples : per_client) {
     result.latencies_us.insert(result.latencies_us.end(), samples.begin(),
                                samples.end());
@@ -220,13 +230,17 @@ RunResult RunReaders(int clients, bool snapshot, int txns_per_client,
 int Run(int argc, char** argv) {
   const char* json_path = BenchJson::ParseArgs(argc, argv);
   BenchJson json;
+  // The registry feeds the tail columns below; profiler/trace stay behind
+  // --obs.
+  obs::MetricsRegistry::Instance().Enable();
 
   constexpr int kCommitsPerClient = 200;
   const int kClientCounts[] = {1, 2, 4, 8};
 
   PrintHeader("server: commit throughput vs clients, group commit off/on");
-  std::printf("%8s %8s %14s %14s %12s\n", "clients", "group", "commits/s",
-              "mean us/txn", "speedup");
+  std::printf("%8s %8s %14s %14s %10s %10s %10s %12s\n", "clients", "group",
+              "commits/s", "mean us/txn", "p50 us", "p99 us", "p999 us",
+              "speedup");
   for (int clients : kClientCounts) {
     double off_rate = 0.0;
     for (bool group : {false, true}) {
@@ -234,13 +248,20 @@ int Run(int argc, char** argv) {
       if (!group) {
         off_rate = r.commits_per_sec();
       }
-      std::printf("%8d %8s %14.0f %14.1f %11.2fx\n", clients,
-                  group ? "on" : "off", r.commits_per_sec(), r.mean_us(),
+      // Tail columns come from the server's wire.op.commit.us registry
+      // histogram, not the client-side sample vector.
+      std::printf("%8d %8s %14.0f %14.1f %10.0f %10.0f %10.0f %11.2fx\n",
+                  clients, group ? "on" : "off", r.commits_per_sec(),
+                  r.mean_us(), r.op_hist.Quantile(0.50),
+                  r.op_hist.Quantile(0.99), r.op_hist.Quantile(0.999),
                   r.commits_per_sec() / off_rate);
-      char params[96];
+      char params[192];
       std::snprintf(params, sizeof(params),
-                    "clients=%d,group_commit=%s,commits_per_sec=%.0f", clients,
-                    group ? "on" : "off", r.commits_per_sec());
+                    "clients=%d,group_commit=%s,commits_per_sec=%.0f,"
+                    "p50_us=%.0f,p99_us=%.0f,p999_us=%.0f",
+                    clients, group ? "on" : "off", r.commits_per_sec(),
+                    r.op_hist.Quantile(0.50), r.op_hist.Quantile(0.99),
+                    r.op_hist.Quantile(0.999));
       json.Add("server_commit", params, r.mean_us(), r.stddev_us());
     }
   }
@@ -261,12 +282,15 @@ int Run(int argc, char** argv) {
       std::printf("%8d %8s %14.0f %14.0f %14.1f %11.2fx\n", clients,
                   snapshot ? "on" : "off", reads_per_sec, r.commits_per_sec(),
                   r.mean_us(), r.commits_per_sec() / off_rate);
-      char params[128];
+      char params[224];
       std::snprintf(params, sizeof(params),
                     "clients=%d,snapshot=%s,reads_per_txn=%d,reads_per_sec="
-                    "%.0f,txns_per_sec=%.0f",
+                    "%.0f,txns_per_sec=%.0f,get_p50_us=%.0f,get_p99_us=%.0f,"
+                    "get_p999_us=%.0f",
                     clients, snapshot ? "on" : "off", kReadsPerTxn,
-                    reads_per_sec, r.commits_per_sec());
+                    reads_per_sec, r.commits_per_sec(),
+                    r.op_hist.Quantile(0.50), r.op_hist.Quantile(0.99),
+                    r.op_hist.Quantile(0.999));
       json.Add("server_read", params, r.mean_us(), r.stddev_us());
     }
   }

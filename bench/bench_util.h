@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "src/chunk/chunk_store.h"
+#include "src/obs/metrics.h"
+#include "src/obs/percentile.h"
 #include "src/obs/snapshot.h"
 #include "src/platform/trusted_store.h"
 #include "src/store/untrusted_store.h"
@@ -117,32 +119,36 @@ inline double TimeUs(const std::function<void()>& fn) {
   return std::chrono::duration<double, std::micro>(end - start).count();
 }
 
+// Summary statistics delegate to the shared obs helpers (percentile.h) so
+// the benches, the YCSB driver, and the registry histograms all agree.
+// Benches feed SampleStddev per-repetition means, or per-thread/per-txn
+// samples when a configuration is only run once, so emitted stddev_us is
+// never a placeholder zero.
 inline double Mean(const std::vector<double>& samples) {
-  if (samples.empty()) {
-    return 0.0;
-  }
-  double sum = 0.0;
-  for (double s : samples) {
-    sum += s;
-  }
-  return sum / static_cast<double>(samples.size());
+  return obs::Mean(samples);
 }
 
-// Sample standard deviation (n-1 denominator); 0 with fewer than 2 samples.
-// Benches feed this per-repetition means, or per-thread/per-txn samples when
-// a configuration is only run once, so emitted stddev_us is never a
-// placeholder zero.
 inline double SampleStddev(const std::vector<double>& samples) {
-  if (samples.size() < 2) {
-    return 0.0;
+  return obs::SampleStddev(samples);
+}
+
+// Interpolated quantile (sorts a copy; see obs::SortedQuantile for the
+// convention shared with the YCSB LatencySummary).
+inline double Quantile(const std::vector<double>& samples, double q) {
+  return obs::Quantile(samples, q);
+}
+
+// Merged cross-thread snapshot of one named registry histogram (a zero
+// snapshot if it was never observed). Benches read their tail latencies
+// from these instead of keeping their own sample vectors.
+inline obs::MetricsRegistry::HistogramSnapshot RegistryHistogram(
+    const std::string& name) {
+  for (auto& h : obs::MetricsRegistry::Instance().Histograms()) {
+    if (h.name == name) {
+      return h;
+    }
   }
-  double mean = Mean(samples);
-  double var = 0.0;
-  for (double s : samples) {
-    double d = s - mean;
-    var += d * d;
-  }
-  return std::sqrt(var / static_cast<double>(samples.size() - 1));
+  return {};
 }
 
 inline void PrintHeader(const char* title) {

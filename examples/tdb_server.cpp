@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "src/net/tcp.h"
+#include "src/obs/snapshot.h"
 #include "src/server/blob.h"
 #include "src/server/server.h"
 
@@ -24,6 +25,10 @@ void OnSignal(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   const char* address = argc > 1 ? argv[1] : "127.0.0.1:7478";
+
+  // Full observability on: remote clients can pull the module breakdown,
+  // derived ratios, and per-op tails with `tdb_stats --connect <addr>`.
+  obs::EnableAll();
 
   MemSecretStore secret(Bytes(32, 0xA5));
   MemMonotonicCounter counter;

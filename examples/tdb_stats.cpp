@@ -4,9 +4,18 @@
 // (§9.4), and the cache hit ratios from one metrics snapshot.
 //
 //   tdb_stats [--json <path>]
+//   tdb_stats --connect <host:port> [--reset] [--json <path>]
 //
-// With `--json` the full obs::SnapshotJson() document is written to <path>;
-// otherwise it is printed after the human-readable tables. The four phases:
+// With `--connect` no local workload runs: the tool fetches the live
+// server's snapshot over the wire (the kStats op), prints the same module
+// breakdown, derived ratios, and a per-op latency tail table
+// (p50/p95/p99/p999 of the wire.op.* histograms), and — with `--reset` —
+// then zeroes the server's metrics so the next fetch covers a fresh
+// interval.
+//
+// With `--json` the full obs::SnapshotJson() document (local or fetched)
+// is written to <path>; otherwise it is printed after the human-readable
+// tables. The local phases:
 //
 //   1. vending   - the §9.5 vending workload (collection store, object
 //                  store, chunk store, crypto) for module attribution
@@ -18,8 +27,10 @@
 //   5. snapshot  - read-only snapshot transactions over an object store
 //                  (sharded-cache and snapshot lifecycle counters)
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -29,9 +40,11 @@
 #include "src/object/object_store.h"
 #include "src/obs/metrics.h"
 #include "src/server/blob.h"
+#include "src/net/tcp.h"
 #include "src/obs/profiler.h"
 #include "src/obs/snapshot.h"
 #include "src/paging/trusted_pager.h"
+#include "src/server/client.h"
 #include "src/platform/trusted_store.h"
 #include "src/store/untrusted_store.h"
 #include "src/workload/tdb_backend.h"
@@ -281,14 +294,322 @@ void PrintDerived() {
               (unsigned long long)Counter("snapshot.deallocated"));
 }
 
+// Latency tails straight from the in-process registry's bucketed
+// histograms (commit, lock wait, group-commit batch/wait, wire ops, ...).
+void PrintLocalTails() {
+  auto hists = obs::MetricsRegistry::Instance().Histograms();
+  if (hists.empty()) {
+    return;
+  }
+  std::printf("\n== latency tails (us, registry histograms) ==\n");
+  std::printf("%-30s %10s %10s %10s %10s %10s %10s\n", "histogram", "count",
+              "mean", "p50", "p95", "p99", "p999");
+  for (const auto& h : hists) {
+    std::printf("%-30s %10llu %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+                h.name.c_str(), (unsigned long long)h.count, h.mean(),
+                h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99),
+                h.Quantile(0.999));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Remote mode: fetch a live server's snapshot over the wire and render the
+// same tables from the JSON instead of the in-process registries.
+
+// Just enough JSON to read obs::SnapshotJson(): objects, arrays, strings,
+// numbers, booleans. No escapes beyond the ones JsonEscape emits.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  double NumberOr(const std::string& key, double def = 0.0) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kNumber ? v->number : def;
+  }
+  std::string StringOr(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kString ? v->string : std::string();
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue& out) { return ParseValue(out) && (Skip(), pos_ == text_.size()); }
+
+ private:
+  void Skip() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            // JsonEscape only emits \u00xx for control bytes; decode the
+            // low byte and drop the rest.
+            if (pos_ + 4 <= text_.size()) {
+              out += static_cast<char>(
+                  std::strtoul(text_.substr(pos_ + 2, 2).c_str(), nullptr, 16));
+              pos_ += 4;
+            }
+            break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    Skip();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.type = JsonValue::Type::kObject;
+      Skip();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        Skip();
+        std::string key;
+        if (!ParseString(key)) {
+          return false;
+        }
+        Skip();
+        if (pos_ >= text_.size() || text_[pos_++] != ':') {
+          return false;
+        }
+        if (!ParseValue(out.object[key])) {
+          return false;
+        }
+        Skip();
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        char d = text_[pos_++];
+        if (d == '}') {
+          return true;
+        }
+        if (d != ',') {
+          return false;
+        }
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.type = JsonValue::Type::kArray;
+      Skip();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        out.array.emplace_back();
+        if (!ParseValue(out.array.back())) {
+          return false;
+        }
+        Skip();
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        char d = text_[pos_++];
+        if (d == ']') {
+          return true;
+        }
+        if (d != ',') {
+          return false;
+        }
+      }
+    }
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return ParseString(out.string);
+    }
+    if (c == 't' || c == 'f') {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = c == 't';
+      return Literal(c == 't' ? "true" : "false");
+    }
+    if (c == 'n') {
+      out.type = JsonValue::Type::kNull;
+      return Literal("null");
+    }
+    char* end = nullptr;
+    out.number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) {
+      return false;
+    }
+    out.type = JsonValue::Type::kNumber;
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void PrintRemoteModules(const JsonValue& root) {
+  const JsonValue* modules = root.Find("modules");
+  if (modules == nullptr || modules->type != JsonValue::Type::kArray) {
+    return;
+  }
+  double total_us = 0.0;
+  for (const JsonValue& m : modules->array) {
+    total_us += m.NumberOr("total_us");
+  }
+  std::printf("\n== Figure-12-style module breakdown (remote) ==\n");
+  std::printf("%-26s %12s %10s %7s\n", "module", "total_ms", "calls", "%");
+  for (const JsonValue& m : modules->array) {
+    double us = m.NumberOr("total_us");
+    std::printf("%-26s %12.2f %10llu %6.1f%%\n", m.StringOr("module").c_str(),
+                us / 1000.0, (unsigned long long)m.NumberOr("calls"),
+                total_us > 0 ? 100.0 * us / total_us : 0.0);
+  }
+  std::printf("%-26s %12.2f %10s %6.1f%%\n", "TOTAL (instrumented)",
+              total_us / 1000.0, "-", 100.0);
+}
+
+void PrintRemoteDerived(const JsonValue& root) {
+  const JsonValue* derived = root.Find("derived");
+  if (derived != nullptr && !derived->object.empty()) {
+    std::printf("\n== derived ratios (remote) ==\n");
+    for (const auto& [name, v] : derived->object) {
+      std::printf("%-28s %.4f\n", name.c_str(), v.number);
+    }
+  }
+  const JsonValue* gauges = root.Find("gauges");
+  if (gauges != nullptr && !gauges->object.empty()) {
+    std::printf("\n== server gauges ==\n");
+    for (const auto& [name, v] : gauges->object) {
+      std::printf("%-34s %.0f\n", name.c_str(), v.number);
+    }
+  }
+}
+
+void PrintRemoteTails(const JsonValue& root) {
+  const JsonValue* hists = root.Find("histograms");
+  if (hists == nullptr || hists->type != JsonValue::Type::kArray) {
+    return;
+  }
+  std::printf("\n== latency tails (us, remote registry histograms) ==\n");
+  std::printf("%-30s %10s %10s %10s %10s %10s %10s\n", "histogram", "count",
+              "mean", "p50", "p95", "p99", "p999");
+  for (const JsonValue& h : hists->array) {
+    std::printf("%-30s %10llu %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+                h.StringOr("name").c_str(),
+                (unsigned long long)h.NumberOr("count"), h.NumberOr("mean"),
+                h.NumberOr("p50"), h.NumberOr("p95"), h.NumberOr("p99"),
+                h.NumberOr("p999"));
+  }
+}
+
+int RunRemote(const char* address, bool reset, const char* json_path) {
+  TypeRegistry registry;  // kStats/kStatsReset exchange no typed objects
+  net::TcpTransport tcp;
+  server::TdbClient client(&registry);
+  if (Status s = client.Connect(&tcp, address); !s.ok()) {
+    std::fprintf(stderr, "connect to %s failed: %s\n", address,
+                 s.ToString().c_str());
+    return 1;
+  }
+  auto json = client.FetchStats();
+  if (!json.ok()) {
+    std::fprintf(stderr, "stats fetch failed: %s\n",
+                 json.status().ToString().c_str());
+    return 1;
+  }
+  JsonValue root;
+  if (!JsonParser(*json).Parse(root)) {
+    std::fprintf(stderr, "server snapshot is not parseable JSON\n");
+    return 1;
+  }
+  std::printf("== tdb_stats: remote snapshot from %s ==\n", address);
+  PrintRemoteModules(root);
+  PrintRemoteDerived(root);
+  PrintRemoteTails(root);
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fwrite(json->data(), 1, json->size(), f);
+    std::fclose(f);
+    std::printf("\nwrote remote snapshot to %s\n", json_path);
+  }
+  if (reset) {
+    if (Status s = client.ResetStats(); !s.ok()) {
+      std::fprintf(stderr, "stats reset failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nserver stats reset\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+  const char* connect = nullptr;
+  bool reset = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--reset") == 0) {
+      reset = true;
     }
+  }
+
+  if (connect != nullptr) {
+    return RunRemote(connect, reset, json_path);
   }
 
   obs::EnableAll();
@@ -317,6 +638,7 @@ int main(int argc, char** argv) {
 
   PrintModuleBreakdown();
   PrintDerived();
+  PrintLocalTails();
 
   std::string json = obs::SnapshotJson(/*max_trace_events=*/32);
   if (json_path != nullptr) {

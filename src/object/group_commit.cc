@@ -71,4 +71,9 @@ Status GroupCommitQueue::Commit(ChunkStore::Batch batch) {
   return status;
 }
 
+size_t GroupCommitQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 }  // namespace tdb

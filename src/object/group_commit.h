@@ -41,6 +41,10 @@ class GroupCommitQueue {
   // commit status. Safe to call from many threads.
   Status Commit(ChunkStore::Batch batch);
 
+  // Transactions currently parked on the queue (including the leader);
+  // a point-in-time reading for gauges.
+  size_t depth() const;
+
  private:
   struct Waiter {
     ChunkStore::Batch batch;
@@ -51,7 +55,7 @@ class GroupCommitQueue {
   ChunkStore* chunks_;
   const size_t max_batch_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   // Waiters in arrival order; the front waiter is the leader. Entries point
   // into the stack frames of blocked Commit calls.

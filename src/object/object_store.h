@@ -195,6 +195,11 @@ class ObjectStore {
   size_t cache_shards() const { return cache_.shard_count(); }
   // Read-only transactions currently pinning a snapshot (snapshot.pins).
   size_t snapshot_pins() const;
+  // Commits parked on the group-commit queue right now; 0 when group commit
+  // is disabled.
+  size_t group_commit_queue_depth() const {
+    return group_commit_ == nullptr ? 0 : group_commit_->depth();
+  }
 
  private:
   friend class Transaction;

@@ -1,5 +1,7 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
+
 namespace tdb::obs {
 
 namespace {
@@ -9,6 +11,9 @@ struct Hist {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  // Log-scaled bucket counts (percentile.h layout), allocated on the first
+  // observation so idle histogram names cost nothing.
+  std::vector<uint64_t> buckets;
 };
 
 }  // namespace
@@ -69,6 +74,10 @@ void MetricsRegistry::Observe(const char* histogram, double value) {
   }
   h.count += 1;
   h.sum += value;
+  if (h.buckets.empty()) {
+    h.buckets.resize(kNumLatencyBuckets, 0);
+  }
+  h.buckets[BucketIndex(value)] += 1;
 }
 
 uint64_t MetricsRegistry::GetCounter(const std::string& counter) const {
@@ -118,6 +127,14 @@ std::vector<MetricsRegistry::HistogramSnapshot> MetricsRegistry::Histograms()
       m.name = name;
       m.count += h.count;
       m.sum += h.sum;
+      if (!h.buckets.empty()) {
+        if (m.buckets.empty()) {
+          m.buckets.resize(kNumLatencyBuckets, 0);
+        }
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+          m.buckets[i] += h.buckets[i];
+        }
+      }
     }
   }
   std::vector<HistogramSnapshot> out;
@@ -126,6 +143,21 @@ std::vector<MetricsRegistry::HistogramSnapshot> MetricsRegistry::Histograms()
     out.push_back(std::move(h));
   }
   return out;
+}
+
+double MetricsRegistry::HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  // The snapshot tracks the exact extremes, so the endpoints need no bucket
+  // interpolation; interior quantiles are bounded by them.
+  if (q <= 0.0) {
+    return min;
+  }
+  if (q >= 1.0) {
+    return max;
+  }
+  return std::clamp(BucketQuantile(buckets, count, q), min, max);
 }
 
 }  // namespace tdb::obs

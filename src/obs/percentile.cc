@@ -1,0 +1,132 @@
+#include "src/obs/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdb::obs {
+
+double Mean(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+double SampleStddev(const std::vector<double>& samples) {
+  if (samples.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean(samples);
+  double var = 0.0;
+  for (double s : samples) {
+    double d = s - mean;
+    var += d * d;
+  }
+  return std::sqrt(var / static_cast<double>(samples.size() - 1));
+}
+
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return SortedQuantile(samples, q);
+}
+
+size_t BucketIndex(double value) {
+  if (!(value >= 1.0)) {  // NaN and v < 1 both land in the underflow bucket
+    return 0;
+  }
+  int exp = 0;
+  double frac = std::frexp(value, &exp);  // value = frac * 2^exp, frac in [0.5, 1)
+  size_t octave = static_cast<size_t>(exp - 1);  // 2^octave <= value < 2^(octave+1)
+  if (octave >= kOctaves) {
+    return kNumLatencyBuckets - 1;
+  }
+  // frac - 0.5 in [0, 0.5) maps linearly onto the octave's sub-buckets.
+  size_t sub = static_cast<size_t>((frac - 0.5) * 2.0 *
+                                   static_cast<double>(kSubBuckets));
+  if (sub >= kSubBuckets) {
+    sub = kSubBuckets - 1;
+  }
+  return 1 + octave * kSubBuckets + sub;
+}
+
+double BucketLowerBound(size_t index) {
+  if (index == 0) {
+    return 0.0;
+  }
+  if (index >= kNumLatencyBuckets - 1) {
+    return std::ldexp(1.0, static_cast<int>(kOctaves));
+  }
+  size_t octave = (index - 1) / kSubBuckets;
+  size_t sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) /
+                              static_cast<double>(kSubBuckets),
+                    static_cast<int>(octave));
+}
+
+double BucketWidth(size_t index) {
+  if (index == 0) {
+    return 1.0;
+  }
+  if (index >= kNumLatencyBuckets - 1) {
+    return 0.0;
+  }
+  size_t octave = (index - 1) / kSubBuckets;
+  return std::ldexp(1.0 / static_cast<double>(kSubBuckets),
+                    static_cast<int>(octave));
+}
+
+double BucketQuantile(const std::vector<uint64_t>& buckets, uint64_t count,
+                      double q) {
+  if (count == 0 || buckets.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Cumulative-rank convention: the q-quantile is the value at position
+  // q * count of the cumulative distribution. The rank must land in the
+  // bucket holding the ceil(rank)-th observation — never an earlier one —
+  // so a high quantile over a few spread-out samples reports the top
+  // sample's bucket, not the bottom's.
+  double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    double in_bucket = static_cast<double>(buckets[i]);
+    if (rank <= cumulative + in_bucket) {
+      // Interpolate within the bucket: observations are assumed uniform
+      // across its width, so the estimate is off by at most one bucket
+      // width, i.e. a relative error of 1/kSubBuckets.
+      double frac = (rank - cumulative) / in_bucket;
+      frac = std::clamp(frac, 0.0, 1.0);
+      return BucketLowerBound(i) + BucketWidth(i) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  // Unreachable when the bucket counts sum to `count`; be safe if they
+  // drifted (e.g. a racing snapshot) and report the top occupied edge.
+  for (size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i] != 0) {
+      return BucketLowerBound(i) + BucketWidth(i);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace tdb::obs

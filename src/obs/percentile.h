@@ -1,0 +1,76 @@
+// The one quantile implementation in the tree. Two estimators live here and
+// are tested against each other (tests/obs_test.cc) so they cannot drift:
+//
+//  * SortedQuantile — exact linear-interpolation quantile over a sorted
+//    sample vector. Used by the YCSB driver's LatencySummary and the bench
+//    harness (bench_util.h), which hold every sample.
+//  * Log-scaled latency buckets + BucketQuantile — the registry histograms
+//    (metrics.h) cannot keep samples, so they accumulate counts into
+//    log-scaled buckets: one underflow bucket for values < 1, then
+//    kSubBuckets linearly-spaced buckets per power of two ("octave") across
+//    kOctaves octaves, then one overflow bucket. Within an octave the bucket
+//    width is 2^k / kSubBuckets, so an interpolated quantile read back from
+//    the buckets is within a relative error of 1 / kSubBuckets (6.25%) of
+//    the true value for any value in [1, 2^kOctaves) — independent of the
+//    distribution. Values are microseconds everywhere in this codebase, so
+//    the covered range is 1 us .. ~13 days.
+//
+// Everything is allocation-free on the observation path: BucketIndex is a
+// frexp plus integer arithmetic.
+
+#ifndef SRC_OBS_PERCENTILE_H_
+#define SRC_OBS_PERCENTILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tdb::obs {
+
+// --------------------------------------------------------------------------
+// Exact sample statistics (the holder keeps every sample).
+
+double Mean(const std::vector<double>& samples);
+
+// Sample standard deviation (n-1 denominator); 0 with fewer than 2 samples.
+double SampleStddev(const std::vector<double>& samples);
+
+// Interpolated quantile of an ascending-sorted sample vector: the value at
+// rank q*(n-1), linearly interpolated between neighbors. q is clamped to
+// [0, 1]; an empty vector yields 0.
+double SortedQuantile(const std::vector<double>& sorted, double q);
+
+// Convenience for one-off use: sorts a copy. Callers needing several
+// quantiles should sort once and call SortedQuantile.
+double Quantile(std::vector<double> samples, double q);
+
+// --------------------------------------------------------------------------
+// Log-scaled latency buckets (the holder keeps only counts).
+
+inline constexpr size_t kSubBuckets = 16;  // linear buckets per octave
+inline constexpr size_t kOctaves = 40;     // covers [1, 2^40) ~ 13 days in us
+inline constexpr size_t kNumLatencyBuckets = 2 + kOctaves * kSubBuckets;
+
+// Maximum relative error of BucketQuantile for values in [1, 2^kOctaves).
+inline constexpr double kQuantileRelativeError = 1.0 / kSubBuckets;
+
+// Bucket for a value: 0 for v < 1 (underflow), kNumLatencyBuckets-1 for
+// v >= 2^kOctaves (overflow), otherwise 1 + octave*kSubBuckets + sub.
+size_t BucketIndex(double value);
+
+// Inclusive lower bound and width of a bucket (the underflow bucket spans
+// [0, 1); the overflow bucket reports width 0).
+double BucketLowerBound(size_t index);
+double BucketWidth(size_t index);
+
+// Interpolated quantile over bucket counts (`buckets` sized
+// kNumLatencyBuckets, `count` = total observations). Walks the cumulative
+// distribution to the bucket containing rank q*(count-1) and interpolates
+// linearly inside it; the caller should clamp to its observed [min, max] to
+// tighten the edges. q is clamped to [0, 1]; count == 0 yields 0.
+double BucketQuantile(const std::vector<uint64_t>& buckets, uint64_t count,
+                      double q);
+
+}  // namespace tdb::obs
+
+#endif  // SRC_OBS_PERCENTILE_H_

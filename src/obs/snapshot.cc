@@ -214,6 +214,14 @@ std::string SnapshotJson(size_t max_trace_events) {
       AppendF(out, "%.3f", h.min);
       out += ", \"max\": ";
       AppendF(out, "%.3f", h.max);
+      out += ", \"p50\": ";
+      AppendF(out, "%.3f", h.Quantile(0.50));
+      out += ", \"p95\": ";
+      AppendF(out, "%.3f", h.Quantile(0.95));
+      out += ", \"p99\": ";
+      AppendF(out, "%.3f", h.Quantile(0.99));
+      out += ", \"p999\": ";
+      AppendF(out, "%.3f", h.Quantile(0.999));
       out += "}";
     }
     out += hists.empty() ? "],\n" : "\n  ],\n";

@@ -49,6 +49,8 @@ const char* TraceKindName(TraceKind kind) {
       return "recovery_step";
     case TraceKind::kTamperDetected:
       return "tamper_detected";
+    case TraceKind::kSlowRequest:
+      return "slow_request";
     case TraceKind::kNumKinds:
       break;
   }

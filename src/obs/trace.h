@@ -36,6 +36,7 @@ enum class TraceKind : uint8_t {
   kBackupRestore,
   kRecoveryStep,
   kTamperDetected,
+  kSlowRequest,
   kNumKinds,  // sentinel; not a valid event kind
 };
 

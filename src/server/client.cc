@@ -1,5 +1,8 @@
 #include "src/server/client.h"
 
+#include "src/common/bytes.h"
+#include "src/obs/metrics.h"
+
 namespace tdb::server {
 
 TdbClient::TdbClient(const TypeRegistry* registry, TdbClientOptions options)
@@ -29,6 +32,8 @@ Result<Response> TdbClient::RoundTrip(const Request& request) {
   if (conn_ == nullptr) {
     return FailedPreconditionError("client is not connected");
   }
+  // Client-side span: the full round trip (send + server + recv) per op.
+  obs::LatencyTimer timer(FindOpInfo(request.op)->client_histogram);
   TDB_RETURN_IF_ERROR(
       conn_->Send(EncodeRequest(request), options_.request_timeout));
   TDB_ASSIGN_OR_RETURN(Bytes frame, conn_->Recv(options_.request_timeout));
@@ -109,6 +114,18 @@ Status TdbClient::Delete(ObjectId id) {
   request.op = Op::kDelete;
   request.object_id = id.Pack();
   TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return StatusFromResponse(response);
+}
+
+Result<std::string> TdbClient::FetchStats() {
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(Request{.op = Op::kStats}));
+  TDB_RETURN_IF_ERROR(StatusFromResponse(response));
+  return StringFromBytes(response.object);
+}
+
+Status TdbClient::ResetStats() {
+  TDB_ASSIGN_OR_RETURN(Response response,
+                       RoundTrip(Request{.op = Op::kStatsReset}));
   return StatusFromResponse(response);
 }
 

@@ -67,6 +67,12 @@ class TdbClient {
   Status Put(ObjectId id, const Pickled& object);
   Status Delete(ObjectId id);
 
+  // Remote stats: the server's full observability snapshot (SnapshotJson,
+  // gauges refreshed) as a JSON string, and a reset of the server's
+  // metrics/profiler/trace state. Both work outside a transaction.
+  Result<std::string> FetchStats();
+  Status ResetStats();
+
  private:
   Result<Response> RoundTrip(const Request& request);
   Result<ObjectPtr> GetInternal(ObjectId id, Op op);

@@ -1,9 +1,12 @@
 #include "src/server/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/snapshot.h"
+#include "src/obs/trace.h"
 
 namespace tdb::server {
 
@@ -13,11 +16,16 @@ namespace {
 // and the idle clock; bounds shutdown latency, not request latency.
 constexpr std::chrono::milliseconds kRecvPollInterval{200};
 
+double MicrosBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
 }  // namespace
 
 TdbServer::TdbServer(ChunkStore* chunks, PartitionId partition,
                      const TypeRegistry* registry, TdbServerOptions options)
-    : registry_(registry), options_(options) {
+    : chunks_(chunks), registry_(registry), options_(options) {
   ObjectStoreOptions store_options;
   store_options.lock_timeout = options_.lock_timeout;
   store_options.cache_capacity = options_.cache_capacity;
@@ -70,6 +78,24 @@ void TdbServer::Stop() {
 
 std::string TdbServer::address() const {
   return listener_ != nullptr ? listener_->address() : std::string();
+}
+
+void TdbServer::PublishGauges() {
+  Stats stats = GetStats();
+  obs::SetGauge("server.sessions.active",
+                static_cast<double>(stats.active_sessions));
+  obs::SetGauge("server.sessions.opened",
+                static_cast<double>(stats.sessions_opened));
+  obs::SetGauge("server.sessions.rejected",
+                static_cast<double>(stats.sessions_rejected));
+  obs::SetGauge("server.idle_timeouts",
+                static_cast<double>(stats.idle_timeouts));
+  obs::SetGauge("server.requests", static_cast<double>(stats.requests));
+  obs::SetGauge("server.group_commit.queue_depth",
+                static_cast<double>(objects_->group_commit_queue_depth()));
+  // ChunkStore::GetStats publishes the chunk gauges (live/used log bytes)
+  // as a side effect.
+  (void)chunks_->GetStats();
 }
 
 TdbServer::Stats TdbServer::GetStats() const {
@@ -129,6 +155,10 @@ void TdbServer::ServeSession(std::shared_ptr<net::Connection> conn) {
   session.last_activity = std::chrono::steady_clock::now();
 
   const auto poll = std::min(options_.idle_timeout, kRecvPollInterval);
+  // Start of the recv stage for the next request: the previous response's
+  // send completion (or session start). Includes client think time, so it is
+  // reported but never counted against the slow-request threshold.
+  auto recv_start = session.last_activity;
   while (!stop_.load(std::memory_order_acquire)) {
     Result<Bytes> frame = conn->Recv(poll);
     if (!frame.ok()) {
@@ -143,7 +173,8 @@ void TdbServer::ServeSession(std::shared_ptr<net::Connection> conn) {
       }
       continue;
     }
-    session.last_activity = std::chrono::steady_clock::now();
+    const auto recv_end = std::chrono::steady_clock::now();
+    session.last_activity = recv_end;
 
     Result<Request> request = DecodeRequest(*frame);
     if (!request.ok()) {
@@ -159,9 +190,35 @@ void TdbServer::ServeSession(std::shared_ptr<net::Connection> conn) {
       obs::LatencyTimer timer("server.request_us");
       response = Handle(session, *request);
     }
-    if (!conn->Send(EncodeResponse(response), options_.io_timeout).ok()) {
+    const auto handle_end = std::chrono::steady_clock::now();
+    const bool sent =
+        conn->Send(EncodeResponse(response), options_.io_timeout).ok();
+    const auto send_end = std::chrono::steady_clock::now();
+
+    // Per-request span: stage histograms plus a per-op server histogram
+    // (handle+send — the part the server is responsible for).
+    const double recv_us = MicrosBetween(recv_start, recv_end);
+    const double handle_us = MicrosBetween(recv_end, handle_end);
+    const double send_us = MicrosBetween(handle_end, send_end);
+    const OpInfo* op_info = FindOpInfo(request->op);
+    obs::Observe(op_info->server_histogram, handle_us + send_us);
+    obs::Observe("wire.stage.recv_us", recv_us);
+    obs::Observe("wire.stage.handle_us", handle_us);
+    obs::Observe("wire.stage.send_us", send_us);
+    const auto threshold = options_.slow_request_threshold;
+    if (threshold.count() > 0 &&
+        handle_us + send_us >= static_cast<double>(threshold.count())) {
+      char detail[160];
+      std::snprintf(detail, sizeof(detail),
+                    "op=%s recv_us=%.0f handle_us=%.0f send_us=%.0f",
+                    op_info->name, recv_us, handle_us, send_us);
+      obs::TraceEmit(obs::TraceKind::kSlowRequest, "server", session.id,
+                     static_cast<uint64_t>(handle_us + send_us), detail);
+    }
+    if (!sent) {
       break;
     }
+    recv_start = send_end;
   }
 
   if (session.txn != nullptr && session.txn->active()) {
@@ -204,6 +261,18 @@ Response TdbServer::Handle(Session& session, const Request& request) {
       Response response;
       response.object_id = session.txn->id();
       return response;
+    }
+    case Op::kStats: {
+      // Refresh every live gauge first so the snapshot a remote tdb_stats
+      // parses is current, not whatever the last slow path happened to set.
+      PublishGauges();
+      Response response;
+      response.object = BytesFromString(obs::SnapshotJson());
+      return response;
+    }
+    case Op::kStatsReset: {
+      obs::ResetAll();
+      return Response{};
     }
     default:
       break;

@@ -48,6 +48,12 @@ struct TdbServerOptions {
   std::chrono::milliseconds idle_timeout{30000};
   // Per-frame send timeout for responses.
   std::chrono::milliseconds io_timeout{5000};
+  // A request whose handle+send time reaches this emits a slow_request
+  // trace event (when tracing is enabled). The recv stage is excluded from
+  // the threshold — under the poll loop it mostly measures client think
+  // time — but is still reported in the event's stage breakdown. Zero
+  // disables slow-request events.
+  std::chrono::microseconds slow_request_threshold{100000};
 
   // Object-store configuration for the served partition.
   bool group_commit = true;
@@ -102,6 +108,12 @@ class TdbServer {
   void ServeSession(std::shared_ptr<net::Connection> conn);
   Response Handle(Session& session, const Request& request);
 
+  // Publishes server/session/queue state as registry gauges and refreshes
+  // the chunk store's gauges, so a SnapshotJson taken right after (kStats)
+  // reflects the live server.
+  void PublishGauges();
+
+  ChunkStore* chunks_;
   const TypeRegistry* registry_;
   TdbServerOptions options_;
   std::unique_ptr<ObjectStore> objects_;

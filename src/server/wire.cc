@@ -19,32 +19,38 @@ Status CheckHeader(PickleReader& r, const char* what) {
   return OkStatus();
 }
 
+constexpr OpInfo kOpTable[] = {
+    {Op::kPing, "ping", "wire.op.ping.us", "wire.rtt.ping.us"},
+    {Op::kBegin, "begin", "wire.op.begin.us", "wire.rtt.begin.us"},
+    {Op::kGet, "get", "wire.op.get.us", "wire.rtt.get.us"},
+    {Op::kGetForUpdate, "get_for_update", "wire.op.get_for_update.us",
+     "wire.rtt.get_for_update.us"},
+    {Op::kInsert, "insert", "wire.op.insert.us", "wire.rtt.insert.us"},
+    {Op::kPut, "put", "wire.op.put.us", "wire.rtt.put.us"},
+    {Op::kDelete, "delete", "wire.op.delete.us", "wire.rtt.delete.us"},
+    {Op::kCommit, "commit", "wire.op.commit.us", "wire.rtt.commit.us"},
+    {Op::kAbort, "abort", "wire.op.abort.us", "wire.rtt.abort.us"},
+    {Op::kBeginReadOnly, "begin_read_only", "wire.op.begin_read_only.us",
+     "wire.rtt.begin_read_only.us"},
+    {Op::kStats, "stats", "wire.op.stats.us", "wire.rtt.stats.us"},
+    {Op::kStatsReset, "stats_reset", "wire.op.stats_reset.us",
+     "wire.rtt.stats_reset.us"},
+};
+
 }  // namespace
 
-const char* OpName(Op op) {
-  switch (op) {
-    case Op::kPing:
-      return "ping";
-    case Op::kBegin:
-      return "begin";
-    case Op::kGet:
-      return "get";
-    case Op::kGetForUpdate:
-      return "get_for_update";
-    case Op::kInsert:
-      return "insert";
-    case Op::kPut:
-      return "put";
-    case Op::kDelete:
-      return "delete";
-    case Op::kCommit:
-      return "commit";
-    case Op::kAbort:
-      return "abort";
-    case Op::kBeginReadOnly:
-      return "begin_read_only";
+const OpInfo* FindOpInfo(Op op) {
+  for (const OpInfo& info : kOpTable) {
+    if (info.op == op) {
+      return &info;
+    }
   }
-  return "unknown";
+  return nullptr;
+}
+
+const char* OpName(Op op) {
+  const OpInfo* info = FindOpInfo(op);
+  return info == nullptr ? "unknown" : info->name;
 }
 
 Bytes EncodeRequest(const Request& request) {
@@ -62,8 +68,7 @@ Result<Request> DecodeRequest(ByteView frame) {
   TDB_RETURN_IF_ERROR(CheckHeader(r, "request"));
   Request request;
   uint8_t op = r.ReadU8();
-  if (op < static_cast<uint8_t>(Op::kPing) ||
-      op > static_cast<uint8_t>(Op::kBeginReadOnly)) {
+  if (FindOpInfo(static_cast<Op>(op)) == nullptr) {
     return CorruptionError("unknown request op " + std::to_string(op));
   }
   request.op = static_cast<Op>(op);

@@ -39,7 +39,26 @@ enum class Op : uint8_t {
   // Begins a read-only snapshot transaction (lock-free reads; writes and
   // GetForUpdate are rejected server-side).
   kBeginReadOnly = 10,
+  // Returns the server's full observability snapshot (SnapshotJson plus
+  // server gauges) in the response object. Allowed outside a transaction.
+  kStats = 11,
+  // Resets the server's metrics/profiler/trace state. Allowed outside a
+  // transaction.
+  kStatsReset = 12,
 };
+
+// Static metadata for one wire op. The table in wire.cc is the single
+// source of truth: request decoding, OpName, and the per-op histogram names
+// used by the server and client span instrumentation all derive from it.
+struct OpInfo {
+  Op op;
+  const char* name;              // stable snake_case wire name
+  const char* server_histogram;  // "wire.op.<name>.us" (server handle+send)
+  const char* client_histogram;  // "wire.rtt.<name>.us" (client round trip)
+};
+
+// Table entry for `op`, or nullptr when the byte is not a valid wire op.
+const OpInfo* FindOpInfo(Op op);
 
 const char* OpName(Op op);
 

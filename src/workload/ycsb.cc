@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/percentile.h"
 #include "src/server/blob.h"
 
 namespace tdb::workload {
@@ -235,30 +237,12 @@ LatencySummary LatencySummary::FromSamples(std::vector<double> samples_us) {
   }
   std::sort(samples_us.begin(), samples_us.end());
   out.count = samples_us.size();
-  double sum = 0.0;
-  for (double s : samples_us) {
-    sum += s;
-  }
-  out.mean_us = sum / static_cast<double>(out.count);
-  if (out.count > 1) {
-    double var = 0.0;
-    for (double s : samples_us) {
-      double d = s - out.mean_us;
-      var += d * d;
-    }
-    out.stddev_us = std::sqrt(var / static_cast<double>(out.count - 1));
-  }
-  auto quantile = [&](double q) {
-    double pos = q * static_cast<double>(out.count - 1);
-    size_t lo = static_cast<size_t>(pos);
-    size_t hi = lo + 1 < out.count ? lo + 1 : lo;
-    double frac = pos - static_cast<double>(lo);
-    return samples_us[lo] * (1.0 - frac) + samples_us[hi] * frac;
-  };
-  out.p50_us = quantile(0.50);
-  out.p95_us = quantile(0.95);
-  out.p99_us = quantile(0.99);
-  out.p999_us = quantile(0.999);
+  out.mean_us = obs::Mean(samples_us);
+  out.stddev_us = obs::SampleStddev(samples_us);
+  out.p50_us = obs::SortedQuantile(samples_us, 0.50);
+  out.p95_us = obs::SortedQuantile(samples_us, 0.95);
+  out.p99_us = obs::SortedQuantile(samples_us, 0.99);
+  out.p999_us = obs::SortedQuantile(samples_us, 0.999);
   out.max_us = samples_us.back();
   return out;
 }
@@ -491,6 +475,10 @@ void YcsbDriver::RunThread(int thread_index, uint64_t op_budget,
         ++out.txns_committed;
         out.txn_latency_us.push_back(txn_end - txn_start);
         out.commit_latency_us.push_back(txn_end - commit_start);
+        // Mirror the samples into the registry so tails are also available
+        // from SnapshotJson (and over kStats) without the sample vectors.
+        obs::Observe("ycsb.txn_us", txn_end - txn_start);
+        obs::Observe("ycsb.commit_us", txn_end - commit_start);
         committed = true;
         break;
       }

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <functional>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -327,15 +331,179 @@ TEST_F(ObsTest, DisabledSitesAreCheap) {
     Count("test.overhead");
     TraceEmit(TraceKind::kCacheHit, "test");
     LatencyTimer timer("test.overhead_us");
+    Observe("test.overhead_hist", 1.0);  // bucket fill must stay off too
   }
   auto elapsed = std::chrono::duration<double, std::nano>(
                      std::chrono::steady_clock::now() - start)
                      .count();
-  double ns_per_site = elapsed / (kIterations * 3.0);
+  double ns_per_site = elapsed / (kIterations * 4.0);
   EXPECT_LT(ns_per_site, 200.0)
       << "disabled instrumentation cost " << ns_per_site << " ns per site";
   EXPECT_EQ(MetricsRegistry::Instance().GetCounter("test.overhead"), 0u);
   EXPECT_EQ(TraceJournal::Instance().TotalEmitted(), 0u);
+  for (const auto& h : MetricsRegistry::Instance().Histograms()) {
+    EXPECT_NE(h.name, "test.overhead_hist");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Percentiles: the shared quantile helpers and the bucketed histograms.
+
+TEST(PercentileTest, SortedQuantileInterpolatesBetweenRanks) {
+  std::vector<double> sorted = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.25), 20.0);
+  // pos = 0.9 * 4 = 3.6 -> 40 + 0.6 * 10.
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.9), 46.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile({7.0}, 0.99), 7.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, -1.0), 10.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 2.0), 50.0);
+  // The unsorted convenience wrapper agrees.
+  EXPECT_DOUBLE_EQ(Quantile({50.0, 10.0, 40.0, 20.0, 30.0}, 0.9), 46.0);
+}
+
+TEST(PercentileTest, MeanAndStddevMatchHandComputation) {
+  std::vector<double> samples = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(samples), 5.0);
+  // Sample variance (n-1): sum of squared deviations is 32, / 7.
+  EXPECT_NEAR(SampleStddev(samples), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStddev({3.0}), 0.0);
+}
+
+TEST(PercentileTest, BucketIndexAndBoundsAreConsistent) {
+  // Underflow and overflow edges.
+  EXPECT_EQ(BucketIndex(0.0), 0u);
+  EXPECT_EQ(BucketIndex(0.999), 0u);
+  EXPECT_EQ(BucketIndex(-5.0), 0u);
+  EXPECT_EQ(BucketIndex(std::ldexp(1.0, 40)), kNumLatencyBuckets - 1);
+  // Every in-range value lands in a bucket whose [lower, lower+width) span
+  // contains it, and the width obeys the relative-error contract.
+  for (double v : {1.0, 1.5, 2.0, 3.75, 17.0, 1000.0, 123456.0, 8.5e9}) {
+    size_t idx = BucketIndex(v);
+    ASSERT_GT(idx, 0u);
+    ASSERT_LT(idx, kNumLatencyBuckets - 1);
+    double lo = BucketLowerBound(idx);
+    double width = BucketWidth(idx);
+    EXPECT_LE(lo, v) << v;
+    EXPECT_LT(v, lo + width) << v;
+    EXPECT_LE(width / lo, kQuantileRelativeError * (1.0 + 1e-12)) << v;
+  }
+}
+
+// Histogram quantiles must track exact sample quantiles within the bucket
+// error bound across differently shaped distributions.
+TEST_F(ObsTest, HistogramQuantilesAreAccurate) {
+  std::mt19937_64 rng(12345);
+  struct Case {
+    const char* name;
+    std::function<double()> draw;
+  };
+  std::uniform_real_distribution<double> uniform(1.0, 1000.0);
+  std::exponential_distribution<double> expo(1.0 / 500.0);
+  std::lognormal_distribution<double> lognorm(5.0, 1.5);
+  Case cases[] = {
+      {"test.quant_uniform", [&] { return uniform(rng); }},
+      {"test.quant_expo", [&] { return 1.0 + expo(rng); }},
+      {"test.quant_lognorm", [&] { return 1.0 + lognorm(rng); }},
+  };
+  for (auto& c : cases) {
+    std::vector<double> samples;
+    samples.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+      double v = c.draw();
+      samples.push_back(v);
+      Observe(c.name, v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const auto& h : MetricsRegistry::Instance().Histograms()) {
+      if (h.name != c.name) {
+        continue;
+      }
+      ASSERT_EQ(h.count, samples.size());
+      for (double q : {0.5, 0.95, 0.99, 0.999}) {
+        double exact = SortedQuantile(samples, q);
+        double approx = h.Quantile(q);
+        // Bound: one bucket width (6.25% relative) plus interpolation slack.
+        EXPECT_NEAR(approx, exact, exact * (kQuantileRelativeError + 0.02))
+            << c.name << " q=" << q;
+      }
+      // Edge quantiles clamp to the exact observed extrema.
+      EXPECT_DOUBLE_EQ(h.Quantile(0.0), h.min);
+      EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.max);
+    }
+  }
+}
+
+TEST_F(ObsTest, HighQuantileOfFewSpreadSamplesReportsTheTopSample) {
+  // Two observations three buckets-of-magnitude apart: a server that
+  // answered one fast ping and one slow one. p95 must report the slow
+  // request, not round down to the fast one (the cumulative rank for
+  // q > 1/2 lands on the 2nd observation when count == 2).
+  Observe("test.small_count", 22.0);
+  Observe("test.small_count", 1686.0);
+  for (const auto& h : MetricsRegistry::Instance().Histograms()) {
+    if (h.name != "test.small_count") {
+      continue;
+    }
+    ASSERT_EQ(h.count, 2u);
+    EXPECT_LT(h.Quantile(0.25), 30.0);
+    EXPECT_GT(h.Quantile(0.95), 1500.0);
+    EXPECT_GT(h.Quantile(0.999), 1500.0);
+  }
+}
+
+TEST_F(ObsTest, HistogramBucketsMergeAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Observe("test.bucket_merge", (t + 1) * 100.0 + i * 0.01);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const auto& h : MetricsRegistry::Instance().Histograms()) {
+    if (h.name != "test.bucket_merge") {
+      continue;
+    }
+    ASSERT_EQ(h.buckets.size(), kNumLatencyBuckets);
+    uint64_t total = 0;
+    for (uint64_t b : h.buckets) {
+      total += b;
+    }
+    EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kPerThread);
+    // The merged median sits between the per-thread bands.
+    double p50 = h.Quantile(0.5);
+    EXPECT_GT(p50, 100.0);
+    EXPECT_LT(p50, 500.0);
+  }
+}
+
+TEST_F(ObsTest, SnapshotJsonCarriesPercentiles) {
+  for (int i = 1; i <= 1000; ++i) {
+    Observe("test.pct_hist", static_cast<double>(i));
+  }
+  std::string json = SnapshotJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  for (const char* key : {"\"p50\"", "\"p95\"", "\"p99\"", "\"p999\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  for (const auto& h : MetricsRegistry::Instance().Histograms()) {
+    if (h.name != "test.pct_hist") {
+      continue;
+    }
+    EXPECT_NEAR(h.Quantile(0.5), 500.5, 500.5 * kQuantileRelativeError);
+    EXPECT_NEAR(h.Quantile(0.99), 990.0, 990.0 * kQuantileRelativeError);
+  }
 }
 
 }  // namespace

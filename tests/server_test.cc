@@ -20,6 +20,7 @@
 #include "src/net/loopback.h"
 #include "src/net/tcp.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/platform/trusted_store.h"
 #include "src/server/blob.h"
 #include "src/server/client.h"
@@ -562,6 +563,217 @@ TEST_F(ServerTest, ScanOverNeverWrittenIdsFailsCleanlyPerKey) {
   ASSERT_TRUE(blob.ok());
   EXPECT_EQ(AsBlob(*blob).value, "the only record");
   EXPECT_TRUE(reader->Commit().ok());
+}
+
+// --- Wire op table ---------------------------------------------------------
+
+TEST(WireOpTableTest, UnknownOpBytesFailDecoding) {
+  // Bytes just outside the table (0 below kPing, 13 above kStatsReset) have
+  // no OpInfo entry and must be rejected at decode time, not dispatched.
+  EXPECT_EQ(FindOpInfo(static_cast<Op>(0)), nullptr);
+  EXPECT_EQ(FindOpInfo(static_cast<Op>(13)), nullptr);
+  EXPECT_EQ(FindOpInfo(static_cast<Op>(0xFF)), nullptr);
+  for (uint8_t raw : {uint8_t{0}, uint8_t{13}, uint8_t{0xFF}}) {
+    Request request;
+    request.op = static_cast<Op>(raw);
+    auto decoded = DecodeRequest(EncodeRequest(request));
+    ASSERT_FALSE(decoded.ok()) << "op byte " << int{raw};
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(WireOpTableTest, EveryOpHasConsistentNameAndHistogramNames) {
+  for (uint8_t raw = 1; raw <= 12; ++raw) {
+    const OpInfo* info = FindOpInfo(static_cast<Op>(raw));
+    ASSERT_NE(info, nullptr) << "op byte " << int{raw};
+    EXPECT_EQ(static_cast<uint8_t>(info->op), raw);
+    ASSERT_NE(info->name, nullptr);
+    EXPECT_STRNE(info->name, "");
+    // The histogram names derive mechanically from the wire name, so the
+    // server and client span metrics can never drift from OpName output.
+    EXPECT_EQ(std::string(info->server_histogram),
+              "wire.op." + std::string(info->name) + ".us");
+    EXPECT_EQ(std::string(info->client_histogram),
+              "wire.rtt." + std::string(info->name) + ".us");
+    EXPECT_STREQ(OpName(info->op), info->name);
+  }
+  EXPECT_STREQ(OpName(Op::kStats), "stats");
+  EXPECT_STREQ(OpName(Op::kStatsReset), "stats_reset");
+  EXPECT_STREQ(OpName(static_cast<Op>(0)), "unknown");
+}
+
+TEST(WireOpTableTest, StatsOpsRoundTripThroughTheWireFormat) {
+  for (Op op : {Op::kStats, Op::kStatsReset}) {
+    Request request;
+    request.op = op;
+    auto decoded = DecodeRequest(EncodeRequest(request));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->op, op);
+    EXPECT_EQ(decoded->object_id, 0u);
+    EXPECT_TRUE(decoded->object.empty());
+  }
+}
+
+// --- Remote stats ops and request spans ------------------------------------
+
+TEST_F(ServerTest, StatsOpReturnsSnapshotOutsideTransaction) {
+  obs::MetricsRegistry::Instance().Reset();
+  obs::MetricsRegistry::Instance().Enable();
+  StartServer();
+  auto client = NewClient();
+
+  // kStats needs no open transaction: a monitoring client connects and asks.
+  auto idle = client->FetchStats();
+  ASSERT_TRUE(idle.ok());
+  EXPECT_NE(idle->find("\"histograms\""), std::string::npos);
+
+  ASSERT_TRUE(client->Begin().ok());
+  auto id = client->Insert(BlobValue("observed"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(client->Put(*id, BlobValue("observed twice")).ok());
+  ASSERT_TRUE(client->Commit().ok());
+
+  auto stats = client->FetchStats();
+  ASSERT_TRUE(stats.ok());
+  // Per-op server spans recorded for the traffic above, with percentile
+  // fields, plus the server gauges published at snapshot time.
+  EXPECT_NE(stats->find("wire.op.put.us"), std::string::npos);
+  EXPECT_NE(stats->find("wire.op.commit.us"), std::string::npos);
+  EXPECT_NE(stats->find("wire.stage.handle_us"), std::string::npos);
+  EXPECT_NE(stats->find("\"p999\""), std::string::npos);
+  EXPECT_NE(stats->find("server.sessions.active"), std::string::npos);
+  EXPECT_NE(stats->find("server.requests"), std::string::npos);
+  // Client-side RTT spans land in the same process-wide registry here
+  // (loopback), so they ride along in the snapshot too.
+  EXPECT_NE(stats->find("wire.rtt.put.us"), std::string::npos);
+
+  // A stats fetch must not disturb the session: the transaction protocol
+  // still works afterwards.
+  ASSERT_TRUE(client->Begin().ok());
+  EXPECT_EQ(AsBlob(*client->Get(*id)).value, "observed twice");
+  EXPECT_TRUE(client->Abort().ok());
+  obs::MetricsRegistry::Instance().Disable();
+}
+
+TEST_F(ServerTest, StatsResetClearsServerMetrics) {
+  obs::MetricsRegistry::Instance().Reset();
+  obs::MetricsRegistry::Instance().Enable();
+  StartServer();
+  auto client = NewClient();
+
+  ASSERT_TRUE(client->Begin().ok());
+  auto id = client->Insert(BlobValue("soon forgotten"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(client->Commit().ok());
+
+  auto before = client->FetchStats();
+  ASSERT_TRUE(before.ok());
+  ASSERT_NE(before->find("wire.op.insert.us"), std::string::npos);
+  ASSERT_NE(before->find("wire.op.commit.us"), std::string::npos);
+
+  ASSERT_TRUE(client->ResetStats().ok());
+
+  // The reset wiped everything recorded before it; the only spans that can
+  // reappear are for the stats_reset/stats traffic itself (each op is
+  // observed after its response is sent, so a snapshot never includes its
+  // own request).
+  auto after = client->FetchStats();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->find("wire.op.insert.us"), std::string::npos);
+  EXPECT_EQ(after->find("wire.op.commit.us"), std::string::npos);
+  obs::MetricsRegistry::Instance().Disable();
+}
+
+TEST_F(ServerTest, SlowRequestsEmitTraceEvents) {
+  auto& journal = obs::TraceJournal::Instance();
+  journal.Reset();
+  journal.Enable();
+  // Every request is "slow" against a 1 us threshold; the commit certainly
+  // is (the store models 200 us of flush latency).
+  StartServer({.slow_request_threshold = std::chrono::microseconds(1)});
+  auto client = NewClient();
+  ASSERT_TRUE(client->Begin().ok());
+  auto id = client->Insert(BlobValue("sluggish"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(client->Commit().ok());
+  // The span (and its slow-request event) is emitted after the response is
+  // sent, so the client can observe its own commit before the server logs
+  // it. The session loop is sequential: one more round trip guarantees the
+  // commit's iteration — including the emit — has finished.
+  ASSERT_TRUE(client->Ping().ok());
+
+  EXPECT_GT(journal.CountOf(obs::TraceKind::kSlowRequest), 0u);
+  bool saw_commit_event = false;
+  for (const auto& event : journal.Snapshot()) {
+    if (event.kind != obs::TraceKind::kSlowRequest) {
+      continue;
+    }
+    EXPECT_STREQ(event.module, "server");
+    EXPECT_GT(event.b, 0u);  // duration in microseconds
+    // The detail carries the op and the stage breakdown.
+    EXPECT_NE(event.detail.find("op="), std::string::npos);
+    EXPECT_NE(event.detail.find("handle_us="), std::string::npos);
+    EXPECT_NE(event.detail.find("send_us="), std::string::npos);
+    if (event.detail.find("op=commit") != std::string::npos) {
+      saw_commit_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_commit_event);
+  journal.Disable();
+  journal.Reset();
+}
+
+TEST_F(ServerTest, DefaultThresholdDoesNotFlagLoopbackTraffic) {
+  auto& journal = obs::TraceJournal::Instance();
+  journal.Reset();
+  journal.Enable();
+  // The default threshold is 100 ms; nothing on an in-memory rig with a
+  // 200 us flush comes near it, so a quiet journal is the expected steady
+  // state in production.
+  StartServer();
+  auto client = NewClient();
+  ASSERT_TRUE(client->Begin().ok());
+  auto id = client->Insert(BlobValue("quick"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(client->Commit().ok());
+  EXPECT_EQ(journal.CountOf(obs::TraceKind::kSlowRequest), 0u);
+  journal.Disable();
+  journal.Reset();
+}
+
+TEST_F(ServerTest, StatsRoundTripOverTcp) {
+  obs::MetricsRegistry::Instance().Reset();
+  obs::MetricsRegistry::Instance().Enable();
+  net::TcpTransport tcp;
+  TdbServer server(chunks_.get(), partition_, &registry_, {});
+  Status started = server.Start(&tcp, "127.0.0.1:0");
+  if (!started.ok()) {
+    obs::MetricsRegistry::Instance().Disable();
+    GTEST_SKIP() << "TCP unavailable in this environment: " << started;
+  }
+  TdbClient client(&registry_);
+  ASSERT_TRUE(client.Connect(&tcp, server.address()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Begin().ok());
+  auto id = client.Insert(BlobValue("stats over real sockets"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(client.Commit().ok());
+
+  // The exact path a remote `tdb_stats --connect` takes.
+  auto stats = client.FetchStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"histograms\""), std::string::npos);
+  EXPECT_NE(stats->find("wire.op.ping.us"), std::string::npos);
+  EXPECT_NE(stats->find("wire.op.commit.us"), std::string::npos);
+  EXPECT_NE(stats->find("server.sessions.active"), std::string::npos);
+  EXPECT_TRUE(client.ResetStats().ok());
+  auto after = client.FetchStats();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->find("wire.op.ping.us"), std::string::npos);
+
+  client.Disconnect();
+  server.Stop();
+  obs::MetricsRegistry::Instance().Disable();
 }
 
 }  // namespace
