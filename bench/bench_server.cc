@@ -33,6 +33,7 @@
 #include "src/server/blob.h"
 #include "src/server/client.h"
 #include "src/server/server.h"
+#include "src/shard/directory.h"
 
 namespace tdb::bench {
 namespace {
@@ -124,6 +125,111 @@ RunResult RunClients(int clients, bool group_commit, int commits_per_client) {
     }
     for (auto& t : threads) {
       t.join();
+    }
+  });
+  server.Stop();
+  result.op_hist = RegistryHistogram("wire.op.commit.us");
+  for (auto& samples : per_client) {
+    result.latencies_us.insert(result.latencies_us.end(), samples.begin(),
+                               samples.end());
+  }
+  return result;
+}
+
+// Sharded sweep: `partitions` engines over one chunk store, each driven by
+// `clients_per_partition` commit-heavy clients. All engines chain into the
+// store-level combiner (two-level group commit), so leaders of different
+// partitions merge into a single chunk-store commit and one flush amortizes
+// across the whole fleet — aggregate commits/s should grow with partitions
+// even though the chunk store serializes commits.
+RunResult RunPartitioned(int partitions, int clients_per_partition,
+                         int commits_per_client) {
+  Rig rig = MakeRig(/*segment_size=*/256 * 1024, /*num_segments=*/2048,
+                    ValidationMode::kCounter, /*delta_ut=*/5,
+                    /*crypto_threads=*/SIZE_MAX, kFlushLatency);
+  TypeRegistry registry;
+  if (!RegisterType<BlobValue>(registry).ok()) {
+    std::abort();
+  }
+  auto directory = shard::PartitionDirectory::Open(rig.chunks.get(),
+                                                   PaperPartitionParams());
+  if (!directory.ok()) {
+    std::fprintf(stderr, "directory open failed\n");
+    std::abort();
+  }
+  std::vector<PartitionId> pids;
+  for (int p = 0; p < partitions; ++p) {
+    auto entry =
+        (*directory)->Create("p" + std::to_string(p), PaperPartitionParams());
+    if (!entry.ok()) {
+      std::abort();
+    }
+    pids.push_back(entry->id);
+  }
+
+  net::LoopbackTransport transport;
+  TdbServerOptions options;
+  options.group_commit = true;  // combine_commits defaults on
+  TdbServer server(rig.chunks.get(), directory->get(), &registry, options);
+  if (!server.Start(&transport, "bench").ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    std::abort();
+  }
+
+  // One object per client, each in its client's partition: commits contend
+  // only on the commit path.
+  const int total_clients = partitions * clients_per_partition;
+  std::vector<ObjectId> ids(total_clients);
+  {
+    TdbClient setup(&registry);
+    (void)setup.Connect(&transport, server.address());
+    for (int p = 0; p < partitions; ++p) {
+      if (!setup.Begin(pids[p]).ok()) {
+        std::abort();
+      }
+      for (int c = 0; c < clients_per_partition; ++c) {
+        auto id = setup.Insert(BlobValue("seed"));
+        if (!id.ok()) {
+          std::abort();
+        }
+        ids[p * clients_per_partition + c] = *id;
+      }
+      if (!setup.Commit().ok()) {
+        std::abort();
+      }
+    }
+  }
+
+  RunResult result;
+  result.commits = static_cast<uint64_t>(total_clients) * commits_per_client;
+  std::vector<std::vector<double>> per_client(total_clients);
+  obs::MetricsRegistry::Instance().Reset();  // per-config tails
+  result.wall_us = TimeUs([&] {
+    std::vector<std::thread> threads;
+    threads.reserve(total_clients);
+    for (int t = 0; t < total_clients; ++t) {
+      threads.emplace_back([&, t] {
+        const PartitionId pid = pids[t / clients_per_partition];
+        TdbClient client(&registry);
+        if (!client.Connect(&transport, server.address()).ok()) {
+          std::abort();
+        }
+        per_client[t].reserve(commits_per_client);
+        for (int i = 0; i < commits_per_client; ++i) {
+          double us = TimeUs([&] {
+            if (!client.Begin(pid).ok() ||
+                !client.Put(ids[t], BlobValue("v" + std::to_string(i))).ok() ||
+                !client.Commit().ok()) {
+              std::fprintf(stderr, "client %d commit %d failed\n", t, i);
+              std::abort();
+            }
+          });
+          per_client[t].push_back(us);
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
     }
   });
   server.Stop();
@@ -293,6 +399,66 @@ int Run(int argc, char** argv) {
                     r.op_hist.Quantile(0.999));
       json.Add("server_read", params, r.mean_us(), r.stddev_us());
     }
+  }
+
+  const int kPartitionCounts[] = {1, 2, 4};
+  PrintHeader("server: commit throughput vs partitions, 8 clients each");
+  std::printf("%10s %8s %14s %14s %10s %10s %10s %12s\n", "partitions",
+              "clients", "commits/s", "mean us/txn", "p50 us", "p99 us",
+              "p999 us", "speedup");
+  double one_partition_rate = 0.0;
+  for (int partitions : kPartitionCounts) {
+    constexpr int kClientsPerPartition = 8;
+    RunResult r =
+        RunPartitioned(partitions, kClientsPerPartition, kCommitsPerClient);
+    if (partitions == 1) {
+      one_partition_rate = r.commits_per_sec();
+    }
+    std::printf("%10d %8d %14.0f %14.1f %10.0f %10.0f %10.0f %11.2fx\n",
+                partitions, partitions * kClientsPerPartition,
+                r.commits_per_sec(), r.mean_us(), r.op_hist.Quantile(0.50),
+                r.op_hist.Quantile(0.99), r.op_hist.Quantile(0.999),
+                r.commits_per_sec() / one_partition_rate);
+    char params[224];
+    std::snprintf(params, sizeof(params),
+                  "partitions=%d,clients_per_partition=%d,total_clients=%d,"
+                  "commits_per_sec=%.0f,p50_us=%.0f,p99_us=%.0f,p999_us=%.0f,"
+                  "speedup_vs_1p=%.2f",
+                  partitions, kClientsPerPartition,
+                  partitions * kClientsPerPartition, r.commits_per_sec(),
+                  r.op_hist.Quantile(0.50), r.op_hist.Quantile(0.99),
+                  r.op_hist.Quantile(0.999),
+                  r.commits_per_sec() / one_partition_rate);
+    json.Add("server_commit_partitioned", params, r.mean_us(), r.stddev_us());
+  }
+
+  // Honesty rows: same 8 clients total, split across partitions — shows how
+  // much of the scaling above is extra offered load vs genuine sharding win.
+  PrintHeader("server: commit throughput vs partitions, 8 clients total");
+  std::printf("%10s %8s %14s %14s %12s\n", "partitions", "clients",
+              "commits/s", "mean us/txn", "speedup");
+  double fixed_base_rate = 0.0;
+  for (int partitions : kPartitionCounts) {
+    const int clients_per_partition = 8 / partitions;
+    RunResult r =
+        RunPartitioned(partitions, clients_per_partition, kCommitsPerClient);
+    if (partitions == 1) {
+      fixed_base_rate = r.commits_per_sec();
+    }
+    std::printf("%10d %8d %14.0f %14.1f %11.2fx\n", partitions, 8,
+                r.commits_per_sec(), r.mean_us(),
+                r.commits_per_sec() / fixed_base_rate);
+    char params[224];
+    std::snprintf(params, sizeof(params),
+                  "partitions=%d,clients_per_partition=%d,total_clients=8,"
+                  "commits_per_sec=%.0f,p50_us=%.0f,p99_us=%.0f,p999_us=%.0f,"
+                  "speedup_vs_1p=%.2f",
+                  partitions, clients_per_partition, r.commits_per_sec(),
+                  r.op_hist.Quantile(0.50), r.op_hist.Quantile(0.99),
+                  r.op_hist.Quantile(0.999),
+                  r.commits_per_sec() / fixed_base_rate);
+    json.Add("server_commit_partitioned_fixed", params, r.mean_us(),
+             r.stddev_us());
   }
 
   if (json_path != nullptr && !json.Write(json_path, "bench_server")) {

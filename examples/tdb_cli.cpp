@@ -2,16 +2,25 @@
 //
 // Reads commands from stdin and drives them over the wire protocol:
 //
-//   begin                 open a transaction
+//   begin                 open a transaction (on the session's partition)
 //   insert <text>         store a new BlobValue, prints its object id
 //   get <id>              read an object (id as printed by insert)
 //   put <id> <text>       replace an object
 //   del <id>              delete an object
 //   commit | abort        finish the transaction
+//   partitions            list the server's partition directory
+//   create <name>         create (and serve) a new partition
+//   use <name>            switch the session to another partition
 //   ping                  liveness round trip
 //   quit
 //
-// Usage: tdb_cli [ip:port]             (default 127.0.0.1:7478)
+// Usage: tdb_cli [ip:port] [--partition name]   (default 127.0.0.1:7478)
+//
+// With --partition (or `use`), transactions are routed to that named
+// partition — two tdb_cli sessions on two partitions of one server get
+// fully isolated data and their commits still share group-commit flushes.
+// If the partition has been handed off to another server, begin reports
+// the kMoved redirect with the new address to dial.
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,7 +55,15 @@ void Report(const Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* address = argc > 1 ? argv[1] : "127.0.0.1:7478";
+  const char* address = "127.0.0.1:7478";
+  const char* partition_name = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--partition" && i + 1 < argc) {
+      partition_name = argv[++i];
+    } else {
+      address = argv[i];
+    }
+  }
 
   TypeRegistry registry;
   if (!RegisterType<BlobValue>(registry).ok()) {
@@ -59,7 +76,27 @@ int main(int argc, char** argv) {
     std::printf("connect %s: %s\n", address, connected.ToString().c_str());
     return 1;
   }
-  std::printf("connected to %s\n", address);
+
+  // 0 routes to the server's sole partition; a name pins the session.
+  PartitionId partition = 0;
+  if (partition_name != nullptr) {
+    auto entry = client.PartitionLookup(partition_name);
+    if (!entry.ok()) {
+      std::printf("partition '%s': %s\n", partition_name,
+                  entry.status().ToString().c_str());
+      return 1;
+    }
+    if (entry->moved) {
+      std::printf("partition '%s' moved to %s — connect there\n",
+                  partition_name, entry->moved_to.c_str());
+      return 1;
+    }
+    partition = entry->id;
+    std::printf("connected to %s, partition %u '%s'\n", address, partition,
+                partition_name);
+  } else {
+    std::printf("connected to %s\n", address);
+  }
 
   std::string line;
   while (std::printf("tdb> "), std::fflush(stdout),
@@ -76,7 +113,53 @@ int main(int argc, char** argv) {
     if (cmd == "ping") {
       Report(client.Ping());
     } else if (cmd == "begin") {
-      Report(client.Begin());
+      Status begun = client.Begin(partition);
+      if (begun.code() == StatusCode::kMoved) {
+        std::printf("partition moved — reconnect to %s\n",
+                    begun.message().c_str());
+      } else {
+        Report(begun);
+      }
+    } else if (cmd == "partitions") {
+      auto entries = client.PartitionList();
+      if (!entries.ok()) {
+        Report(entries.status());
+        continue;
+      }
+      for (const auto& entry : *entries) {
+        std::printf("  %u '%s'%s%s (epoch %llu)\n", entry.id,
+                    entry.name.c_str(), entry.moved ? " moved to " : "",
+                    entry.moved ? entry.moved_to.c_str() : "",
+                    static_cast<unsigned long long>(entry.epoch));
+      }
+    } else if (cmd == "create") {
+      std::string name;
+      if (!(in >> name)) {
+        std::printf("usage: create <name>\n");
+        continue;
+      }
+      auto pid = client.PartitionCreate(name);
+      if (pid.ok()) {
+        std::printf("partition %u '%s'\n", *pid, name.c_str());
+      } else {
+        Report(pid.status());
+      }
+    } else if (cmd == "use") {
+      std::string name;
+      if (!(in >> name)) {
+        std::printf("usage: use <name>\n");
+        continue;
+      }
+      auto entry = client.PartitionLookup(name);
+      if (!entry.ok()) {
+        Report(entry.status());
+      } else if (entry->moved) {
+        std::printf("partition '%s' moved to %s\n", name.c_str(),
+                    entry->moved_to.c_str());
+      } else {
+        partition = entry->id;
+        std::printf("using partition %u '%s'\n", partition, name.c_str());
+      }
     } else if (cmd == "commit") {
       Report(client.Commit());
     } else if (cmd == "abort") {
@@ -124,7 +207,9 @@ int main(int argc, char** argv) {
       }
       Report(client.Delete(id));
     } else {
-      std::printf("commands: begin insert get put del commit abort ping quit\n");
+      std::printf(
+          "commands: begin insert get put del commit abort partitions "
+          "create use ping quit\n");
     }
   }
   client.Disconnect();

@@ -531,6 +531,49 @@ void PrintRemoteDerived(const JsonValue& root) {
   }
 }
 
+// The per-partition table of a sharded server, reassembled from the
+// shard.partition.<id>.* gauges the server publishes on every kStats.
+void PrintRemotePartitions(const JsonValue& root) {
+  const JsonValue* gauges = root.Find("gauges");
+  if (gauges == nullptr) {
+    return;
+  }
+  struct Row {
+    double sessions = 0, commits = 0, queue_depth = 0, state = 0;
+  };
+  std::map<long, Row> rows;
+  const std::string prefix = "shard.partition.";
+  for (const auto& [name, v] : gauges->object) {
+    if (name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    char* end = nullptr;
+    long id = std::strtol(name.c_str() + prefix.size(), &end, 10);
+    if (end == nullptr || *end != '.') {
+      continue;
+    }
+    const std::string field = end + 1;
+    Row& row = rows[id];
+    if (field == "sessions") row.sessions = v.number;
+    else if (field == "commits") row.commits = v.number;
+    else if (field == "queue_depth") row.queue_depth = v.number;
+    else if (field == "state") row.state = v.number;
+  }
+  if (rows.empty()) {
+    return;
+  }
+  static const char* kStates[] = {"serving", "draining", "moved"};
+  std::printf("\n== partitions ==\n");
+  std::printf("%-10s %10s %10s %12s %10s\n", "partition", "sessions",
+              "commits", "queue_depth", "state");
+  for (const auto& [id, row] : rows) {
+    int state = static_cast<int>(row.state);
+    std::printf("%-10ld %10.0f %10.0f %12.0f %10s\n", id, row.sessions,
+                row.commits, row.queue_depth,
+                state >= 0 && state <= 2 ? kStates[state] : "?");
+  }
+}
+
 void PrintRemoteTails(const JsonValue& root) {
   const JsonValue* hists = root.Find("histograms");
   if (hists == nullptr || hists->type != JsonValue::Type::kArray) {
@@ -571,6 +614,7 @@ int RunRemote(const char* address, bool reset, const char* json_path) {
   std::printf("== tdb_stats: remote snapshot from %s ==\n", address);
   PrintRemoteModules(root);
   PrintRemoteDerived(root);
+  PrintRemotePartitions(root);
   PrintRemoteTails(root);
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");

@@ -29,6 +29,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kMoved:
+      return "MOVED";
   }
   return "UNKNOWN";
 }
@@ -84,6 +86,9 @@ Status FailedPreconditionError(std::string message) {
 }
 Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status MovedError(std::string message) {
+  return Status(StatusCode::kMoved, std::move(message));
 }
 
 }  // namespace tdb

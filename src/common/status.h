@@ -42,6 +42,9 @@ enum class StatusCode {
   kFailedPrecondition,
   // Feature intentionally not available in the current configuration.
   kUnimplemented,
+  // The addressed resource now lives elsewhere (e.g. a partition handed off
+  // to another server); the message carries the new address. Retryable.
+  kMoved,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -83,6 +86,7 @@ Status IoError(std::string message);
 Status CorruptionError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
+Status MovedError(std::string message);
 
 // Result<T> holds either a value or a non-OK Status.
 template <typename T>

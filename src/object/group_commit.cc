@@ -8,8 +8,9 @@
 
 namespace tdb {
 
-GroupCommitQueue::GroupCommitQueue(ChunkStore* chunks, size_t max_batch)
-    : chunks_(chunks), max_batch_(max_batch == 0 ? 1 : max_batch) {}
+GroupCommitQueue::GroupCommitQueue(ChunkStore* chunks, size_t max_batch,
+                                   GroupCommitQueue* next)
+    : chunks_(chunks), max_batch_(max_batch == 0 ? 1 : max_batch), next_(next) {}
 
 Status GroupCommitQueue::Commit(ChunkStore::Batch batch) {
   if (batch.empty()) {
@@ -53,7 +54,8 @@ Status GroupCommitQueue::Commit(ChunkStore::Batch batch) {
   }
   lock.unlock();
 
-  Status status = chunks_->Commit(std::move(merged));
+  Status status = next_ != nullptr ? next_->Commit(std::move(merged))
+                                   : chunks_->Commit(std::move(merged));
 
   lock.lock();
   for (Waiter* w : group) {

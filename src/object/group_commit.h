@@ -17,6 +17,15 @@
 // difference from solo commits is failure coupling: if the merged commit
 // fails (out of space, I/O error, poisoned store), every member of that
 // batch fails with the same status.
+//
+// Queues chain: a queue constructed with a `next` queue submits its merged
+// batch there instead of to the chunk store. The sharded service uses this
+// for two-level group commit — each partition engine runs its own queue
+// (per-partition leader), and every engine leader parks on one store-level
+// combiner queue, which merges batches from *different* partitions (disjoint
+// by construction: a partition is served by exactly one engine) into a
+// single chunk-store commit. One flush then amortizes across partitions as
+// well as across transactions.
 
 #ifndef SRC_OBJECT_GROUP_COMMIT_H_
 #define SRC_OBJECT_GROUP_COMMIT_H_
@@ -33,8 +42,11 @@ namespace tdb {
 class GroupCommitQueue {
  public:
   // `chunks` must outlive the queue. `max_batch` caps how many waiting
-  // transactions one leader may absorb (>= 1).
-  GroupCommitQueue(ChunkStore* chunks, size_t max_batch);
+  // transactions one leader may absorb (>= 1). When `next` is non-null the
+  // leader submits its merged batch to `next` (which must also outlive this
+  // queue) instead of committing it directly; chains must be acyclic.
+  GroupCommitQueue(ChunkStore* chunks, size_t max_batch,
+                   GroupCommitQueue* next = nullptr);
 
   // Commits `batch` as part of a coalesced chunk-store commit. Blocks until
   // the batch containing it is durable (or failed); returns the shared
@@ -54,6 +66,7 @@ class GroupCommitQueue {
 
   ChunkStore* chunks_;
   const size_t max_batch_;
+  GroupCommitQueue* const next_;  // null = commit straight to the store
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -18,7 +18,7 @@ ObjectStore::ObjectStore(ChunkStore* chunks, PartitionId partition,
              {"object.cache_evictions", "object_cache"}) {
   if (options_.group_commit) {
     group_commit_ = std::make_unique<GroupCommitQueue>(
-        chunks_, options_.group_commit_max_batch);
+        chunks_, options_.group_commit_max_batch, options_.commit_chain);
   }
   obs::SetGauge("cache.shards", cache_.shard_count());
 }
@@ -297,9 +297,12 @@ Status Transaction::Commit() {
   // flushes a merged batch; either way the call returns only once this
   // transaction's writes are durable (or failed). The write locks acquired
   // above are held across the wait, which is what makes merging safe.
-  Status status = store_->group_commit_ != nullptr
-                      ? store_->group_commit_->Commit(std::move(batch))
-                      : store_->chunks_->Commit(std::move(batch));
+  Status status =
+      store_->group_commit_ != nullptr
+          ? store_->group_commit_->Commit(std::move(batch))
+          : (store_->options_.commit_chain != nullptr
+                 ? store_->options_.commit_chain->Commit(std::move(batch))
+                 : store_->chunks_->Commit(std::move(batch)));
   if (status.ok()) {
     for (auto& [id, value] : write_set_) {
       if (value.has_value()) {

@@ -79,6 +79,14 @@ struct ObjectStoreOptions {
   bool group_commit = false;
   // Most transactions one leader may merge into a single batch.
   size_t group_commit_max_batch = 64;
+  // Optional store-level queue this store's commits chain into (two-level
+  // group commit; see group_commit.h). With group_commit set, the store's
+  // own queue leader submits merged batches there; without it, every write
+  // commit parks there directly. The sharded service points every partition
+  // engine at one combiner so batches from different partitions share a
+  // flush. Must outlive the store. nullptr = commit straight to the chunk
+  // store.
+  GroupCommitQueue* commit_chain = nullptr;
 };
 
 class ObjectStore;

@@ -51,6 +51,12 @@ const char* TraceKindName(TraceKind kind) {
       return "tamper_detected";
     case TraceKind::kSlowRequest:
       return "slow_request";
+    case TraceKind::kPartitionHandoffBegin:
+      return "partition_handoff_begin";
+    case TraceKind::kPartitionHandoffCutover:
+      return "partition_handoff_cutover";
+    case TraceKind::kPartitionHandoffComplete:
+      return "partition_handoff_complete";
     case TraceKind::kNumKinds:
       break;
   }

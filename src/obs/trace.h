@@ -37,6 +37,12 @@ enum class TraceKind : uint8_t {
   kRecoveryStep,
   kTamperDetected,
   kSlowRequest,
+  // Live partition hand-off milestones (a = partition id, detail = target
+  // address): first export shipped / ownership cut over (drain + final
+  // incremental) / directory marked moved.
+  kPartitionHandoffBegin,
+  kPartitionHandoffCutover,
+  kPartitionHandoffComplete,
   kNumKinds,  // sentinel; not a valid event kind
 };
 

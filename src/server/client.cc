@@ -45,16 +45,19 @@ Status TdbClient::Ping() {
   return StatusFromResponse(response);
 }
 
-Status TdbClient::Begin() {
-  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(Request{.op = Op::kBegin}));
+Status TdbClient::Begin(PartitionId partition) {
+  TDB_ASSIGN_OR_RETURN(
+      Response response,
+      RoundTrip(Request{.op = Op::kBegin, .partition = partition}));
   Status status = StatusFromResponse(response);
   in_transaction_ = status.ok();
   return status;
 }
 
-Status TdbClient::BeginReadOnly() {
-  TDB_ASSIGN_OR_RETURN(Response response,
-                       RoundTrip(Request{.op = Op::kBeginReadOnly}));
+Status TdbClient::BeginReadOnly(PartitionId partition) {
+  TDB_ASSIGN_OR_RETURN(
+      Response response,
+      RoundTrip(Request{.op = Op::kBeginReadOnly, .partition = partition}));
   Status status = StatusFromResponse(response);
   in_transaction_ = status.ok();
   return status;
@@ -126,6 +129,106 @@ Result<std::string> TdbClient::FetchStats() {
 Status TdbClient::ResetStats() {
   TDB_ASSIGN_OR_RETURN(Response response,
                        RoundTrip(Request{.op = Op::kStatsReset}));
+  return StatusFromResponse(response);
+}
+
+Result<PartitionId> TdbClient::PartitionCreate(const std::string& name) {
+  Request request;
+  request.op = Op::kPartitionCreate;
+  request.object = BytesFromString(name);
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  TDB_RETURN_IF_ERROR(StatusFromResponse(response));
+  return static_cast<PartitionId>(response.object_id);
+}
+
+Status TdbClient::PartitionDrop(const std::string& name) {
+  Request request;
+  request.op = Op::kPartitionDrop;
+  request.object = BytesFromString(name);
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return StatusFromResponse(response);
+}
+
+Result<std::vector<shard::PartitionEntry>> TdbClient::PartitionList() {
+  TDB_ASSIGN_OR_RETURN(Response response,
+                       RoundTrip(Request{.op = Op::kPartitionList}));
+  TDB_RETURN_IF_ERROR(StatusFromResponse(response));
+  return UnpickleEntryList(response.object);
+}
+
+Result<shard::PartitionEntry> TdbClient::PartitionLookup(
+    const std::string& name) {
+  Request request;
+  request.op = Op::kPartitionLookup;
+  request.object = BytesFromString(name);
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  TDB_RETURN_IF_ERROR(StatusFromResponse(response));
+  TDB_ASSIGN_OR_RETURN(std::vector<shard::PartitionEntry> entries,
+                       UnpickleEntryList(response.object));
+  if (entries.size() != 1) {
+    return CorruptionError("partition lookup returned " +
+                           std::to_string(entries.size()) + " entries");
+  }
+  return entries[0];
+}
+
+Result<TdbClient::HandoffStream> TdbClient::HandoffExport(
+    PartitionId partition, PartitionId base) {
+  Request request;
+  request.op = Op::kHandoffExport;
+  request.partition = partition;
+  request.object_id = base;
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  TDB_RETURN_IF_ERROR(StatusFromResponse(response));
+  HandoffStream out;
+  out.snapshot = static_cast<PartitionId>(response.object_id);
+  out.stream = std::move(response.object);
+  return out;
+}
+
+Status TdbClient::HandoffImport(PartitionId partition, PartitionId base,
+                                ByteView stream) {
+  Request request;
+  request.op = Op::kHandoffImport;
+  request.partition = partition;
+  request.object_id = base;
+  request.object = Bytes(stream.begin(), stream.end());
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return StatusFromResponse(response);
+}
+
+Result<TdbClient::HandoffStream> TdbClient::HandoffCutover(
+    PartitionId partition, const std::string& target, PartitionId base) {
+  Request request;
+  request.op = Op::kHandoffCutover;
+  request.partition = partition;
+  request.object_id = base;
+  request.object = BytesFromString(target);
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  TDB_RETURN_IF_ERROR(StatusFromResponse(response));
+  HandoffStream out;
+  out.snapshot = static_cast<PartitionId>(response.object_id);
+  out.stream = std::move(response.object);
+  return out;
+}
+
+Status TdbClient::HandoffActivate(PartitionId partition,
+                                  const std::string& name) {
+  Request request;
+  request.op = Op::kHandoffActivate;
+  request.partition = partition;
+  request.object = BytesFromString(name);
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
+  return StatusFromResponse(response);
+}
+
+Status TdbClient::HandoffFinish(PartitionId partition,
+                                const std::string& target) {
+  Request request;
+  request.op = Op::kHandoffFinish;
+  request.partition = partition;
+  request.object = BytesFromString(target);
+  TDB_ASSIGN_OR_RETURN(Response response, RoundTrip(request));
   return StatusFromResponse(response);
 }
 

@@ -51,12 +51,15 @@ class TdbClient {
   Status Ping();
 
   // Transaction control. The server allows one open transaction per
-  // session; Commit/Abort end it.
-  Status Begin();
+  // session; Commit/Abort end it. `partition` routes the transaction on a
+  // sharded server (0 = the server's sole partition, an error when it
+  // serves several). A kMoved status is retryable: its message is the
+  // address of the server now owning the partition.
+  Status Begin(PartitionId partition = 0);
   // Begins a read-only snapshot transaction: the server serves every Get
   // from a pinned COW partition copy without taking locks; GetForUpdate and
   // writes are rejected until Commit/Abort.
-  Status BeginReadOnly();
+  Status BeginReadOnly(PartitionId partition = 0);
   Status Commit();
   Status Abort();
   bool in_transaction() const { return in_transaction_; }
@@ -72,6 +75,31 @@ class TdbClient {
   // metrics/profiler/trace state. Both work outside a transaction.
   Result<std::string> FetchStats();
   Status ResetStats();
+
+  // --- partition directory (sharded servers; outside a transaction) ---
+  Result<PartitionId> PartitionCreate(const std::string& name);
+  Status PartitionDrop(const std::string& name);
+  Result<std::vector<shard::PartitionEntry>> PartitionList();
+  Result<shard::PartitionEntry> PartitionLookup(const std::string& name);
+
+  // --- live hand-off admin (see wire.h for the protocol) ---
+  struct HandoffStream {
+    PartitionId snapshot = 0;  // base for the next incremental
+    Bytes stream;              // backup stream to import on the target
+  };
+  // Source: export a full (base 0) or incremental backup of `partition`.
+  Result<HandoffStream> HandoffExport(PartitionId partition, PartitionId base);
+  // Target: stage a stream (a full stream resets the staging buffer).
+  Status HandoffImport(PartitionId partition, PartitionId base,
+                       ByteView stream);
+  // Source: drain + final incremental; clients are redirected to `target`.
+  Result<HandoffStream> HandoffCutover(PartitionId partition,
+                                       const std::string& target,
+                                       PartitionId base);
+  // Target: apply the staged chain atomically and start serving.
+  Status HandoffActivate(PartitionId partition, const std::string& name);
+  // Source: persist the move (empty `target` aborts and resumes serving).
+  Status HandoffFinish(PartitionId partition, const std::string& target);
 
  private:
   Result<Response> RoundTrip(const Request& request);

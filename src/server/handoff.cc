@@ -1,0 +1,45 @@
+#include "src/server/handoff.h"
+
+namespace tdb::server {
+
+Status MovePartition(TdbClient& source, TdbClient& target,
+                     const std::string& name,
+                     const std::string& target_address,
+                     HandoffOptions options) {
+  TDB_ASSIGN_OR_RETURN(shard::PartitionEntry entry,
+                       source.PartitionLookup(name));
+  if (entry.moved) {
+    return FailedPreconditionError("partition '" + name +
+                                   "' already moved to " + entry.moved_to);
+  }
+  const PartitionId pid = entry.id;
+
+  // Full copy, then incremental catch-up while writes keep landing.
+  TDB_ASSIGN_OR_RETURN(TdbClient::HandoffStream full,
+                       source.HandoffExport(pid, 0));
+  TDB_RETURN_IF_ERROR(target.HandoffImport(pid, 0, full.stream));
+  PartitionId base = full.snapshot;
+  for (size_t round = 0; round < options.catchup_rounds; ++round) {
+    TDB_ASSIGN_OR_RETURN(TdbClient::HandoffStream delta,
+                         source.HandoffExport(pid, base));
+    TDB_RETURN_IF_ERROR(target.HandoffImport(pid, base, delta.stream));
+    base = delta.snapshot;
+  }
+
+  // Cut over: drain + final delta. From here the source redirects clients;
+  // any failure before the finish step rolls the source back to serving.
+  TDB_ASSIGN_OR_RETURN(TdbClient::HandoffStream final_delta,
+                       source.HandoffCutover(pid, target_address, base));
+  Status applied =
+      target.HandoffImport(pid, final_delta.snapshot, final_delta.stream);
+  if (applied.ok()) {
+    applied = target.HandoffActivate(pid, name);
+  }
+  if (!applied.ok()) {
+    (void)source.HandoffFinish(pid, "");  // abort: resume serving
+    return applied;
+  }
+  return source.HandoffFinish(pid, target_address);
+}
+
+}  // namespace tdb::server

@@ -1,0 +1,46 @@
+// HandoffDriver: the coordinator side of a live partition hand-off.
+//
+// Drives the wire protocol between a source and a target server (wire.h,
+// kHandoff*): ship a full COW snapshot, chase the still-live partition with
+// chained incrementals, then cut over — the source drains in-flight
+// transactions and hands back the final incremental, the target applies the
+// whole staged chain in one atomic restore and starts serving, and the
+// source persists the move so clients are redirected from then on. Client
+// writes keep flowing on the source until the cut-over call, and every
+// acknowledged commit is covered by the final incremental, so the move
+// loses nothing and stalls writers only for the drain + final-delta window.
+//
+// The driver is deliberately stateless between steps: if it (or either
+// server) dies mid-way, re-running Move restarts from a fresh full export —
+// the target's staging buffer resets on a full stream, and the source keeps
+// both data and ownership until the finish step. See DESIGN.md §10 for the
+// stage-by-stage crash contract.
+
+#ifndef SRC_SERVER_HANDOFF_H_
+#define SRC_SERVER_HANDOFF_H_
+
+#include <string>
+
+#include "src/server/client.h"
+
+namespace tdb::server {
+
+struct HandoffOptions {
+  // Incremental catch-up rounds between the full copy and the cut-over.
+  // More rounds shrink the final delta (and so the cut-over stall) while
+  // the partition keeps taking writes.
+  size_t catchup_rounds = 2;
+};
+
+// Moves the partition named `name` from the server behind `source` to the
+// server behind `target`. Both clients must be connected; `target_address`
+// is what redirected clients will be told to dial. On failure the source
+// keeps serving (a failed cut-over is rolled back with a finish-abort).
+Status MovePartition(TdbClient& source, TdbClient& target,
+                     const std::string& name,
+                     const std::string& target_address,
+                     HandoffOptions options = {});
+
+}  // namespace tdb::server
+
+#endif  // SRC_SERVER_HANDOFF_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
 #include <utility>
 
+#include "src/backup/backup_store.h"
+#include "src/common/rng.h"
 #include "src/obs/metrics.h"
 #include "src/obs/snapshot.h"
 #include "src/obs/trace.h"
@@ -21,18 +24,79 @@ double MicrosBetween(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
+shard::EngineRegistryOptions RegistryOptions(const TdbServerOptions& options) {
+  shard::EngineRegistryOptions out;
+  out.store_options.lock_timeout = options.lock_timeout;
+  out.store_options.cache_capacity = options.cache_capacity;
+  out.store_options.group_commit = options.group_commit;
+  out.store_options.group_commit_max_batch = options.group_commit_max_batch;
+  out.combine_commits = options.combine_commits;
+  out.combine_max_batch = options.combine_max_batch;
+  return out;
+}
+
+// Hand-off streams travel as wire payloads, not archive files; these adapt
+// a Bytes buffer to the archival sink/source interfaces.
+class BytesSink : public ArchivalSink {
+ public:
+  Status Write(ByteView data) override {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    return OkStatus();
+  }
+  Status Close() override { return OkStatus(); }
+  Bytes Take() { return std::move(buffer_); }
+
+ private:
+  Bytes buffer_;
+};
+
+class BytesSource : public ArchivalSource {
+ public:
+  explicit BytesSource(ByteView data) : data_(data) {}
+  Result<Bytes> Read(size_t n) override {
+    n = std::min(n, data_.size() - pos_);
+    Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  ByteView data_;
+  size_t pos_ = 0;
+};
+
+uint64_t RandomSetId() {
+  static std::atomic<uint64_t> salt{0};
+  Rng rng(static_cast<uint64_t>(
+              std::chrono::steady_clock::now().time_since_epoch().count()) ^
+          (salt.fetch_add(1) << 32));
+  return rng.NextU64();
+}
+
 }  // namespace
 
 TdbServer::TdbServer(ChunkStore* chunks, PartitionId partition,
                      const TypeRegistry* registry, TdbServerOptions options)
-    : chunks_(chunks), registry_(registry), options_(options) {
-  ObjectStoreOptions store_options;
-  store_options.lock_timeout = options_.lock_timeout;
-  store_options.cache_capacity = options_.cache_capacity;
-  store_options.group_commit = options_.group_commit;
-  store_options.group_commit_max_batch = options_.group_commit_max_batch;
-  objects_ =
-      std::make_unique<ObjectStore>(chunks, partition, registry, store_options);
+    : chunks_(chunks),
+      registry_(registry),
+      options_(options),
+      engines_(chunks, registry, RegistryOptions(options)) {
+  // A missing partition surfaces as kNotFound on the first begin.
+  (void)engines_.Add(partition);
+}
+
+TdbServer::TdbServer(ChunkStore* chunks, shard::PartitionDirectory* directory,
+                     const TypeRegistry* registry, TdbServerOptions options)
+    : chunks_(chunks),
+      registry_(registry),
+      options_(options),
+      engines_(chunks, registry, RegistryOptions(options)),
+      directory_(directory) {
+  for (const shard::PartitionEntry& entry : directory_->List()) {
+    if (!entry.moved) {
+      (void)engines_.Add(entry.id);
+    }
+  }
 }
 
 TdbServer::~TdbServer() { Stop(); }
@@ -91,8 +155,26 @@ void TdbServer::PublishGauges() {
   obs::SetGauge("server.idle_timeouts",
                 static_cast<double>(stats.idle_timeouts));
   obs::SetGauge("server.requests", static_cast<double>(stats.requests));
-  obs::SetGauge("server.group_commit.queue_depth",
-                static_cast<double>(objects_->group_commit_queue_depth()));
+  std::vector<std::shared_ptr<shard::PartitionEngine>> engines =
+      engines_.Engines();
+  obs::SetGauge("shard.partitions", static_cast<double>(engines.size()));
+  double queue_depth = 0;
+  for (const std::shared_ptr<shard::PartitionEngine>& engine : engines) {
+    const std::string prefix =
+        "shard.partition." + std::to_string(engine->partition());
+    obs::SetGauge((prefix + ".sessions").c_str(),
+                  static_cast<double>(engine->active_txns()));
+    obs::SetGauge((prefix + ".commits").c_str(),
+                  static_cast<double>(engine->store()->counts().commits));
+    obs::SetGauge((prefix + ".queue_depth").c_str(),
+                  static_cast<double>(
+                      engine->store()->group_commit_queue_depth()));
+    obs::SetGauge((prefix + ".state").c_str(),
+                  static_cast<double>(engine->state()));
+    queue_depth += static_cast<double>(
+        engine->store()->group_commit_queue_depth());
+  }
+  obs::SetGauge("server.group_commit.queue_depth", queue_depth);
   // ChunkStore::GetStats publishes the chunk gauges (live/used log bytes)
   // as a side effect.
   (void)chunks_->GetStats();
@@ -138,6 +220,14 @@ void TdbServer::AcceptLoop() {
       continue;
     }
     workers_->Submit([this, conn]() mutable { ServeSession(std::move(conn)); });
+  }
+}
+
+void TdbServer::FinishTxn(Session& session) {
+  session.txn.reset();
+  if (session.engine != nullptr) {
+    session.engine->TxnFinished();
+    session.engine.reset();
   }
 }
 
@@ -224,6 +314,7 @@ void TdbServer::ServeSession(std::shared_ptr<net::Connection> conn) {
   if (session.txn != nullptr && session.txn->active()) {
     session.txn->Abort();
   }
+  FinishTxn(session);
   conn->Close();
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -234,34 +325,308 @@ void TdbServer::ServeSession(std::shared_ptr<net::Connection> conn) {
   obs::Count("server.sessions_closed");
 }
 
+Response TdbServer::HandleBegin(Session& session, const Request& request) {
+  if (session.txn != nullptr && session.txn->active()) {
+    return ResponseFromStatus(
+        FailedPreconditionError("transaction already open"));
+  }
+  std::shared_ptr<shard::PartitionEngine> engine;
+  if (request.partition == 0) {
+    engine = engines_.Solo();
+    if (engine == nullptr) {
+      return ResponseFromStatus(InvalidArgumentError(
+          "server serves " + std::to_string(engines_.size()) +
+          " partitions; begin must name one"));
+    }
+  } else {
+    PartitionId pid = static_cast<PartitionId>(request.partition);
+    engine = engines_.Find(pid);
+    if (engine == nullptr) {
+      // The "moved" redirect: a cataloged-but-moved partition tells the
+      // client where it lives now; anything else is unknown.
+      if (directory_ != nullptr) {
+        Result<shard::PartitionEntry> entry = directory_->Find(pid);
+        if (entry.ok() && entry->moved) {
+          return ResponseFromStatus(MovedError(entry->moved_to));
+        }
+      }
+      return ResponseFromStatus(
+          NotFoundError("unknown partition " + std::to_string(pid)));
+    }
+  }
+  Result<std::unique_ptr<Transaction>> txn =
+      request.op == Op::kBegin ? engine->Begin() : engine->BeginReadOnly();
+  if (!txn.ok()) {
+    return ResponseFromStatus(txn.status());
+  }
+  session.engine = std::move(engine);
+  session.txn = std::move(*txn);
+  Response response;
+  response.object_id = session.txn->id();
+  return response;
+}
+
+Result<Bytes> TdbServer::ExportPartition(PartitionId partition,
+                                         PartitionId base,
+                                         PartitionId* snapshot_out) {
+  BackupStore backup(chunks_);
+  BytesSink sink;
+  TDB_ASSIGN_OR_RETURN(
+      BackupStore::CreateResult created,
+      backup.CreateBackupSet({{partition, base}}, RandomSetId(),
+                             static_cast<uint64_t>(std::time(nullptr)),
+                             &sink));
+  {
+    std::lock_guard<std::mutex> lock(handoff_mu_);
+    handoff_snapshots_[partition].push_back(created.snapshots[0]);
+  }
+  if (snapshot_out != nullptr) {
+    *snapshot_out = created.snapshots[0];
+  }
+  return sink.Take();
+}
+
+void TdbServer::DropHandoffSnapshots(PartitionId partition) {
+  std::vector<PartitionId> snapshots;
+  {
+    std::lock_guard<std::mutex> lock(handoff_mu_);
+    auto it = handoff_snapshots_.find(partition);
+    if (it == handoff_snapshots_.end()) {
+      return;
+    }
+    snapshots = std::move(it->second);
+    handoff_snapshots_.erase(it);
+  }
+  ChunkStore::Batch batch;
+  for (PartitionId snapshot : snapshots) {
+    if (chunks_->PartitionExists(snapshot)) {
+      batch.DeallocatePartition(snapshot);
+    }
+  }
+  (void)chunks_->Commit(std::move(batch));
+}
+
+Response TdbServer::HandleAdmin(const Request& request) {
+  const PartitionId pid = static_cast<PartitionId>(request.partition);
+  switch (request.op) {
+    case Op::kPartitionCreate: {
+      if (directory_ == nullptr) {
+        return ResponseFromStatus(FailedPreconditionError(
+            "server has no partition directory (single-partition mode)"));
+      }
+      if (options_.new_partition_params.key.empty()) {
+        return ResponseFromStatus(FailedPreconditionError(
+            "server has no key configured for new partitions"));
+      }
+      Result<shard::PartitionEntry> entry = directory_->Create(
+          StringFromBytes(request.object), options_.new_partition_params);
+      if (!entry.ok()) {
+        return ResponseFromStatus(entry.status());
+      }
+      Result<std::shared_ptr<shard::PartitionEngine>> engine =
+          engines_.Add(entry->id);
+      if (!engine.ok()) {
+        return ResponseFromStatus(engine.status());
+      }
+      Response response;
+      response.object_id = entry->id;
+      return response;
+    }
+    case Op::kPartitionDrop: {
+      if (directory_ == nullptr) {
+        return ResponseFromStatus(FailedPreconditionError(
+            "server has no partition directory (single-partition mode)"));
+      }
+      const std::string name = StringFromBytes(request.object);
+      Result<shard::PartitionEntry> entry = directory_->Lookup(name);
+      if (!entry.ok()) {
+        return ResponseFromStatus(entry.status());
+      }
+      // Unroute first so no new transaction can begin on a partition whose
+      // chunks are about to be deallocated; in-flight ones fail on commit.
+      (void)engines_.Remove(entry->id);
+      DropHandoffSnapshots(entry->id);
+      return ResponseFromStatus(directory_->Drop(name));
+    }
+    case Op::kPartitionList: {
+      if (directory_ == nullptr) {
+        return ResponseFromStatus(FailedPreconditionError(
+            "server has no partition directory (single-partition mode)"));
+      }
+      Response response;
+      response.object = PickleEntryList(directory_->List());
+      return response;
+    }
+    case Op::kPartitionLookup: {
+      if (directory_ == nullptr) {
+        return ResponseFromStatus(FailedPreconditionError(
+            "server has no partition directory (single-partition mode)"));
+      }
+      Result<shard::PartitionEntry> entry =
+          directory_->Lookup(StringFromBytes(request.object));
+      if (!entry.ok()) {
+        return ResponseFromStatus(entry.status());
+      }
+      Response response;
+      response.object_id = entry->id;
+      response.object = PickleEntryList({*entry});
+      return response;
+    }
+    case Op::kHandoffExport: {
+      if (engines_.Find(pid) == nullptr) {
+        return ResponseFromStatus(
+            NotFoundError("partition " + std::to_string(pid) +
+                          " is not served here"));
+      }
+      const PartitionId base = static_cast<PartitionId>(request.object_id);
+      PartitionId snapshot = 0;
+      Result<Bytes> stream = ExportPartition(pid, base, &snapshot);
+      if (!stream.ok()) {
+        return ResponseFromStatus(stream.status());
+      }
+      if (base == 0) {
+        obs::TraceEmit(obs::TraceKind::kPartitionHandoffBegin, "shard", pid,
+                       snapshot);
+      }
+      Response response;
+      response.object_id = snapshot;
+      response.object = std::move(*stream);
+      return response;
+    }
+    case Op::kHandoffImport: {
+      std::lock_guard<std::mutex> lock(handoff_mu_);
+      Bytes& staged = staged_imports_[pid];
+      if (request.object_id == 0) {
+        // A full stream restarts the staging buffer: the chain is rebuilt
+        // from scratch (retry after a torn stream or coordinator restart).
+        staged.clear();
+      }
+      staged.insert(staged.end(), request.object.begin(),
+                    request.object.end());
+      return Response{};
+    }
+    case Op::kHandoffCutover: {
+      std::shared_ptr<shard::PartitionEngine> engine = engines_.Find(pid);
+      if (engine == nullptr) {
+        return ResponseFromStatus(
+            NotFoundError("partition " + std::to_string(pid) +
+                          " is not served here"));
+      }
+      const std::string target = StringFromBytes(request.object);
+      Status status = engine->StartDraining(target);
+      if (!status.ok()) {
+        return ResponseFromStatus(status);
+      }
+      if (!engine->WaitDrained(options_.drain_timeout)) {
+        (void)engine->ResumeServing();
+        return ResponseFromStatus(TimeoutError(
+            "partition " + std::to_string(pid) +
+            " did not drain within the cut-over window; still serving"));
+      }
+      // Drained and not admitting: this incremental is the partition's
+      // final state. The engine stays draining (clients are redirected via
+      // its moved_to) until kHandoffFinish persists the move.
+      const PartitionId base = static_cast<PartitionId>(request.object_id);
+      PartitionId snapshot = 0;
+      Result<Bytes> stream = ExportPartition(pid, base, &snapshot);
+      if (!stream.ok()) {
+        (void)engine->ResumeServing();
+        return ResponseFromStatus(stream.status());
+      }
+      obs::TraceEmit(obs::TraceKind::kPartitionHandoffCutover, "shard", pid,
+                     snapshot, target);
+      Response response;
+      response.object_id = snapshot;
+      response.object = std::move(*stream);
+      return response;
+    }
+    case Op::kHandoffActivate: {
+      Bytes staged;
+      {
+        std::lock_guard<std::mutex> lock(handoff_mu_);
+        auto it = staged_imports_.find(pid);
+        if (it == staged_imports_.end()) {
+          return ResponseFromStatus(FailedPreconditionError(
+              "no staged import for partition " + std::to_string(pid)));
+        }
+        staged = std::move(it->second);
+        staged_imports_.erase(it);
+      }
+      // Apply the whole chain in one atomic restore: the partition either
+      // arrives fully (and is served) or not at all — a torn stream or
+      // validation failure leaves this store untouched.
+      BackupStore backup(chunks_);
+      BytesSource source(staged);
+      Result<BackupStore::RestoreResult> restored =
+          backup.RestoreStream(&source);
+      if (!restored.ok()) {
+        return ResponseFromStatus(restored.status());
+      }
+      if (directory_ != nullptr) {
+        const std::string name = StringFromBytes(request.object);
+        Result<shard::PartitionEntry> entry = directory_->Find(pid);
+        Status cataloged = entry.ok() ? directory_->MarkServing(pid)
+                                      : directory_->Adopt(pid, name).status();
+        if (!cataloged.ok()) {
+          return ResponseFromStatus(cataloged);
+        }
+      }
+      Result<std::shared_ptr<shard::PartitionEngine>> engine =
+          engines_.Add(pid);
+      if (!engine.ok()) {
+        return ResponseFromStatus(engine.status());
+      }
+      return Response{};
+    }
+    case Op::kHandoffFinish: {
+      const std::string target = StringFromBytes(request.object);
+      std::shared_ptr<shard::PartitionEngine> engine = engines_.Find(pid);
+      if (target.empty()) {
+        // Abort/rollback: reclaim ownership (the partition may have been
+        // unrouted by a crashed finish) and discard the snapshot chain.
+        Status status = OkStatus();
+        if (engine != nullptr) {
+          status = engine->ResumeServing();
+        } else {
+          Result<std::shared_ptr<shard::PartitionEngine>> added =
+              engines_.Add(pid);
+          if (!added.ok()) {
+            status = added.status();
+          }
+        }
+        if (status.ok() && directory_ != nullptr) {
+          status = directory_->MarkServing(pid);
+        }
+        DropHandoffSnapshots(pid);
+        return ResponseFromStatus(status);
+      }
+      if (engine != nullptr) {
+        (void)engine->MarkMoved(target);
+      }
+      if (directory_ != nullptr) {
+        Status status = directory_->MarkMoved(pid, target);
+        if (!status.ok()) {
+          return ResponseFromStatus(status);
+        }
+      }
+      (void)engines_.Remove(pid);
+      DropHandoffSnapshots(pid);
+      obs::TraceEmit(obs::TraceKind::kPartitionHandoffComplete, "shard", pid,
+                     0, target);
+      return Response{};
+    }
+    default:
+      return ResponseFromStatus(InvalidArgumentError("unhandled admin op"));
+  }
+}
+
 Response TdbServer::Handle(Session& session, const Request& request) {
   switch (request.op) {
     case Op::kPing:
       return Response{};
-    case Op::kBegin: {
-      if (session.txn != nullptr && session.txn->active()) {
-        return ResponseFromStatus(
-            FailedPreconditionError("transaction already open"));
-      }
-      session.txn = objects_->Begin();
-      Response response;
-      response.object_id = session.txn->id();
-      return response;
-    }
-    case Op::kBeginReadOnly: {
-      if (session.txn != nullptr && session.txn->active()) {
-        return ResponseFromStatus(
-            FailedPreconditionError("transaction already open"));
-      }
-      Result<std::unique_ptr<Transaction>> txn = objects_->BeginReadOnly();
-      if (!txn.ok()) {
-        return ResponseFromStatus(txn.status());
-      }
-      session.txn = std::move(*txn);
-      Response response;
-      response.object_id = session.txn->id();
-      return response;
-    }
+    case Op::kBegin:
+    case Op::kBeginReadOnly:
+      return HandleBegin(session, request);
     case Op::kStats: {
       // Refresh every live gauge first so the snapshot a remote tdb_stats
       // parses is current, not whatever the last slow path happened to set.
@@ -274,6 +639,16 @@ Response TdbServer::Handle(Session& session, const Request& request) {
       obs::ResetAll();
       return Response{};
     }
+    case Op::kPartitionCreate:
+    case Op::kPartitionDrop:
+    case Op::kPartitionList:
+    case Op::kPartitionLookup:
+    case Op::kHandoffExport:
+    case Op::kHandoffImport:
+    case Op::kHandoffCutover:
+    case Op::kHandoffActivate:
+    case Op::kHandoffFinish:
+      return HandleAdmin(request);
     default:
       break;
   }
@@ -283,13 +658,14 @@ Response TdbServer::Handle(Session& session, const Request& request) {
   }
 
   // Validate client-supplied object ids before they reach the stores: a
-  // session may only address data chunks of the served partition — never
-  // the system partition, another partition, or map/leader chunks.
+  // session may only address data chunks of its transaction's partition —
+  // never the system partition, another partition, or map/leader chunks.
   auto checked_id = [&](uint64_t packed) -> Result<ObjectId> {
     ObjectId id = ChunkId::Unpack(packed);
-    if (id.partition != objects_->partition() || id.position.height != 0) {
+    if (id.partition != session.engine->partition() ||
+        id.position.height != 0) {
       return InvalidArgumentError("object id " + id.ToString() +
-                                  " is outside the served partition");
+                                  " is outside the session's partition");
     }
     return id;
   };
@@ -347,12 +723,12 @@ Response TdbServer::Handle(Session& session, const Request& request) {
       // (possibly group-) commit flushed — acknowledgement implies
       // durability.
       Status status = session.txn->Commit();
-      session.txn.reset();
+      FinishTxn(session);
       return ResponseFromStatus(status);
     }
     case Op::kAbort: {
       session.txn->Abort();
-      session.txn.reset();
+      FinishTxn(session);
       return Response{};
     }
     default:

@@ -1,18 +1,31 @@
-// TdbServer: the networked front end over the object store (service layer).
+// TdbServer: the networked front end over the partition engines (service
+// layer).
 //
 // Many clients connect over a Transport; each accepted connection becomes a
 // Session serviced by a worker from the shared ThreadPool. A session maps
-// its connection to at most one open ObjectStore transaction and enforces a
+// its connection to at most one open transaction on one PartitionEngine
+// (begin names the partition; the engine registry routes) and enforces a
 // per-session idle timeout (idle sessions lose their locks: the open
 // transaction is aborted and the connection closed). New connections beyond
 // `max_sessions` are rejected with a busy response before a session or a
 // worker is committed to them — the backpressure cap.
 //
-// The throughput mechanism is group commit (see group_commit.h): the
-// server's ObjectStore is configured so concurrent session commits coalesce
-// into shared chunk-store batch commits. Every layer reports into src/obs:
-// sessions opened/rejected/idle-timed-out, requests and request latency,
-// and (from the queue itself) commit batch sizes and queue wait.
+// A server is either *sharded* — constructed over a PartitionDirectory, it
+// serves every cataloged partition, answers the directory CRUD ops, and
+// participates in live hand-off — or *single-partition* (the legacy
+// constructor), which serves exactly one partition and rejects directory
+// ops. Either way each served partition gets its own engine (ObjectStore:
+// locks, cache, group-commit queue), and all engines chain their commits
+// into one store-level combiner (two-level group commit, group_commit.h) so
+// concurrent leaders of different partitions share a flush.
+//
+// Live hand-off (kHandoffExport/Import/Cutover/Activate/Finish; see wire.h
+// and the DESIGN.md §10 crash contract): the source ships a COW snapshot
+// and chained incrementals; the target stages the streams and applies them
+// in one atomic restore at activate; cut-over drains the source engine and
+// returns a final incremental; finish persists the moved state so clients
+// are redirected (retryable kMoved status carrying the new address) even
+// across a source restart.
 //
 // Shutdown is graceful: Stop() stops the acceptor, closes every live
 // session connection (which aborts their open transactions), and joins the
@@ -29,11 +42,14 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/thread_pool.h"
 #include "src/net/transport.h"
 #include "src/object/object_store.h"
 #include "src/server/wire.h"
+#include "src/shard/directory.h"
+#include "src/shard/partition_engine.h"
 
 namespace tdb::server {
 
@@ -55,19 +71,41 @@ struct TdbServerOptions {
   // disables slow-request events.
   std::chrono::microseconds slow_request_threshold{100000};
 
-  // Object-store configuration for the served partition.
+  // Per-partition object-store configuration.
   bool group_commit = true;
   size_t group_commit_max_batch = 64;
   std::chrono::milliseconds lock_timeout{500};
   size_t cache_capacity = 4096;
+
+  // Chain every engine's group-commit queue into one store-level combiner
+  // (two-level group commit): leaders of different partitions merge into a
+  // single chunk-store commit, so one flush amortizes across partitions.
+  bool combine_commits = true;
+  size_t combine_max_batch = 256;
+
+  // How long a hand-off cut-over waits for in-flight transactions to drain
+  // before giving up (the partition resumes serving on timeout).
+  std::chrono::milliseconds drain_timeout{5000};
+
+  // Cipher/hash/key for partitions created via kPartitionCreate. The create
+  // op is refused while the key is empty.
+  CryptoParams new_partition_params;
 };
 
 class TdbServer {
  public:
-  // Serves objects of `partition` from `chunks`; both must outlive the
-  // server, and `registry` must know every type clients may store.
+  // Single-partition server: serves objects of `partition` from `chunks`;
+  // both must outlive the server, and `registry` must know every type
+  // clients may store. Directory and hand-off ops are rejected.
   TdbServer(ChunkStore* chunks, PartitionId partition,
             const TypeRegistry* registry, TdbServerOptions options = {});
+
+  // Sharded server: serves every partition cataloged in `directory` (minus
+  // the moved ones) and answers directory CRUD and hand-off ops. The
+  // directory must be the one for `chunks` and must outlive the server.
+  TdbServer(ChunkStore* chunks, shard::PartitionDirectory* directory,
+            const TypeRegistry* registry, TdbServerOptions options = {});
+
   ~TdbServer();
 
   TdbServer(const TdbServer&) = delete;
@@ -83,9 +121,16 @@ class TdbServer {
   // The bound address (ephemeral ports resolved) once Start succeeded.
   std::string address() const;
 
-  // The served store — shared with in-process callers (e.g. tests driving
-  // tamper checks or local transactions against the same partition).
-  ObjectStore* object_store() { return objects_.get(); }
+  // The sole served partition's store — shared with in-process callers
+  // (e.g. tests driving tamper checks or local transactions against the
+  // same partition). nullptr unless exactly one partition is served.
+  ObjectStore* object_store() {
+    std::shared_ptr<shard::PartitionEngine> solo = engines_.Solo();
+    return solo == nullptr ? nullptr : solo->store();
+  }
+
+  shard::EngineRegistry* engines() { return &engines_; }
+  shard::PartitionDirectory* directory() { return directory_; }
 
   struct Stats {
     uint64_t sessions_opened = 0;
@@ -100,6 +145,9 @@ class TdbServer {
   // One live connection's server-side state. Lives on its worker's stack.
   struct Session {
     uint64_t id = 0;
+    // Engine the open transaction runs on; set by begin, cleared (with a
+    // TxnFinished) when the transaction ends.
+    std::shared_ptr<shard::PartitionEngine> engine;
     std::unique_ptr<Transaction> txn;
     std::chrono::steady_clock::time_point last_activity;
   };
@@ -107,16 +155,28 @@ class TdbServer {
   void AcceptLoop();
   void ServeSession(std::shared_ptr<net::Connection> conn);
   Response Handle(Session& session, const Request& request);
+  Response HandleBegin(Session& session, const Request& request);
+  Response HandleAdmin(const Request& request);
+  // Ends the session's transaction bookkeeping (engine pin + drain count).
+  void FinishTxn(Session& session);
 
-  // Publishes server/session/queue state as registry gauges and refreshes
-  // the chunk store's gauges, so a SnapshotJson taken right after (kStats)
-  // reflects the live server.
+  // Snapshots `partition` (incremental against `base` when nonzero) into a
+  // backup stream; records the new snapshot id in the hand-off chain.
+  Result<Bytes> ExportPartition(PartitionId partition, PartitionId base,
+                                PartitionId* snapshot_out);
+  // Deallocates the snapshot chain accumulated for `partition`.
+  void DropHandoffSnapshots(PartitionId partition);
+
+  // Publishes server/session/queue state plus the per-partition
+  // `shard.partition.<id>.*` gauges and refreshes the chunk store's gauges,
+  // so a SnapshotJson taken right after (kStats) reflects the live server.
   void PublishGauges();
 
   ChunkStore* chunks_;
   const TypeRegistry* registry_;
   TdbServerOptions options_;
-  std::unique_ptr<ObjectStore> objects_;
+  shard::EngineRegistry engines_;
+  shard::PartitionDirectory* directory_ = nullptr;  // null = single-partition
 
   std::unique_ptr<net::Listener> listener_;
   std::unique_ptr<ThreadPool> workers_;
@@ -128,6 +188,14 @@ class TdbServer {
   mutable std::mutex sessions_mu_;
   std::map<uint64_t, net::Connection*> live_sessions_;
   uint64_t next_session_id_ = 1;
+
+  // Hand-off state: the source's snapshot chain per partition, and the
+  // target's staged (not yet applied) import streams. In-memory by design —
+  // a crashed hand-off is restarted by the coordinator; only the directory
+  // state (ownership) is durable.
+  std::mutex handoff_mu_;
+  std::map<PartitionId, std::vector<PartitionId>> handoff_snapshots_;
+  std::map<PartitionId, Bytes> staged_imports_;
 
   std::atomic<uint64_t> sessions_opened_{0};
   std::atomic<uint64_t> sessions_rejected_{0};

@@ -35,6 +35,24 @@ constexpr OpInfo kOpTable[] = {
     {Op::kStats, "stats", "wire.op.stats.us", "wire.rtt.stats.us"},
     {Op::kStatsReset, "stats_reset", "wire.op.stats_reset.us",
      "wire.rtt.stats_reset.us"},
+    {Op::kPartitionCreate, "partition_create", "wire.op.partition_create.us",
+     "wire.rtt.partition_create.us"},
+    {Op::kPartitionDrop, "partition_drop", "wire.op.partition_drop.us",
+     "wire.rtt.partition_drop.us"},
+    {Op::kPartitionList, "partition_list", "wire.op.partition_list.us",
+     "wire.rtt.partition_list.us"},
+    {Op::kPartitionLookup, "partition_lookup", "wire.op.partition_lookup.us",
+     "wire.rtt.partition_lookup.us"},
+    {Op::kHandoffExport, "handoff_export", "wire.op.handoff_export.us",
+     "wire.rtt.handoff_export.us"},
+    {Op::kHandoffImport, "handoff_import", "wire.op.handoff_import.us",
+     "wire.rtt.handoff_import.us"},
+    {Op::kHandoffCutover, "handoff_cutover", "wire.op.handoff_cutover.us",
+     "wire.rtt.handoff_cutover.us"},
+    {Op::kHandoffActivate, "handoff_activate", "wire.op.handoff_activate.us",
+     "wire.rtt.handoff_activate.us"},
+    {Op::kHandoffFinish, "handoff_finish", "wire.op.handoff_finish.us",
+     "wire.rtt.handoff_finish.us"},
 };
 
 }  // namespace
@@ -58,6 +76,7 @@ Bytes EncodeRequest(const Request& request) {
   w.WriteU8(kWireMagic);
   w.WriteU8(kWireVersion);
   w.WriteU8(static_cast<uint8_t>(request.op));
+  w.WriteVarint(request.partition);
   w.WriteVarint(request.object_id);
   w.WriteBytes(request.object);
   return w.Take();
@@ -72,6 +91,7 @@ Result<Request> DecodeRequest(ByteView frame) {
     return CorruptionError("unknown request op " + std::to_string(op));
   }
   request.op = static_cast<Op>(op);
+  request.partition = r.ReadVarint();
   request.object_id = r.ReadVarint();
   request.object = r.ReadBytes();
   TDB_RETURN_IF_ERROR(r.Done());
@@ -94,7 +114,7 @@ Result<Response> DecodeResponse(ByteView frame) {
   TDB_RETURN_IF_ERROR(CheckHeader(r, "response"));
   Response response;
   uint8_t code = r.ReadU8();
-  if (code > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+  if (code > static_cast<uint8_t>(StatusCode::kMoved)) {
     return CorruptionError("unknown status code " + std::to_string(code));
   }
   response.code = static_cast<StatusCode>(code);
@@ -114,6 +134,37 @@ Response ResponseFromStatus(const Status& status) {
 
 Status StatusFromResponse(const Response& response) {
   return Status(response.code, response.message);
+}
+
+Bytes PickleEntryList(const std::vector<shard::PartitionEntry>& entries) {
+  PickleWriter w;
+  w.WriteVarint(entries.size());
+  for (const shard::PartitionEntry& e : entries) {
+    w.WriteVarint(e.id);
+    w.WriteString(e.name);
+    w.WriteU8(e.moved ? 1 : 0);
+    w.WriteString(e.moved_to);
+    w.WriteVarint(e.epoch);
+  }
+  return w.Take();
+}
+
+Result<std::vector<shard::PartitionEntry>> UnpickleEntryList(ByteView data) {
+  PickleReader r(data);
+  uint64_t count = r.ReadVarint();
+  std::vector<shard::PartitionEntry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    shard::PartitionEntry e;
+    e.id = static_cast<PartitionId>(r.ReadVarint());
+    e.name = r.ReadString();
+    e.moved = r.ReadU8() != 0;
+    e.moved_to = r.ReadString();
+    e.epoch = r.ReadVarint();
+    entries.push_back(std::move(e));
+  }
+  TDB_RETURN_IF_ERROR(r.Done());
+  return entries;
 }
 
 }  // namespace tdb::server

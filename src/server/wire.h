@@ -17,14 +17,19 @@
 #define SRC_SERVER_WIRE_H_
 
 #include <string>
+#include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/shard/directory.h"
 
 namespace tdb::server {
 
 inline constexpr uint8_t kWireMagic = 0xDB;
-inline constexpr uint8_t kWireVersion = 1;
+// Version 2 added the partition id to every request (sharded service) and
+// the directory/hand-off op family. Decoding rejects any other version: a
+// v1 peer gets a clear kUnimplemented status, never a misparsed frame.
+inline constexpr uint8_t kWireVersion = 2;
 
 enum class Op : uint8_t {
   kPing = 1,
@@ -45,6 +50,43 @@ enum class Op : uint8_t {
   // Resets the server's metrics/profiler/trace state. Allowed outside a
   // transaction.
   kStatsReset = 12,
+
+  // --- partition directory CRUD (sharded servers; outside a transaction) ---
+  // Creates + catalogs + serves a fresh partition named by request.object;
+  // response.object_id = its partition id.
+  kPartitionCreate = 13,
+  // Drops the partition named by request.object (data and catalog entry).
+  kPartitionDrop = 14,
+  // response.object = pickled directory listing (see PickleEntryList).
+  kPartitionList = 15,
+  // Looks up the name in request.object; response.object = its pickled
+  // entry, response.object_id = its partition id. Serves as the "moved"
+  // redirect query: a moved entry carries the new server's address.
+  kPartitionLookup = 16,
+
+  // --- live hand-off (admin ops on the source/target server) ---
+  // Source: snapshots request.partition and returns a backup stream in
+  // response.object — full when request.object_id (the base snapshot) is 0,
+  // else incremental against it. response.object_id = the new snapshot's
+  // id, the base for the next incremental in the chain.
+  kHandoffExport = 17,
+  // Target: applies a backup stream (request.object) to the local chunk
+  // store; the partition keeps its id but is not served yet.
+  kHandoffImport = 18,
+  // Source: atomic ownership cut-over of request.partition. Stops admitting
+  // transactions (clients get a retryable kMoved status pointing at the
+  // address in request.object), drains the in-flight ones, then exports the
+  // final incremental (base = request.object_id) exactly like kHandoffExport.
+  // The partition stays in the draining state until kHandoffFinish.
+  kHandoffCutover = 19,
+  // Target: catalogs the imported request.partition under the name in
+  // request.object and starts serving it.
+  kHandoffActivate = 20,
+  // Source: finalizes — marks the directory entry moved to the address in
+  // request.object, stops routing to the engine, and deallocates the
+  // hand-off snapshot chain. The partition's data is retained until an
+  // explicit kPartitionDrop.
+  kHandoffFinish = 21,
 };
 
 // Static metadata for one wire op. The table in wire.cc is the single
@@ -64,8 +106,12 @@ const char* OpName(Op op);
 
 struct Request {
   Op op = Op::kPing;
+  // Partition the request addresses: Begin/BeginReadOnly (0 = the server's
+  // sole partition, rejected when it serves several) and the hand-off ops.
+  // Carried on every frame; ignored by ops that don't route by partition.
+  uint64_t partition = 0;
   uint64_t object_id = 0;  // packed ChunkId: Get/GetForUpdate/Put/Delete
-  Bytes object;            // pickled object: Insert/Put
+  Bytes object;            // pickled object: Insert/Put; name/stream: admin
 };
 
 struct Response {
@@ -85,6 +131,11 @@ Result<Response> DecodeResponse(ByteView frame);
 // left empty), and the inverse for the client side.
 Response ResponseFromStatus(const Status& status);
 Status StatusFromResponse(const Response& response);
+
+// Directory listings (kPartitionList) and single entries (kPartitionLookup)
+// cross the wire in this pickled form.
+Bytes PickleEntryList(const std::vector<shard::PartitionEntry>& entries);
+Result<std::vector<shard::PartitionEntry>> UnpickleEntryList(ByteView data);
 
 }  // namespace tdb::server
 

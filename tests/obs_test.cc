@@ -179,6 +179,37 @@ TEST_F(ObsTest, TraceEventsCarryOperandsAndDetail) {
   EXPECT_STREQ(TraceKindName(events[0].kind), "tamper_detected");
 }
 
+// The hand-off trace kinds and the per-partition gauges are the sharded
+// service's dashboard schema: tdb_stats keys off these exact names, so they
+// must resolve and survive a SnapshotJson round trip.
+TEST_F(ObsTest, PartitionHandoffSchemaAppearsInSnapshotJson) {
+  EXPECT_STREQ(TraceKindName(TraceKind::kPartitionHandoffBegin),
+               "partition_handoff_begin");
+  EXPECT_STREQ(TraceKindName(TraceKind::kPartitionHandoffCutover),
+               "partition_handoff_cutover");
+  EXPECT_STREQ(TraceKindName(TraceKind::kPartitionHandoffComplete),
+               "partition_handoff_complete");
+
+  TraceEmit(TraceKind::kPartitionHandoffBegin, "shard", 2, 5);
+  TraceEmit(TraceKind::kPartitionHandoffCutover, "shard", 2, 6, "node-b");
+  TraceEmit(TraceKind::kPartitionHandoffComplete, "shard", 2, 0, "node-b");
+  // The gauge names the server publishes per served partition.
+  SetGauge("shard.partitions", 2);
+  SetGauge("shard.partition.2.sessions", 3);
+  SetGauge("shard.partition.2.commits", 41);
+  SetGauge("shard.partition.2.queue_depth", 1);
+  SetGauge("shard.partition.2.state", 0);
+
+  std::string json = SnapshotJson();
+  for (const char* key :
+       {"\"partition_handoff_begin\"", "\"partition_handoff_cutover\"",
+        "\"partition_handoff_complete\"", "\"shard.partitions\"",
+        "\"shard.partition.2.sessions\"", "\"shard.partition.2.commits\"",
+        "\"shard.partition.2.queue_depth\"", "\"shard.partition.2.state\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
 // Structural well-formedness: balanced braces/brackets outside strings and
 // valid string/escape nesting. Not a full JSON parser, but catches every
 // quoting or nesting bug a formatter can make.

@@ -568,12 +568,13 @@ TEST_F(ServerTest, ScanOverNeverWrittenIdsFailsCleanlyPerKey) {
 // --- Wire op table ---------------------------------------------------------
 
 TEST(WireOpTableTest, UnknownOpBytesFailDecoding) {
-  // Bytes just outside the table (0 below kPing, 13 above kStatsReset) have
-  // no OpInfo entry and must be rejected at decode time, not dispatched.
+  // Bytes just outside the table (0 below kPing, 22 above kHandoffFinish)
+  // have no OpInfo entry and must be rejected at decode time, not
+  // dispatched.
   EXPECT_EQ(FindOpInfo(static_cast<Op>(0)), nullptr);
-  EXPECT_EQ(FindOpInfo(static_cast<Op>(13)), nullptr);
+  EXPECT_EQ(FindOpInfo(static_cast<Op>(22)), nullptr);
   EXPECT_EQ(FindOpInfo(static_cast<Op>(0xFF)), nullptr);
-  for (uint8_t raw : {uint8_t{0}, uint8_t{13}, uint8_t{0xFF}}) {
+  for (uint8_t raw : {uint8_t{0}, uint8_t{22}, uint8_t{0xFF}}) {
     Request request;
     request.op = static_cast<Op>(raw);
     auto decoded = DecodeRequest(EncodeRequest(request));
@@ -583,7 +584,7 @@ TEST(WireOpTableTest, UnknownOpBytesFailDecoding) {
 }
 
 TEST(WireOpTableTest, EveryOpHasConsistentNameAndHistogramNames) {
-  for (uint8_t raw = 1; raw <= 12; ++raw) {
+  for (uint8_t raw = 1; raw <= 21; ++raw) {
     const OpInfo* info = FindOpInfo(static_cast<Op>(raw));
     ASSERT_NE(info, nullptr) << "op byte " << int{raw};
     EXPECT_EQ(static_cast<uint8_t>(info->op), raw);
@@ -600,6 +601,57 @@ TEST(WireOpTableTest, EveryOpHasConsistentNameAndHistogramNames) {
   EXPECT_STREQ(OpName(Op::kStats), "stats");
   EXPECT_STREQ(OpName(Op::kStatsReset), "stats_reset");
   EXPECT_STREQ(OpName(static_cast<Op>(0)), "unknown");
+}
+
+TEST(WireOpTableTest, PartitionFieldRoundTripsThroughTheWireFormat) {
+  // v2 frames carry the partition id between the op byte and the object id.
+  Request request;
+  request.op = Op::kBegin;
+  request.partition = 7;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->op, Op::kBegin);
+  EXPECT_EQ(decoded->partition, 7u);
+}
+
+TEST(WireOpTableTest, OldWireVersionFramesAreRejectedNotMisparsed) {
+  // A v1 peer's frames differ in layout (no partition field), so they must
+  // be refused outright — kUnimplemented with a version message, never a
+  // garbled decode. Patch the version byte (offset 1, after the magic) on an
+  // otherwise-valid v2 frame to fake an old client.
+  Request request;
+  request.op = Op::kBegin;
+  Bytes frame = EncodeRequest(request);
+  ASSERT_GE(frame.size(), 2u);
+  EXPECT_EQ(frame[1], kWireVersion);
+  frame[1] = 1;
+  auto decoded = DecodeRequest(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(decoded.status().message().find("unsupported wire version"),
+            std::string::npos);
+
+  Bytes reply = EncodeResponse(ResponseFromStatus(OkStatus()));
+  reply[1] = 1;
+  auto response = DecodeResponse(reply);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(WireOpTableTest, MovedStatusCodeSurvivesTheWire) {
+  // kMoved is the redirect status; it must round-trip so clients can learn
+  // the new address, and codes beyond it must still be rejected.
+  Response moved = ResponseFromStatus(MovedError("127.0.0.1:7777"));
+  auto decoded = DecodeResponse(EncodeResponse(moved));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kMoved);
+  EXPECT_EQ(decoded->message, "127.0.0.1:7777");
+
+  Bytes frame = EncodeResponse(moved);
+  frame[2] = static_cast<uint8_t>(StatusCode::kMoved) + 1;
+  auto bad = DecodeResponse(frame);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
 }
 
 TEST(WireOpTableTest, StatsOpsRoundTripThroughTheWireFormat) {
